@@ -1,0 +1,395 @@
+// Package selfserv_test is the benchmark harness for the experiments
+// catalogued in DESIGN.md (E1–E7). Each benchmark regenerates one
+// table/figure-equivalent of the paper's demo and claims; EXPERIMENTS.md
+// records the measured series.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem .
+//
+// Or one experiment:
+//
+//	go test -bench=BenchmarkE3 .
+package selfserv_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"selfserv/internal/community"
+	"selfserv/internal/core"
+	"selfserv/internal/discovery"
+	"selfserv/internal/routing"
+	"selfserv/internal/service"
+	"selfserv/internal/statechart"
+	"selfserv/internal/uddi"
+	"selfserv/internal/workload"
+)
+
+// deployP2P deploys sc on a fresh platform (one host per service) and
+// returns the composite plus the platform.
+func deployP2P(b *testing.B, sc *statechart.Statechart, register func(p *core.Platform)) (*core.Platform, *core.Composite) {
+	b.Helper()
+	p := core.New(core.Options{Funcs: workload.TravelGuards()})
+	b.Cleanup(func() { p.Close() })
+	register(p)
+	for i, svc := range sc.Services() {
+		h, err := p.AddHost(fmt.Sprintf("host-%d-%s", i, svc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prov, err := p.Registry().Lookup(svc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.RegisterService(h, prov)
+	}
+	comp, err := p.Deploy(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, comp
+}
+
+func registerTravel(b *testing.B) func(*core.Platform) {
+	return func(p *core.Platform) {
+		if _, err := workload.RegisterTravelProviders(p.Registry(), service.SimulatedOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E1: the travel scenario (Fig 2) ---------------------------------
+
+// BenchmarkE1TravelScenario measures end-to-end latency of the paper's
+// demo composite for each of its control-flow variants: domestic/near
+// (4 services), domestic/far (5 services incl. car rental),
+// international/far, international/near.
+func BenchmarkE1TravelScenario(b *testing.B) {
+	variants := []struct {
+		name string
+		dest string
+	}{
+		{"domestic-near/sydney", "sydney"},
+		{"domestic-far/melbourne", "melbourne"},
+		{"international-far/tokyo", "tokyo"},
+		{"international-near/paris", "paris"},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			_, comp := deployP2P(b, workload.Travel(), registerTravel(b))
+			req := workload.TravelRequest("bench", v.dest, true)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.Execute(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E2: discovery engine throughput (Fig 1 architecture) ------------
+
+// BenchmarkE2DiscoveryThroughput measures UDDI publish and inquiry rates
+// through the full SOAP/HTTP stack, for growing registry sizes.
+func BenchmarkE2DiscoveryThroughput(b *testing.B) {
+	for _, preload := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("find/registry-size-%d", preload), func(b *testing.B) {
+			reg := uddi.NewRegistry()
+			ts := httptest.NewServer(uddi.Serve(reg, nil))
+			defer ts.Close()
+			c := &uddi.Client{URL: ts.URL + "/uddi"}
+			biz, err := c.SaveBusiness(uddi.BusinessEntity{Name: "LoadCo"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < preload; i++ {
+				if _, err := c.SaveService(uddi.BusinessService{
+					BusinessKey: biz.BusinessKey,
+					Name:        fmt.Sprintf("svc-%05d", i),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hits, err := c.FindService(uddi.ServiceQuery{NamePattern: "svc-00001", Qualifier: uddi.MatchPrefix})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = hits
+			}
+		})
+	}
+	b.Run("publish", func(b *testing.B) {
+		reg := uddi.NewRegistry()
+		ts := httptest.NewServer(uddi.Serve(reg, nil))
+		defer ts.Close()
+		c := &uddi.Client{URL: ts.URL + "/uddi"}
+		biz, err := c.SaveBusiness(uddi.BusinessEntity{Name: "LoadCo"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc, err := c.SaveService(uddi.BusinessService{
+				BusinessKey: biz.BusinessKey,
+				Name:        fmt.Sprintf("bench-%08d", i),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.SaveBinding(uddi.BindingTemplate{
+				ServiceKey: svc.ServiceKey, AccessPoint: "http://x/soap",
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E3: P2P vs centralized orchestration ------------------------------
+
+// BenchmarkE3P2PvsCentral compares end-to-end latency of the peer-to-peer
+// engine against the hub baseline on chains and parallel fans of growing
+// width. Per-node load is E7.
+func BenchmarkE3P2PvsCentral(b *testing.B) {
+	sizes := []int{2, 4, 8, 16, 32}
+	for _, k := range sizes {
+		k := k
+		for _, shape := range []string{"chain", "parallel"} {
+			shape := shape
+			var sc *statechart.Statechart
+			var register func(p *core.Platform)
+			if shape == "chain" {
+				sc = workload.Chain(k)
+				register = func(p *core.Platform) {
+					workload.RegisterChainProviders(p.Registry(), k, service.SimulatedOptions{})
+				}
+			} else {
+				sc = workload.Parallel(k)
+				register = func(p *core.Platform) {
+					workload.RegisterParallelProviders(p.Registry(), k, service.SimulatedOptions{})
+				}
+			}
+			b.Run(fmt.Sprintf("%s-%d/p2p", shape, k), func(b *testing.B) {
+				_, comp := deployP2P(b, sc, register)
+				ctx := context.Background()
+				in := map[string]string{"x": "0"}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := comp.Execute(ctx, in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("%s-%d/central", shape, k), func(b *testing.B) {
+				_, comp := deployP2P(b, sc, register)
+				central, err := comp.NewCentralBaseline(fmt.Sprintf("central-%s-%d", shape, k))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer central.Close()
+				ctx := context.Background()
+				in := map[string]string{"x": "0"}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := central.Execute(ctx, in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E4: community delegation policies --------------------------------
+
+// BenchmarkE4CommunityPolicies measures delegation under heterogeneous
+// members (fast, slow, flaky, pricey) for each policy. ns/op is the mean
+// invocation latency; the fail metric reports the failure fraction.
+func BenchmarkE4CommunityPolicies(b *testing.B) {
+	for _, policyName := range []string{"random", "round-robin", "least-loaded", "qos", "cheapest"} {
+		policyName := policyName
+		b.Run(policyName, func(b *testing.B) {
+			policy, err := community.PolicyByName(policyName, 11)
+			if err != nil {
+				b.Fatal(err)
+			}
+			comm := community.New("AccommodationBooking", community.Options{Policy: policy})
+			members := []struct {
+				brand    string
+				latency  time.Duration
+				failRate float64
+				cost     float64
+			}{
+				{"Fast", 50 * time.Microsecond, 0, 3},
+				{"Slow", 2 * time.Millisecond, 0, 2},
+				{"Flaky", 100 * time.Microsecond, 0.3, 1},
+				{"Steady", 300 * time.Microsecond, 0, 4},
+			}
+			for i, m := range members {
+				if err := comm.Join(&community.Member{
+					Provider: service.NewAccommodationBooking(m.brand, service.SimulatedOptions{
+						BaseLatency: m.latency, FailRate: m.failRate, Seed: int64(i + 1),
+					}),
+					Cost: m.cost,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			req := service.Request{
+				Service: "AccommodationBooking", Operation: "book",
+				Params: map[string]string{"customer": "bench", "dest": "sydney"},
+			}
+			ctx := context.Background()
+			failures := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := comm.Invoke(ctx, req); err != nil {
+					failures++
+				}
+			}
+			b.ReportMetric(float64(failures)/float64(b.N), "failrate")
+		})
+	}
+}
+
+// --- E5: routing-table generation (deployer) ---------------------------
+
+// BenchmarkE5RoutingTableGen measures the deployer's static compilation
+// cost against statechart size and nesting depth, supporting the paper's
+// claim that coordinators need no runtime scheduling because the analysis
+// is a cheap precomputation.
+func BenchmarkE5RoutingTableGen(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 256} {
+		for _, depth := range []int{1, 3} {
+			sc := workload.RandomChart(workload.RandomOptions{
+				States: n, MaxDepth: depth, BranchProb: 0.25, ParallelProb: 0.2, Seed: 1234,
+			})
+			b.Run(fmt.Sprintf("states-%d/depth-%d", n, depth), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					plan, err := routing.Generate(sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = plan
+				}
+				b.ReportMetric(float64(len(sc.BasicStates())), "basicstates")
+			})
+		}
+	}
+}
+
+// --- E6: locate and execute (Fig 3) ------------------------------------
+
+// BenchmarkE6LocateAndExecute measures the full end-user flow: search the
+// UDDI registry, resolve WSDL binding details, and invoke the operation
+// via SOAP.
+func BenchmarkE6LocateAndExecute(b *testing.B) {
+	reg := uddi.NewRegistry()
+	mux := uddi.Serve(reg, nil)
+	dfb := service.NewDomesticFlightBooking(service.SimulatedOptions{})
+	mux.Handle("/soap/dfb", discovery.ServiceEndpoint(dfb))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	wsdlH, err := discovery.WSDLEndpoint(dfb, ts.URL+"/soap/dfb")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux.Handle("/wsdl/dfb", wsdlH)
+
+	eng := discovery.NewEngine(ts.URL + "/uddi")
+	if _, err := eng.Register(discovery.Publication{
+		ProviderName: "QF Airlines",
+		ServiceName:  "DomesticFlightBooking",
+		Endpoint:     ts.URL + "/soap/dfb",
+		WSDLURL:      ts.URL + "/wsdl/dfb",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]string{"customer": "bench", "dest": "sydney"}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc, err := eng.LocateOne("DomesticFlightBooking")
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := eng.Invoke(ctx, loc, "book", params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out["ref"] == "" {
+			b.Fatal("no ref")
+		}
+	}
+}
+
+// --- E7: per-node coordination load ------------------------------------
+
+// BenchmarkE7NodeLoad reports messages handled per execution by (a) the
+// busiest coordinator node under P2P and (b) the hub under centralized
+// orchestration, on Parallel(k). The paper's availability argument is
+// exactly this asymmetry.
+func BenchmarkE7NodeLoad(b *testing.B) {
+	for _, k := range []int{4, 8, 16} {
+		k := k
+		sc := workload.Parallel(k)
+		register := func(p *core.Platform) {
+			workload.RegisterParallelProviders(p.Registry(), k, service.SimulatedOptions{})
+		}
+		b.Run(fmt.Sprintf("parallel-%d/p2p", k), func(b *testing.B) {
+			p, comp := deployP2P(b, sc, register)
+			ctx := context.Background()
+			in := map[string]string{"x": "0"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.Execute(ctx, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			stats := p.Network().Stats()
+			var worstCoord int64
+			for addr, ns := range stats.Nodes {
+				if strings.HasPrefix(addr, "host-") {
+					if t := ns.MsgsIn + ns.MsgsOut; t > worstCoord {
+						worstCoord = t
+					}
+				}
+			}
+			b.ReportMetric(float64(worstCoord)/float64(b.N), "busiest-msgs/exec")
+		})
+		b.Run(fmt.Sprintf("parallel-%d/central", k), func(b *testing.B) {
+			p, comp := deployP2P(b, sc, register)
+			central, err := comp.NewCentralBaseline(fmt.Sprintf("central-e7-%d", k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer central.Close()
+			ctx := context.Background()
+			in := map[string]string{"x": "0"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := central.Execute(ctx, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			hub := p.Network().Stats().Nodes[central.Addr()]
+			b.ReportMetric(float64(hub.MsgsIn+hub.MsgsOut)/float64(b.N), "hub-msgs/exec")
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Hostd is the SELF-SERV host daemon: it runs the Coordinator and Wrapper
+// machinery on a provider's node. It serves a set of local component
+// services, listens for peer-to-peer coordination messages on a TCP
+// address, and accepts routing-table uploads from the deployer on an
+// admin HTTP address (the paper's "download and install the Coordinator
+// class" step, as a daemon).
+//
+//	go run ./cmd/hostd -coord 127.0.0.1:9001 -admin 127.0.0.1:7001 \
+//	    -services DomesticFlightBooking,AttractionsSearch
+//
+// Available built-in services: the five travel-scenario providers
+// (AccommodationBooking is a three-member community), plus
+// "echo:<Name>:<op>" for generic wiring tests and "inc:<Name>" for a
+// service that increments its numeric "x" parameter.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"selfserv/internal/engine"
+	"selfserv/internal/hostapi"
+	"selfserv/internal/service"
+	"selfserv/internal/transport"
+	"selfserv/internal/workload"
+)
+
+func main() {
+	coordAddr := flag.String("coord", "127.0.0.1:0", "coordination (TCP) listen address")
+	adminAddr := flag.String("admin", "127.0.0.1:0", "admin HTTP listen address")
+	services := flag.String("services", "", "comma-separated services to host (see doc)")
+	latency := flag.Duration("latency", 5*time.Millisecond, "simulated service latency")
+	verbose := flag.Bool("v", false, "log coordinator activity")
+	flag.Parse()
+
+	reg := service.NewRegistry()
+	if err := registerServices(reg, *services, *latency); err != nil {
+		log.Fatal(err)
+	}
+
+	tcp := transport.NewTCP()
+	defer tcp.Close()
+	dir := engine.NewDirectory()
+	opts := engine.HostOptions{Funcs: engine.Funcs(workload.TravelGuards())}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	host, err := engine.NewHost(tcp, *coordAddr, reg, dir, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+
+	admin := hostapi.NewServer(host, dir, reg.Names)
+	ln, err := net.Listen("tcp", *adminAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("hostd: coordination on %s, admin on http://%s, services %v",
+		host.Addr(), ln.Addr(), reg.Names())
+	log.Fatal(http.Serve(ln, admin))
+}
+
+// registerServices parses the -services flag.
+func registerServices(reg *service.Registry, spec string, latency time.Duration) error {
+	opts := service.SimulatedOptions{BaseLatency: latency}
+	if spec == "" {
+		return fmt.Errorf("hostd: -services is required (nothing to host)")
+	}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "DomesticFlightBooking":
+			reg.Register(service.NewDomesticFlightBooking(opts))
+		case name == "InternationalTravel":
+			reg.Register(service.NewInternationalTravel(opts))
+		case name == "AttractionsSearch":
+			reg.Register(service.NewAttractionsSearch(opts))
+		case name == "CarRental":
+			reg.Register(service.NewCarRental(opts))
+		case name == "AccommodationBooking":
+			if _, err := workload.RegisterTravelCommunity(reg, opts); err != nil {
+				return err
+			}
+		case strings.HasPrefix(name, "echo:"):
+			parts := strings.Split(name, ":")
+			if len(parts) != 3 {
+				return fmt.Errorf("hostd: echo service spec %q, want echo:<Name>:<op>", name)
+			}
+			reg.Register(service.NewSimulated(parts[1], opts).Echo(parts[2]))
+		case strings.HasPrefix(name, "inc:"):
+			svcName := strings.TrimPrefix(name, "inc:")
+			s := service.NewSimulated(svcName, opts)
+			s.Handle("run", func(_ context.Context, p map[string]string) (map[string]string, error) {
+				x, err := strconv.ParseFloat(p["x"], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad x %q: %w", p["x"], err)
+				}
+				return map[string]string{"x": strconv.FormatFloat(x+1, 'g', -1, 64)}, nil
+			})
+			reg.Register(s)
+		default:
+			return fmt.Errorf("hostd: unknown service %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Registry runs the SELF-SERV service manager's UDDI registry as an HTTP
+// server exposing the SOAP publish/inquiry API at /uddi.
+//
+//	go run ./cmd/registry -addr :8600
+//
+// Publish and query it with the discovery engine (see examples/discovery)
+// or any SOAP client speaking the UDDI v2 action subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"selfserv/internal/uddi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8600", "listen address")
+	flag.Parse()
+
+	registry := uddi.NewRegistry()
+	mux := uddi.Serve(registry, nil)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		b, s, bd, t := registry.Counts()
+		fmt.Fprintf(w, "businesses=%d services=%d bindings=%d tModels=%d\n", b, s, bd, t)
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	log.Printf("UDDI registry listening on http://%s/uddi", ln.Addr())
+	log.Fatal(http.Serve(ln, mux))
+}

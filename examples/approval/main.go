@@ -1,0 +1,94 @@
+// Approval demonstrates ECA events (the "E" of the rules on statechart
+// transitions): a purchasing composite whose second step waits for a
+// human "confirm" event whose payload carries the spending limit checked
+// by the transition guard.
+//
+//	go run ./examples/approval [-limit 200]
+//
+// The flow: quote -> (on confirm [price <= limit]) purchase -> done. The
+// instance blocks after quoting until the event arrives; an insufficient
+// limit leaves it waiting (run with -limit 50 and watch the timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"selfserv/internal/composer"
+	"selfserv/internal/core"
+	"selfserv/internal/service"
+)
+
+func main() {
+	limit := flag.String("limit", "200", "approval limit carried by the confirm event")
+	flag.Parse()
+
+	platform := core.New(core.Options{})
+	defer platform.Close()
+
+	quoter := service.NewSimulated("Quoter", service.SimulatedOptions{BaseLatency: 5 * time.Millisecond})
+	quoter.Handle("quote", func(_ context.Context, in map[string]string) (map[string]string, error) {
+		return map[string]string{"price": "120"}, nil
+	})
+	purchaser := service.NewSimulated("Purchaser", service.SimulatedOptions{BaseLatency: 5 * time.Millisecond})
+	purchaser.Handle("buy", func(_ context.Context, in map[string]string) (map[string]string, error) {
+		return map[string]string{"order": "ORD-" + in["item"]}, nil
+	})
+	host, err := platform.AddHost("host-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.RegisterService(host, quoter)
+	platform.RegisterService(host, purchaser)
+
+	b := composer.New("Purchasing").
+		Input("item", "string").
+		Output("order", "string")
+	root := b.Root()
+	root.Basic("quote", "Quoter", "quote").
+		In("item", "item").Out("price", "price")
+	root.Basic("purchase", "Purchaser", "buy").
+		In("item", "item").Out("order", "order")
+	root.Start("quote").
+		TransitionOn("quote", "purchase", "confirm", "price <= limit").
+		End("purchase")
+
+	comp, err := platform.Deploy(b.MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed %q; events: %v, confirm subscribers: %v\n\n",
+		comp.Name(), comp.Plan().Events(), comp.Plan().EventSubscribers("confirm"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+
+	done := make(chan struct{})
+	var out map[string]string
+	var execErr error
+	go func() {
+		defer close(done)
+		out, execErr = comp.ExecuteInstance(ctx, "po-1001", map[string]string{"item": "standing-desk"})
+	}()
+
+	fmt.Println("instance po-1001 started; quoting...")
+	time.Sleep(100 * time.Millisecond)
+	fmt.Printf("raising confirm event with limit=%s (quoted price is 120)\n", *limit)
+	if err := comp.RaiseEvent(ctx, "po-1001", "confirm", map[string]string{
+		"limit":    *limit,
+		"approver": "cfo",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	<-done
+	if execErr != nil {
+		fmt.Printf("execution did not complete: %v\n", execErr)
+		fmt.Println("(the guard price <= limit rejected the approval; the instance waited until timeout)")
+		return
+	}
+	fmt.Printf("\napproved and purchased: order=%s\n", out["order"])
+}

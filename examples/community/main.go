@@ -1,0 +1,113 @@
+// Community demonstrates service communities (§2): a pool of alternative
+// accommodation providers behind one name, with runtime delegation by
+// QoS-aware policies, membership predicates, dynamic join/leave, and
+// failover.
+//
+//	go run ./examples/community [-policy qos|random|round-robin|least-loaded|cheapest] [-requests 200]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"selfserv/internal/community"
+	"selfserv/internal/service"
+)
+
+func main() {
+	policyName := flag.String("policy", "qos", "delegation policy")
+	requests := flag.Int("requests", 200, "number of booking requests")
+	flag.Parse()
+
+	policy, err := community.PolicyByName(*policyName, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm := community.New("AccommodationBooking", community.Options{
+		Policy:   policy,
+		Failover: 1,
+	})
+
+	// Heterogeneous members: different latency, reliability, cost, and a
+	// membership predicate restricting one hotel to Sydney bookings.
+	members := []struct {
+		brand     string
+		latency   time.Duration
+		failRate  float64
+		cost      float64
+		predicate string
+	}{
+		{"FastCheap", 5 * time.Millisecond, 0.0, 1, ""},
+		{"SlowPremium", 60 * time.Millisecond, 0.0, 6, ""},
+		{"FlakyBudget", 8 * time.Millisecond, 0.4, 1, ""},
+		{"SydneyOnly", 6 * time.Millisecond, 0.0, 2, "req.dest = 'sydney'"},
+	}
+	for i, m := range members {
+		err := comm.Join(&community.Member{
+			Provider: service.NewAccommodationBooking(m.brand, service.SimulatedOptions{
+				BaseLatency: m.latency,
+				FailRate:    m.failRate,
+				Seed:        int64(i + 1),
+			}),
+			Cost:      m.cost,
+			Predicate: m.predicate,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("community %q with members %v, policy %s\n\n",
+		comm.Name(), comm.Members(), policy.Name())
+
+	ctx := context.Background()
+	counts := map[string]int{}
+	failures := 0
+	var totalLatency time.Duration
+	for i := 0; i < *requests; i++ {
+		dest := "sydney"
+		if i%3 == 0 {
+			dest = "melbourne"
+		}
+		start := time.Now()
+		resp, err := comm.Invoke(ctx, service.Request{
+			Service:   "AccommodationBooking",
+			Operation: "book",
+			Params:    map[string]string{"customer": fmt.Sprintf("u%03d", i), "dest": dest},
+		})
+		totalLatency += time.Since(start)
+		if err != nil {
+			failures++
+			continue
+		}
+		counts[strings.Fields(resp.Outputs["addr"])[0]]++
+	}
+
+	fmt.Println("delegation distribution:")
+	for _, m := range comm.Members() {
+		fmt.Printf("  %-12s %4d bookings   [%s]\n", m, counts[m], comm.History().Snapshot(m))
+	}
+	fmt.Printf("\nfailures: %d / %d\n", failures, *requests)
+	fmt.Printf("mean latency: %v\n", (totalLatency / time.Duration(*requests)).Round(time.Microsecond))
+
+	// Dynamic membership: the fast member leaves, traffic shifts.
+	fmt.Println("\nFastCheap leaves the community; 50 more requests:")
+	comm.Leave("FastCheap")
+	counts2 := map[string]int{}
+	for i := 0; i < 50; i++ {
+		resp, err := comm.Invoke(ctx, service.Request{
+			Service: "AccommodationBooking", Operation: "book",
+			Params: map[string]string{"customer": "late", "dest": "sydney"},
+		})
+		if err != nil {
+			continue
+		}
+		counts2[strings.Fields(resp.Outputs["addr"])[0]]++
+	}
+	for _, m := range comm.Members() {
+		fmt.Printf("  %-12s %4d bookings\n", m, counts2[m])
+	}
+}

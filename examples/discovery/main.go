@@ -1,0 +1,116 @@
+// Discovery reproduces the paper's Figure 3 flow over real HTTP: start a
+// UDDI registry, expose providers as SOAP endpoints with generated WSDL
+// descriptions, publish them, search the registry like the demo's Search
+// panel, and execute an operation of a located service.
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"selfserv/internal/discovery"
+	"selfserv/internal/service"
+	"selfserv/internal/uddi"
+)
+
+func main() {
+	// 1. The UDDI registry plus provider endpoints, all on one HTTP server
+	//    (in production each provider hosts its own).
+	mux := http.NewServeMux()
+	registry := uddi.NewRegistry()
+	uddi.Serve(registry, mux)
+
+	providers := []service.Provider{
+		service.NewDomesticFlightBooking(service.SimulatedOptions{}),
+		service.NewInternationalTravel(service.SimulatedOptions{}),
+		service.NewAttractionsSearch(service.SimulatedOptions{}),
+	}
+	for _, p := range providers {
+		mux.Handle("/soap/"+p.Name(), discovery.ServiceEndpoint(p))
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+	server := &http.Server{Handler: mux}
+	go server.Serve(ln)
+	defer server.Close()
+	fmt.Printf("UDDI registry at %s/uddi\n\n", base)
+
+	// WSDL descriptions need the final URLs ("placing the WSDL
+	// descriptions so that they can be retrieved using public URLs").
+	for _, p := range providers {
+		h, err := discovery.WSDLEndpoint(p, base+"/soap/"+p.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux.Handle("/wsdl/"+p.Name(), h)
+	}
+
+	// 2. Publish: each provider registers business + service + binding.
+	engine := discovery.NewEngine(base + "/uddi")
+	owners := map[string]string{
+		"DomesticFlightBooking": "QF Airlines",
+		"InternationalTravel":   "Globe Travel",
+		"AttractionsSearch":     "CitySights",
+	}
+	for _, p := range providers {
+		reg, err := engine.Register(discovery.Publication{
+			ProviderName:    owners[p.Name()],
+			ServiceName:     p.Name(),
+			Description:     "travel scenario component",
+			Endpoint:        base + "/soap/" + p.Name(),
+			WSDLURL:         base + "/wsdl/" + p.Name(),
+			InterfaceTModel: p.Name() + "-interface",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %-22s business=%s service=%s\n", p.Name(), reg.BusinessKey, reg.ServiceKey)
+	}
+
+	// 3. Search: the end user's Search panel — by name fragment.
+	fmt.Println("\nsearch 'Flight' (contains):")
+	hits, err := engine.Locate(uddi.ServiceQuery{NamePattern: "Flight", Qualifier: uddi.MatchContains})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("  %-22s by %-14s endpoint=%s\n", h.Service.Name, h.Provider.Name, h.Endpoint)
+		if h.Definition != nil {
+			for _, op := range h.Definition.Operations {
+				fmt.Printf("      operation: %s\n", op.Name)
+			}
+		}
+	}
+
+	// 4. Execute: the Execute button — supply parameter values and run.
+	loc, err := engine.LocateOne("DomesticFlightBooking")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := engine.Invoke(context.Background(), loc, "book", map[string]string{
+		"customer": "alice",
+		"dest":     "sydney",
+		"depart":   "2026-07-01",
+		"return":   "2026-07-14",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecuted DomesticFlightBooking.book -> ref=%s\n", out["ref"])
+
+	// A failed execution surfaces as a SOAP fault.
+	if _, err := engine.Invoke(context.Background(), loc, "book", map[string]string{
+		"customer": "alice", "dest": "tokyo",
+	}); err != nil {
+		fmt.Printf("expected fault for tokyo via domestic booking: %v\n", err)
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: define, deploy, and execute a two-step composite service in
+// one process. This is the smallest end-to-end SELF-SERV program:
+//
+//	go run ./examples/quickstart
+//
+// It composes a geocoding step and a weather step into a "WeatherByCity"
+// composite, deploys it peer-to-peer across two hosts, and executes it.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"selfserv/internal/composer"
+	"selfserv/internal/core"
+	"selfserv/internal/service"
+)
+
+func main() {
+	// 1. A platform with an in-memory network (single process).
+	platform := core.New(core.Options{})
+	defer platform.Close()
+
+	// 2. Two elementary services on two hosts.
+	geocoder := service.NewSimulated("Geocoder", service.SimulatedOptions{BaseLatency: 2 * time.Millisecond})
+	geocoder.Handle("locate", func(_ context.Context, in map[string]string) (map[string]string, error) {
+		coords := map[string]string{
+			"sydney": "-33.87,151.21",
+			"tokyo":  "35.68,139.69",
+		}
+		c, ok := coords[in["city"]]
+		if !ok {
+			return nil, fmt.Errorf("unknown city %q", in["city"])
+		}
+		return map[string]string{"coords": c}, nil
+	})
+
+	weather := service.NewSimulated("Weather", service.SimulatedOptions{BaseLatency: 2 * time.Millisecond})
+	weather.Handle("forecast", func(_ context.Context, in map[string]string) (map[string]string, error) {
+		return map[string]string{"forecast": "sunny at " + in["coords"]}, nil
+	})
+
+	host1, err := platform.AddHost("host-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	host2, err := platform.AddHost("host-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform.RegisterService(host1, geocoder)
+	platform.RegisterService(host2, weather)
+
+	// 3. Declaratively compose them: locate -> forecast.
+	b := composer.New("WeatherByCity").
+		Input("city", "string").
+		Output("forecast", "string")
+	root := b.Root()
+	root.Basic("locate", "Geocoder", "locate").
+		In("city", "city").Out("coords", "coords")
+	root.Basic("forecast", "Weather", "forecast").
+		In("coords", "coords").Out("forecast", "forecast")
+	root.Sequence("locate", "forecast")
+
+	chart, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Deploy: routing tables are compiled and installed on the hosts.
+	comp, err := platform.Deploy(chart)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed routing plan:")
+	fmt.Println(comp.Plan())
+
+	// 5. Execute instances.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, city := range []string{"sydney", "tokyo"} {
+		out, err := comp.Execute(ctx, map[string]string{"city": city})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s -> %s\n", city, out["forecast"])
+	}
+}

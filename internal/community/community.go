@@ -1,0 +1,230 @@
+// Package community implements SELF-SERV service communities:
+// "containers of alternative services" that describe a desired capability
+// without naming a provider. At runtime a community receives operation
+// requests and delegates each one to a current member, choosing by "the
+// parameters of the request, the characteristics of the members, the
+// history of past executions and the status of ongoing executions" (§2).
+//
+// A Community implements service.Provider, so composite statecharts bind
+// to communities exactly as they bind to elementary services — the
+// delegation is transparent to coordinators (in the demo, Accommodation
+// Booking is a community while the other four are elementary).
+package community
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"selfserv/internal/expr"
+	"selfserv/internal/qos"
+	"selfserv/internal/service"
+)
+
+// ErrNoMember reports that no member was eligible for a request.
+var ErrNoMember = errors.New("community: no eligible member")
+
+// Member is one alternative provider inside a community.
+type Member struct {
+	// Provider executes the actual operations.
+	Provider service.Provider
+	// Cost is the advertised price per invocation (arbitrary units);
+	// selection policies may weigh it.
+	Cost float64
+	// Attributes are static member characteristics ("city"="sydney",
+	// "stars"="4"); membership predicates match them against requests.
+	Attributes map[string]string
+	// Predicate optionally restricts which requests the member can serve:
+	// an expression over request parameters (prefixed "req.") and member
+	// attributes (bare names). Empty accepts everything.
+	Predicate string
+}
+
+// Name returns the member's provider name.
+func (m *Member) Name() string { return m.Provider.Name() }
+
+// eligible evaluates the member's predicate against a request.
+func (m *Member) eligible(req service.Request) (bool, error) {
+	if m.Predicate == "" {
+		return true, nil
+	}
+	env := expr.NewMapEnv()
+	for k, v := range m.Attributes {
+		env.BindText(k, v)
+	}
+	for k, v := range req.Params {
+		env.BindText("req."+k, v)
+	}
+	ok, err := expr.EvalBool(m.Predicate, env)
+	if err != nil {
+		return false, fmt.Errorf("community: member %q predicate: %w", m.Name(), err)
+	}
+	return ok, nil
+}
+
+// Options configure a community.
+type Options struct {
+	// Policy selects among eligible members; nil defaults to RoundRobin.
+	Policy Policy
+	// Alpha is the QoS history smoothing factor (see qos.NewHistory).
+	Alpha float64
+	// Failover retries the next-best member when one fails, up to
+	// Failover additional attempts. Zero reproduces the paper's single
+	// delegation.
+	Failover int
+}
+
+// Community is a container of alternative services behind one name.
+type Community struct {
+	name    string
+	policy  Policy
+	history *qos.History
+	failov  int
+
+	mu      sync.RWMutex
+	members map[string]*Member
+}
+
+// New returns an empty community with the given public name.
+func New(name string, opts Options) *Community {
+	p := opts.Policy
+	if p == nil {
+		p = NewRoundRobin()
+	}
+	return &Community{
+		name:    name,
+		policy:  p,
+		history: qos.NewHistory(opts.Alpha),
+		failov:  opts.Failover,
+		members: map[string]*Member{},
+	}
+}
+
+// Join adds (or replaces) a member. Communities are dynamic: providers
+// join and leave at runtime.
+func (c *Community) Join(m *Member) error {
+	if m == nil || m.Provider == nil {
+		return fmt.Errorf("community %q: nil member", c.name)
+	}
+	if m.Predicate != "" {
+		if _, err := expr.Parse(m.Predicate); err != nil {
+			return fmt.Errorf("community %q: member %q: %w", c.name, m.Name(), err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members[m.Name()] = m
+	return nil
+}
+
+// Leave removes the named member (no-op when absent).
+func (c *Community) Leave(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.members, name)
+}
+
+// Members returns the current member names, sorted.
+func (c *Community) Members() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.members))
+	for n := range c.members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// History exposes the community's QoS observations (read-mostly; used by
+// experiments and monitoring).
+func (c *Community) History() *qos.History { return c.history }
+
+// Name implements service.Provider.
+func (c *Community) Name() string { return c.name }
+
+// Operations implements service.Provider: the union of member operations.
+func (c *Community) Operations() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := map[string]bool{}
+	for _, m := range c.members {
+		for _, op := range m.Provider.Operations() {
+			seen[op] = true
+		}
+	}
+	ops := make([]string, 0, len(seen))
+	for op := range seen {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// Invoke implements service.Provider: it selects a member via the policy
+// and delegates, recording QoS history. With Failover > 0 it retries
+// failed invocations on the next choice, excluding members already tried.
+func (c *Community) Invoke(ctx context.Context, req service.Request) (service.Response, error) {
+	tried := map[string]bool{}
+	attempts := c.failov + 1
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		m, err := c.selectMember(req, tried)
+		if err != nil {
+			if lastErr != nil {
+				return service.Response{}, fmt.Errorf("%w (last failure: %v)", err, lastErr)
+			}
+			return service.Response{}, err
+		}
+		tried[m.Name()] = true
+		c.history.Begin(m.Name())
+		start := time.Now()
+		resp, err := m.Provider.Invoke(ctx, req)
+		c.history.End(m.Name(), time.Since(start), err == nil)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // don't burn retries on a cancelled context
+		}
+	}
+	return service.Response{}, fmt.Errorf("community %q: all %d attempt(s) failed: %w", c.name, len(tried), lastErr)
+}
+
+// selectMember snapshots eligible members and applies the policy.
+func (c *Community) selectMember(req service.Request, exclude map[string]bool) (*Member, error) {
+	c.mu.RLock()
+	candidates := make([]*Member, 0, len(c.members))
+	names := make([]string, 0, len(c.members))
+	for n := range c.members {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic policy input order
+	for _, n := range names {
+		if exclude[n] {
+			continue
+		}
+		m := c.members[n]
+		ok, err := m.eligible(req)
+		if err != nil {
+			// A broken predicate disqualifies the member, not the request.
+			continue
+		}
+		if ok {
+			candidates = append(candidates, m)
+		}
+	}
+	c.mu.RUnlock()
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w for %s.%s in community %q", ErrNoMember, req.Service, req.Operation, c.name)
+	}
+	m, err := c.policy.Select(req, candidates, c.history)
+	if err != nil {
+		return nil, fmt.Errorf("community %q: policy %s: %w", c.name, c.policy.Name(), err)
+	}
+	return m, nil
+}

@@ -1,0 +1,170 @@
+package community
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"selfserv/internal/qos"
+	"selfserv/internal/service"
+)
+
+// Policy chooses one member among the eligible candidates. Candidates are
+// presented in deterministic (name-sorted) order and are never empty.
+type Policy interface {
+	// Name identifies the policy in logs and experiment tables.
+	Name() string
+	// Select picks a member for the request.
+	Select(req service.Request, candidates []*Member, hist *qos.History) (*Member, error)
+}
+
+// NewRandom returns a policy choosing uniformly at random (reproducible
+// under seed).
+func NewRandom(seed int64) Policy {
+	if seed == 0 {
+		seed = 1
+	}
+	return &randomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+type randomPolicy struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (p *randomPolicy) Name() string { return "random" }
+
+func (p *randomPolicy) Select(_ service.Request, cs []*Member, _ *qos.History) (*Member, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return cs[p.rng.Intn(len(cs))], nil
+}
+
+// NewRoundRobin returns a policy rotating through candidates.
+func NewRoundRobin() Policy { return &roundRobinPolicy{} }
+
+type roundRobinPolicy struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (p *roundRobinPolicy) Name() string { return "round-robin" }
+
+func (p *roundRobinPolicy) Select(_ service.Request, cs []*Member, _ *qos.History) (*Member, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := cs[p.n%uint64(len(cs))]
+	p.n++
+	return m, nil
+}
+
+// NewLeastLoaded returns a policy picking the member with the fewest
+// in-flight invocations ("the status of ongoing executions"), breaking
+// ties by name order.
+func NewLeastLoaded() Policy { return leastLoadedPolicy{} }
+
+type leastLoadedPolicy struct{}
+
+func (leastLoadedPolicy) Name() string { return "least-loaded" }
+
+func (leastLoadedPolicy) Select(_ service.Request, cs []*Member, hist *qos.History) (*Member, error) {
+	best := cs[0]
+	bestLoad := hist.Snapshot(best.Name()).Load
+	for _, m := range cs[1:] {
+		if l := hist.Snapshot(m.Name()).Load; l < bestLoad {
+			best, bestLoad = m, l
+		}
+	}
+	return best, nil
+}
+
+// Weights parameterize the QoS scoring policy. Scores are penalties:
+// lower is better.
+type Weights struct {
+	// Latency weight per millisecond of smoothed latency.
+	Latency float64
+	// Unreliability weight per unit of (1 - reliability).
+	Unreliability float64
+	// Cost weight per unit of advertised cost.
+	Cost float64
+	// Load weight per in-flight invocation.
+	Load float64
+}
+
+// DefaultWeights balance the four terms for millisecond-scale services.
+var DefaultWeights = Weights{Latency: 1, Unreliability: 500, Cost: 5, Load: 20}
+
+// NewQoS returns the multi-attribute scoring policy of §2: each candidate
+// is scored from smoothed history (latency, reliability), advertised cost,
+// and current load; the lowest penalty wins. Zero-valued weights fall
+// back to DefaultWeights.
+func NewQoS(w Weights) Policy {
+	if w == (Weights{}) {
+		w = DefaultWeights
+	}
+	return &qosPolicy{w: w}
+}
+
+type qosPolicy struct {
+	w Weights
+}
+
+func (p *qosPolicy) Name() string { return "qos" }
+
+func (p *qosPolicy) Select(_ service.Request, cs []*Member, hist *qos.History) (*Member, error) {
+	best := cs[0]
+	bestScore := p.score(best, hist)
+	for _, m := range cs[1:] {
+		if s := p.score(m, hist); s < bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best, nil
+}
+
+// score computes the penalty of delegating to m now.
+func (p *qosPolicy) score(m *Member, hist *qos.History) float64 {
+	snap := hist.Snapshot(m.Name())
+	latencyMs := float64(snap.Latency) / float64(time.Millisecond)
+	return p.w.Latency*latencyMs +
+		p.w.Unreliability*(1-snap.Reliability) +
+		p.w.Cost*m.Cost +
+		p.w.Load*float64(snap.Load)
+}
+
+// NewCheapest returns a policy that always picks the lowest advertised
+// cost (ties by name order). A useful baseline for E4.
+func NewCheapest() Policy { return cheapestPolicy{} }
+
+type cheapestPolicy struct{}
+
+func (cheapestPolicy) Name() string { return "cheapest" }
+
+func (cheapestPolicy) Select(_ service.Request, cs []*Member, _ *qos.History) (*Member, error) {
+	best := cs[0]
+	for _, m := range cs[1:] {
+		if m.Cost < best.Cost {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// PolicyByName constructs a policy from its experiment-table name.
+func PolicyByName(name string, seed int64) (Policy, error) {
+	switch name {
+	case "random":
+		return NewRandom(seed), nil
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "least-loaded":
+		return NewLeastLoaded(), nil
+	case "qos":
+		return NewQoS(Weights{}), nil
+	case "cheapest":
+		return NewCheapest(), nil
+	default:
+		return nil, fmt.Errorf("community: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,246 @@
+// Package core assembles the SELF-SERV platform: a service manager
+// (registry of providers + deployer) over a pool of hosts executing
+// composite services peer-to-peer. It is the top-level API a downstream
+// user programs against; the examples/ directory and the cmd/ tools are
+// all thin layers over this package.
+//
+// Typical use:
+//
+//	p := core.New(core.Options{})
+//	defer p.Close()
+//	h, _ := p.AddHost("host-1")
+//	p.RegisterService(h, myProvider)
+//	comp, _ := p.Deploy(myStatechart)
+//	out, _ := comp.Execute(ctx, inputs)
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"selfserv/internal/deployer"
+	"selfserv/internal/engine"
+	"selfserv/internal/expr"
+	"selfserv/internal/routing"
+	"selfserv/internal/service"
+	"selfserv/internal/statechart"
+	"selfserv/internal/transport"
+)
+
+// Options configure a Platform.
+type Options struct {
+	// Network carries all control messages. Nil defaults to an in-memory
+	// network (single-process deployments, tests, benchmarks); pass
+	// transport.NewTCP() for a distributed deployment.
+	Network transport.Network
+	// Funcs are guard functions available to every condition evaluation
+	// (e.g. the travel scenario's domestic/near).
+	Funcs map[string]expr.Func
+	// HostOptions tune coordinator hosts.
+	HostOptions engine.HostOptions
+}
+
+// Platform is a running SELF-SERV instance.
+type Platform struct {
+	net      transport.Network
+	ownsNet  bool
+	registry *service.Registry
+	dir      *engine.Directory
+	funcs    engine.Funcs
+	hostOpts engine.HostOptions
+
+	mu         sync.Mutex
+	hosts      []*engine.Host
+	placement  deployer.Placement
+	composites map[string]*Composite
+	wrapperSeq int
+}
+
+// New creates a platform.
+func New(opts Options) *Platform {
+	net := opts.Network
+	owns := false
+	if net == nil {
+		net = transport.NewInMem(transport.InMemOptions{})
+		owns = true
+	}
+	hostOpts := opts.HostOptions
+	if hostOpts.Funcs == nil {
+		hostOpts.Funcs = engine.Funcs(opts.Funcs)
+	}
+	return &Platform{
+		net:        net,
+		ownsNet:    owns,
+		registry:   service.NewRegistry(),
+		dir:        engine.NewDirectory(),
+		funcs:      engine.Funcs(opts.Funcs),
+		hostOpts:   hostOpts,
+		placement:  deployer.Placement{},
+		composites: map[string]*Composite{},
+	}
+}
+
+// Registry exposes the platform's pool of services.
+func (p *Platform) Registry() *service.Registry { return p.registry }
+
+// Network exposes the underlying transport (for stats in experiments).
+func (p *Platform) Network() transport.Network { return p.net }
+
+// Directory exposes the peer directory (read-mostly).
+func (p *Platform) Directory() *engine.Directory { return p.dir }
+
+// AddHost starts a coordinator host listening on addr ("host-1" style
+// names on the in-memory network, "ip:port" on TCP).
+func (p *Platform) AddHost(addr string) (*engine.Host, error) {
+	h, err := engine.NewHost(p.net, addr, p.registry, p.dir, p.hostOpts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.hosts = append(p.hosts, h)
+	p.mu.Unlock()
+	return h, nil
+}
+
+// RegisterService adds a provider (elementary service or community) to
+// the pool and places it on host: composite states bound to the
+// provider's name will have their coordinators installed there.
+func (p *Platform) RegisterService(host *engine.Host, prov service.Provider) {
+	p.registry.Register(prov)
+	p.mu.Lock()
+	p.placement[prov.Name()] = host
+	p.mu.Unlock()
+}
+
+// Composite is a deployed composite service.
+type Composite struct {
+	platform *Platform
+	wrapper  *engine.Wrapper
+	plan     *routing.Plan
+}
+
+// Deploy validates, compiles, and deploys a composite service: routing
+// tables are generated and installed on the hosts of the component
+// services, and a wrapper is started. Redeploying an existing name
+// replaces its wrapper.
+func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
+	p.mu.Lock()
+	placement := make(deployer.Placement, len(p.placement))
+	for k, v := range p.placement {
+		placement[k] = v
+	}
+	prev := p.composites[sc.Name]
+	p.wrapperSeq++
+	seq := p.wrapperSeq
+	p.mu.Unlock()
+
+	dep, err := deployer.Deploy(sc, placement)
+	if err != nil {
+		return nil, err
+	}
+	if prev != nil {
+		prev.wrapper.Close()
+	}
+	addr := fmt.Sprintf("wrapper/%s/%d", sc.Name, seq)
+	if _, isTCP := p.net.(*transport.TCP); isTCP {
+		addr = "127.0.0.1:0"
+	}
+	w, err := engine.NewWrapper(p.net, addr, p.dir, dep.Plan, p.funcs)
+	if err != nil {
+		return nil, err
+	}
+	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan}
+	p.mu.Lock()
+	p.composites[sc.Name] = comp
+	p.mu.Unlock()
+	return comp, nil
+}
+
+// Composite returns a previously deployed composite by name.
+func (p *Platform) Composite(name string) (*Composite, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.composites[name]
+	return c, ok
+}
+
+// Close shuts down wrappers, hosts, and (when owned) the network.
+func (p *Platform) Close() error {
+	p.mu.Lock()
+	comps := p.composites
+	hosts := p.hosts
+	p.composites = map[string]*Composite{}
+	p.hosts = nil
+	p.mu.Unlock()
+	for _, c := range comps {
+		c.wrapper.Close()
+	}
+	for _, h := range hosts {
+		h.Close()
+	}
+	if p.ownsNet {
+		return p.net.Close()
+	}
+	return nil
+}
+
+// Execute runs one instance of the composite.
+func (c *Composite) Execute(ctx context.Context, inputs map[string]string) (map[string]string, error) {
+	return c.wrapper.Execute(ctx, inputs)
+}
+
+// RaiseEvent delivers an ECA event to a running instance (see
+// engine.Wrapper.RaiseEvent). Use ExecuteInstance-style flows: start the
+// execution with a known instance ID, then raise events against it.
+func (c *Composite) RaiseEvent(ctx context.Context, instanceID, event string, payload map[string]string) error {
+	return c.wrapper.RaiseEvent(ctx, instanceID, event, payload)
+}
+
+// ExecuteInstance runs one instance under a caller-chosen ID, so events
+// can be raised against it while it runs.
+func (c *Composite) ExecuteInstance(ctx context.Context, id string, inputs map[string]string) (map[string]string, error) {
+	return c.wrapper.ExecuteInstance(ctx, id, inputs)
+}
+
+// Name returns the composite service name.
+func (c *Composite) Name() string { return c.plan.Composite }
+
+// Plan exposes the compiled routing plan (for inspection and tooling).
+func (c *Composite) Plan() *routing.Plan { return c.plan }
+
+// Wrapper exposes the underlying wrapper (e.g. for its address).
+func (c *Composite) Wrapper() *engine.Wrapper { return c.wrapper }
+
+// NewCentralBaseline builds the hub orchestrator for the same plan —
+// the comparator of experiments E3/E7.
+func (c *Composite) NewCentralBaseline(addr string) (*engine.Central, error) {
+	return engine.NewCentral(c.platform.net, addr, c.platform.dir, c.plan, c.platform.funcs)
+}
+
+// AsProvider exposes the composite as a service.Provider with a single
+// "execute" operation, so composites can be components of other
+// composites (hierarchical composition).
+func (c *Composite) AsProvider() service.Provider {
+	return &compositeProvider{c: c}
+}
+
+type compositeProvider struct {
+	c *Composite
+}
+
+func (p *compositeProvider) Name() string { return p.c.Name() }
+
+func (p *compositeProvider) Operations() []string { return []string{"execute"} }
+
+func (p *compositeProvider) Invoke(ctx context.Context, req service.Request) (service.Response, error) {
+	if req.Operation != "execute" {
+		return service.Response{}, fmt.Errorf("%w: %s.%s (composites expose 'execute')",
+			service.ErrUnknownOperation, p.c.Name(), req.Operation)
+	}
+	out, err := p.c.Execute(ctx, req.Params)
+	if err != nil {
+		return service.Response{}, err
+	}
+	return service.Response{Outputs: out}, nil
+}

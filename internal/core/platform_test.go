@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"selfserv/internal/service"
+	"selfserv/internal/statechart"
+	"selfserv/internal/workload"
+)
+
+func travelPlatform(t testing.TB) (*Platform, *Composite) {
+	t.Helper()
+	p := New(Options{Funcs: workload.TravelGuards()})
+	t.Cleanup(func() { p.Close() })
+
+	// One host per service, as in the paper's topology.
+	sc := workload.Travel()
+	if _, err := workload.RegisterTravelProviders(p.Registry(), service.SimulatedOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, svc := range sc.Services() {
+		h, err := p.AddHost(fmt.Sprintf("host-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov, err := p.Registry().Lookup(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RegisterService(h, prov)
+	}
+	comp, err := p.Deploy(sc)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return p, comp
+}
+
+func TestPlatformTravelEndToEnd(t *testing.T) {
+	_, comp := travelPlatform(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := comp.Execute(ctx, workload.TravelRequest("alice", "melbourne", true))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if out["flightRef"] != "QF-ALI-MEL" || out["carRef"] != "CAR-ALI" {
+		t.Fatalf("outputs = %v", out)
+	}
+	if got, ok := comp.Plan().Tables["CR"]; !ok || got.Service != "CarRental" {
+		t.Fatal("plan not exposed")
+	}
+}
+
+func TestPlatformCompositeLookupAndRedeploy(t *testing.T) {
+	p, comp := travelPlatform(t)
+	got, ok := p.Composite("TravelPlanner")
+	if !ok || got != comp {
+		t.Fatal("Composite lookup failed")
+	}
+	if _, ok := p.Composite("Ghost"); ok {
+		t.Fatal("found a ghost composite")
+	}
+	again, err := p.Deploy(workload.Travel())
+	if err != nil {
+		t.Fatalf("redeploy: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := again.Execute(ctx, workload.TravelRequest("bob", "sydney", true)); err != nil {
+		t.Fatalf("Execute after redeploy: %v", err)
+	}
+}
+
+func TestPlatformCentralBaseline(t *testing.T) {
+	_, comp := travelPlatform(t)
+	central, err := comp.NewCentralBaseline("central")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := central.Execute(ctx, workload.TravelRequest("carol", "sydney", true))
+	if err != nil {
+		t.Fatalf("central Execute: %v", err)
+	}
+	if out["flightRef"] != "QF-CAR-SYD" {
+		t.Fatalf("outputs = %v", out)
+	}
+}
+
+func TestHierarchicalComposition(t *testing.T) {
+	// Deploy the travel composite, then use it as a component of an outer
+	// composite: pre-check -> travel -> receipt.
+	p, comp := travelPlatform(t)
+
+	outerHost, err := p.AddHost("outer-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RegisterService(outerHost, comp.AsProvider())
+
+	precheck := service.NewSimulated("PreCheck", service.SimulatedOptions{})
+	precheck.Handle("check", func(_ context.Context, in map[string]string) (map[string]string, error) {
+		if in["customer"] == "" {
+			return nil, fmt.Errorf("no customer")
+		}
+		return map[string]string{"approved": "true"}, nil
+	})
+	p.RegisterService(outerHost, precheck)
+
+	receipt := service.NewSimulated("Receipt", service.SimulatedOptions{})
+	receipt.Handle("issue", func(_ context.Context, in map[string]string) (map[string]string, error) {
+		return map[string]string{"receipt": "RCPT for " + in["flight"]}, nil
+	})
+	p.RegisterService(outerHost, receipt)
+
+	outer := &statechart.Statechart{
+		Name: "ManagedTravel",
+		Inputs: []statechart.Param{
+			{Name: "customer"}, {Name: "destination"}, {Name: "departDate"}, {Name: "returnDate"},
+		},
+		Outputs: []statechart.Param{{Name: "receipt"}},
+		Root: &statechart.State{
+			ID: "root", Kind: statechart.KindCompound,
+			Children: []*statechart.State{
+				{ID: "i", Kind: statechart.KindInitial},
+				{ID: "pre", Kind: statechart.KindBasic, Service: "PreCheck", Operation: "check",
+					Inputs:  []statechart.Binding{{Param: "customer", Var: "customer"}},
+					Outputs: []statechart.Binding{{Param: "approved", Var: "approved"}}},
+				{ID: "trip", Kind: statechart.KindBasic, Service: "TravelPlanner", Operation: "execute",
+					Inputs: []statechart.Binding{
+						{Param: "customer", Var: "customer"},
+						{Param: "destination", Var: "destination"},
+						{Param: "departDate", Var: "departDate"},
+						{Param: "returnDate", Var: "returnDate"},
+					},
+					Outputs: []statechart.Binding{{Param: "flightRef", Var: "flightRef"}}},
+				{ID: "rcpt", Kind: statechart.KindBasic, Service: "Receipt", Operation: "issue",
+					Inputs:  []statechart.Binding{{Param: "flight", Var: "flightRef"}},
+					Outputs: []statechart.Binding{{Param: "receipt", Var: "receipt"}}},
+				{ID: "f", Kind: statechart.KindFinal},
+			},
+			Transitions: []statechart.Transition{
+				{From: "i", To: "pre"},
+				{From: "pre", To: "trip", Condition: "approved"},
+				{From: "trip", To: "rcpt"},
+				{From: "rcpt", To: "f"},
+			},
+		},
+	}
+	outerComp, err := p.Deploy(outer)
+	if err != nil {
+		t.Fatalf("Deploy outer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	out, err := outerComp.Execute(ctx, workload.TravelRequest("hank", "sydney", true))
+	if err != nil {
+		t.Fatalf("Execute outer: %v", err)
+	}
+	if !strings.Contains(out["receipt"], "QF-HAN-SYD") {
+		t.Fatalf("receipt = %q", out["receipt"])
+	}
+}
+
+func TestCompositeProviderRejectsOtherOps(t *testing.T) {
+	_, comp := travelPlatform(t)
+	prov := comp.AsProvider()
+	if prov.Name() != "TravelPlanner" || len(prov.Operations()) != 1 {
+		t.Fatalf("provider = %v %v", prov.Name(), prov.Operations())
+	}
+	_, err := prov.Invoke(context.Background(), service.Request{Operation: "other"})
+	if err == nil {
+		t.Fatal("non-execute operation accepted")
+	}
+}
+
+func TestDeployFailsWithoutPlacement(t *testing.T) {
+	p := New(Options{})
+	defer p.Close()
+	if _, err := p.Deploy(workload.Chain(1)); err == nil {
+		t.Fatal("Deploy without placement succeeded")
+	}
+}

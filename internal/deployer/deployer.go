@@ -1,0 +1,119 @@
+// Package deployer implements the service deployer module of the SELF-
+// SERV service manager: it compiles a composite service's statechart into
+// routing tables (package routing) and uploads each state's table onto
+// the host of the corresponding component service (§3: "generating the
+// control-flow routing tables of each state ... and uploading these
+// tables into the hosts of the component services").
+package deployer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"selfserv/internal/routing"
+	"selfserv/internal/statechart"
+)
+
+// Installer is one deployment target — a node that can accept a routing
+// table for a state whose component service it hosts. engine.Host
+// implements it.
+type Installer interface {
+	// Install registers the state's coordinator on the node.
+	Install(composite string, table *routing.Table) error
+	// Addr identifies the node (for error messages and reports).
+	Addr() string
+}
+
+// Placement maps component-service names to the node hosting them. Every
+// service referenced by the statechart must be placed.
+type Placement map[string]Installer
+
+// Deployment is the result of a successful deploy.
+type Deployment struct {
+	// Plan is the compiled routing plan.
+	Plan *routing.Plan
+	// Hosts maps each state ID to the address it was installed on.
+	Hosts map[string]string
+}
+
+// Deploy validates and compiles the statechart, then uploads each state's
+// routing table to the host of its component service. It fails without
+// side effects if compilation fails or any service is unplaced; partial
+// installation only occurs if a host's Install itself errors.
+func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error) {
+	plan, err := routing.Generate(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	// Check placement before touching any host.
+	ids := make([]string, 0, len(plan.Tables))
+	for id := range plan.Tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		tbl := plan.Tables[id]
+		if placement[tbl.Service] == nil {
+			return nil, fmt.Errorf("deployer: composite %q: service %q (state %q) has no placement", sc.Name, tbl.Service, id)
+		}
+	}
+	dep := &Deployment{Plan: plan, Hosts: map[string]string{}}
+	for _, id := range ids {
+		tbl := plan.Tables[id]
+		host := placement[tbl.Service]
+		if err := host.Install(sc.Name, tbl); err != nil {
+			return nil, fmt.Errorf("deployer: install state %q on %s: %w", id, host.Addr(), err)
+		}
+		dep.Hosts[id] = host.Addr()
+	}
+	return dep, nil
+}
+
+// WritePlanFiles persists the plan and its per-state tables as XML files
+// under dir, mirroring the paper's "routing tables are stored in plain
+// files" default. The plan goes to <composite>.plan.xml and each table to
+// <composite>.<state>.table.xml. The directory is created if needed.
+func WritePlanFiles(dir string, plan *routing.Plan) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("deployer: %w", err)
+	}
+	data, err := routing.MarshalPlan(plan)
+	if err != nil {
+		return err
+	}
+	planPath := filepath.Join(dir, plan.Composite+".plan.xml")
+	if err := os.WriteFile(planPath, data, 0o644); err != nil {
+		return fmt.Errorf("deployer: %w", err)
+	}
+	ids := make([]string, 0, len(plan.Tables))
+	for id := range plan.Tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		data, err := routing.MarshalTable(plan.Tables[id])
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s.%s.table.xml", plan.Composite, id))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("deployer: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadPlanFile loads a plan persisted by WritePlanFiles.
+func ReadPlanFile(path string) (*routing.Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("deployer: %w", err)
+	}
+	defer f.Close()
+	return routing.ReadPlan(f)
+}

@@ -1,0 +1,128 @@
+package deployer
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"selfserv/internal/routing"
+	"selfserv/internal/workload"
+)
+
+// fakeHost records installs without a network.
+type fakeHost struct {
+	addr      string
+	installed []string
+	failOn    string
+}
+
+func (f *fakeHost) Addr() string { return f.addr }
+
+func (f *fakeHost) Install(composite string, t *routing.Table) error {
+	if t.State == f.failOn {
+		return fmt.Errorf("disk full")
+	}
+	f.installed = append(f.installed, composite+"/"+t.State)
+	return nil
+}
+
+func TestDeployInstallsEveryState(t *testing.T) {
+	sc := workload.Travel()
+	h := &fakeHost{addr: "node-1"}
+	placement := Placement{}
+	for _, svc := range sc.Services() {
+		placement[svc] = h
+	}
+	dep, err := Deploy(sc, placement)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if len(dep.Hosts) != 5 || len(h.installed) != 5 {
+		t.Fatalf("hosts = %v installed = %v", dep.Hosts, h.installed)
+	}
+	for state, addr := range dep.Hosts {
+		if addr != "node-1" {
+			t.Errorf("state %s on %s", state, addr)
+		}
+	}
+}
+
+func TestDeployChecksPlacementBeforeInstalling(t *testing.T) {
+	sc := workload.Chain(3)
+	h := &fakeHost{addr: "node-1"}
+	// svc2 unplaced: nothing at all must be installed.
+	_, err := Deploy(sc, Placement{"svc1": h, "svc3": h})
+	if err == nil || !strings.Contains(err.Error(), "no placement") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(h.installed) != 0 {
+		t.Fatalf("partial install happened: %v", h.installed)
+	}
+}
+
+func TestDeploySurfacesInstallErrors(t *testing.T) {
+	sc := workload.Chain(2)
+	h := &fakeHost{addr: "node-1", failOn: "s2"}
+	_, err := Deploy(sc, Placement{"svc1": h, "svc2": h})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeployRejectsInvalidChart(t *testing.T) {
+	sc := workload.Chain(1)
+	sc.Root.Children[1].Operation = ""
+	if _, err := Deploy(sc, Placement{}); err == nil {
+		t.Fatal("invalid chart deployed")
+	}
+}
+
+func TestWriteAndReadPlanFiles(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := routing.Generate(workload.Travel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlanFiles(dir, plan); err != nil {
+		t.Fatalf("WritePlanFiles: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 plan file + 5 table files.
+	if len(entries) != 6 {
+		var names []string
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("files = %v", names)
+	}
+	back, err := ReadPlanFile(filepath.Join(dir, "TravelPlanner.plan.xml"))
+	if err != nil {
+		t.Fatalf("ReadPlanFile: %v", err)
+	}
+	if back.Composite != "TravelPlanner" || len(back.Tables) != 5 {
+		t.Fatalf("plan = %+v", back)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped plan: %v", err)
+	}
+	// Individual table file parses too.
+	data, err := os.ReadFile(filepath.Join(dir, "TravelPlanner.CR.table.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := routing.UnmarshalTable(data)
+	if err != nil || tbl.State != "CR" {
+		t.Fatalf("table = %+v, %v", tbl, err)
+	}
+}
+
+func TestReadPlanFileMissing(t *testing.T) {
+	if _, err := ReadPlanFile(filepath.Join(t.TempDir(), "nope.xml")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}

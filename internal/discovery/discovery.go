@@ -1,0 +1,312 @@
+// Package discovery implements the Service Discovery Engine of the
+// SELF-SERV service manager: it "facilitates the advertisement and
+// location of services" and is "implemented using UDDI, WSDL and SOAP".
+//
+// The engine offers the three flows of the paper's Figure 3:
+//
+//   - Register: expose a provider as a SOAP endpoint, generate and host
+//     its WSDL description at a public URL, and publish business +
+//     service + binding records in the UDDI registry.
+//   - Locate: search the registry by provider, service name, or
+//     interface tModel and resolve the WSDL binding details.
+//   - Invoke: execute an operation of a located service by sending the
+//     input document to the endpoint from its WSDL binding.
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"selfserv/internal/service"
+	"selfserv/internal/soap"
+	"selfserv/internal/uddi"
+	"selfserv/internal/wsdl"
+)
+
+// Engine is a discovery engine bound to one UDDI registry endpoint.
+type Engine struct {
+	// UDDI is the registry client.
+	UDDI *uddi.Client
+	// HTTPClient is used for WSDL fetches and SOAP invocations; defaults
+	// to http.DefaultClient.
+	HTTPClient *http.Client
+
+	mu    sync.Mutex
+	wsdls map[string]*wsdl.Definition // cache by URL
+}
+
+// NewEngine returns an engine talking to the registry at registryURL
+// (the /uddi SOAP endpoint).
+func NewEngine(registryURL string) *Engine {
+	return &Engine{
+		UDDI:  &uddi.Client{URL: registryURL},
+		wsdls: map[string]*wsdl.Definition{},
+	}
+}
+
+// Registration describes one published service.
+type Registration struct {
+	BusinessKey string
+	ServiceKey  string
+	BindingKey  string
+	WSDLURL     string
+	Endpoint    string
+}
+
+// Publication is the input to Register.
+type Publication struct {
+	// Provider/business details (the Publish panel's fields).
+	ProviderName string
+	Contact      string
+	// ServiceName defaults to the provider name of the endpoint's
+	// service.
+	ServiceName string
+	Description string
+	// Endpoint is the service's SOAP access point URL.
+	Endpoint string
+	// WSDLURL is the public URL of the service's WSDL description.
+	WSDLURL string
+	// InterfaceTModel optionally tags the service with an interface
+	// fingerprint so communities can find alternative members.
+	InterfaceTModel string
+}
+
+// Register publishes a service per the paper's Publish flow. It finds or
+// creates the business entity, saves the service and its binding, and
+// optionally tags the interface tModel.
+func (e *Engine) Register(pub Publication) (*Registration, error) {
+	if pub.ProviderName == "" || pub.ServiceName == "" {
+		return nil, fmt.Errorf("discovery: registration needs provider and service names")
+	}
+	if pub.Endpoint == "" {
+		return nil, fmt.Errorf("discovery: registration needs an endpoint")
+	}
+	// Reuse an existing business with the exact name, otherwise create.
+	var businessKey string
+	existing, err := e.UDDI.FindBusiness(pub.ProviderName, uddi.MatchExact)
+	if err != nil {
+		return nil, err
+	}
+	if len(existing) > 0 {
+		businessKey = existing[0].BusinessKey
+	} else {
+		b, err := e.UDDI.SaveBusiness(uddi.BusinessEntity{
+			Name:    pub.ProviderName,
+			Contact: pub.Contact,
+		})
+		if err != nil {
+			return nil, err
+		}
+		businessKey = b.BusinessKey
+	}
+	svc, err := e.UDDI.SaveService(uddi.BusinessService{
+		BusinessKey: businessKey,
+		Name:        pub.ServiceName,
+		Description: pub.Description,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bnd, err := e.UDDI.SaveBinding(uddi.BindingTemplate{
+		ServiceKey:  svc.ServiceKey,
+		AccessPoint: pub.Endpoint,
+		WSDLURL:     pub.WSDLURL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pub.InterfaceTModel != "" {
+		// Find-or-create: alternative providers of one interface must share
+		// the same tModel so communities can enumerate them.
+		var key string
+		existing, err := e.UDDI.FindTModel(pub.InterfaceTModel, uddi.MatchExact)
+		if err != nil {
+			return nil, err
+		}
+		if len(existing) > 0 {
+			key = existing[0].TModelKey
+		} else {
+			tm, err := e.UDDI.SaveTModel(uddi.TModel{Name: pub.InterfaceTModel})
+			if err != nil {
+				return nil, err
+			}
+			key = tm.TModelKey
+		}
+		if err := e.UDDI.TagService(svc.ServiceKey, key); err != nil {
+			return nil, err
+		}
+	}
+	return &Registration{
+		BusinessKey: businessKey,
+		ServiceKey:  svc.ServiceKey,
+		BindingKey:  bnd.BindingKey,
+		WSDLURL:     pub.WSDLURL,
+		Endpoint:    pub.Endpoint,
+	}, nil
+}
+
+// Located is one search hit with resolved binding details.
+type Located struct {
+	Service  uddi.BusinessService
+	Provider uddi.BusinessEntity
+	Endpoint string
+	WSDLURL  string
+	// Definition is the fetched WSDL description, nil when no WSDL URL
+	// was published.
+	Definition *wsdl.Definition
+}
+
+// Locate searches the registry per the Search panel (by service name
+// pattern, provider, or interface) and resolves each hit's bindings and
+// WSDL. Hits without bindings are skipped: they cannot be invoked.
+func (e *Engine) Locate(q uddi.ServiceQuery) ([]Located, error) {
+	hits, err := e.UDDI.FindService(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []Located
+	for _, hit := range hits {
+		detail, err := e.UDDI.GetServiceDetail(hit.ServiceKey)
+		if err != nil {
+			return nil, err
+		}
+		provider, err := e.UDDI.GetBusinessDetail(detail.BusinessKey)
+		if err != nil {
+			return nil, err
+		}
+		bindings, err := e.UDDI.GetBindings(hit.ServiceKey)
+		if err != nil {
+			return nil, err
+		}
+		if len(bindings) == 0 {
+			continue
+		}
+		loc := Located{
+			Service:  detail,
+			Provider: provider,
+			Endpoint: bindings[0].AccessPoint,
+			WSDLURL:  bindings[0].WSDLURL,
+		}
+		if loc.WSDLURL != "" {
+			def, err := e.fetchWSDL(loc.WSDLURL)
+			if err != nil {
+				return nil, fmt.Errorf("discovery: service %q: %w", detail.Name, err)
+			}
+			loc.Definition = def
+		}
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service.Name < out[j].Service.Name })
+	return out, nil
+}
+
+// LocateOne returns the single exact-name match for a service.
+func (e *Engine) LocateOne(name string) (*Located, error) {
+	hits, err := e.Locate(uddi.ServiceQuery{NamePattern: name, Qualifier: uddi.MatchExact})
+	if err != nil {
+		return nil, err
+	}
+	if len(hits) == 0 {
+		return nil, fmt.Errorf("discovery: service %q not found", name)
+	}
+	return &hits[0], nil
+}
+
+// Invoke executes operation op of a located service with the given
+// parameters, using the binding details from its WSDL (falling back to
+// the UDDI access point when no WSDL was published).
+func (e *Engine) Invoke(ctx context.Context, loc *Located, op string, params map[string]string) (map[string]string, error) {
+	endpoint := loc.Endpoint
+	if loc.Definition != nil {
+		if loc.Definition.Operation(op) == nil {
+			return nil, fmt.Errorf("discovery: service %q has no operation %q (WSDL)", loc.Service.Name, op)
+		}
+		if loc.Definition.Endpoint != "" {
+			endpoint = loc.Definition.Endpoint
+		}
+	}
+	client := e.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := soap.Call(client, endpoint, &soap.Message{Action: op, Params: params})
+	if err != nil {
+		return nil, fmt.Errorf("discovery: invoke %s.%s: %w", loc.Service.Name, op, err)
+	}
+	return resp.Params, nil
+}
+
+// fetchWSDL downloads and caches a WSDL description.
+func (e *Engine) fetchWSDL(url string) (*wsdl.Definition, error) {
+	e.mu.Lock()
+	if def, ok := e.wsdls[url]; ok {
+		e.mu.Unlock()
+		return def, nil
+	}
+	e.mu.Unlock()
+	client := e.HTTPClient
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: fetch WSDL %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("discovery: fetch WSDL %s: HTTP %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("discovery: read WSDL %s: %w", url, err)
+	}
+	def, err := wsdl.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.wsdls[url] = def
+	e.mu.Unlock()
+	return def, nil
+}
+
+// ServiceEndpoint exposes a provider as a SOAP endpoint: one action per
+// operation. Mount it on an HTTP route to make the provider
+// "Web-accessible".
+func ServiceEndpoint(p service.Provider) http.Handler {
+	srv := soap.NewServer()
+	for _, op := range p.Operations() {
+		op := op
+		srv.Handle(op, func(params map[string]string) (map[string]string, error) {
+			resp, err := p.Invoke(context.Background(), service.Request{
+				Service:   p.Name(),
+				Operation: op,
+				Params:    params,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return resp.Outputs, nil
+		})
+	}
+	return srv
+}
+
+// WSDLEndpoint serves the provider's generated WSDL description; mount
+// it at the URL published in the registry ("placing the WSDL
+// descriptions so that they can be retrieved using public URLs").
+func WSDLEndpoint(p service.Provider, soapEndpoint string) (http.Handler, error) {
+	def := wsdl.FromProvider(p, soapEndpoint)
+	data, err := wsdl.Marshal(def)
+	if err != nil {
+		return nil, err
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+		w.Write(data)
+	}), nil
+}

@@ -1,0 +1,216 @@
+package discovery
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"selfserv/internal/service"
+	"selfserv/internal/uddi"
+)
+
+// testbed spins up a registry server plus SOAP/WSDL endpoints for the
+// given providers and returns a ready engine.
+type testbed struct {
+	engine    *Engine
+	endpoints map[string]string // provider -> SOAP URL
+	wsdlURLs  map[string]string
+}
+
+func newTestbed(t *testing.T, providers ...service.Provider) *testbed {
+	t.Helper()
+	reg := uddi.NewRegistry()
+	mux := uddi.Serve(reg, nil)
+	tb := &testbed{endpoints: map[string]string{}, wsdlURLs: map[string]string{}}
+
+	for _, p := range providers {
+		p := p
+		soapPath := "/soap/" + p.Name()
+		mux.Handle(soapPath, ServiceEndpoint(p))
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	// WSDL endpoints need the final URL, so mount them after the server
+	// exists (the mux accepts late registrations).
+	for _, p := range providers {
+		soapURL := ts.URL + "/soap/" + p.Name()
+		tb.endpoints[p.Name()] = soapURL
+		wsdlPath := "/wsdl/" + p.Name()
+		h, err := WSDLEndpoint(p, soapURL)
+		if err != nil {
+			t.Fatalf("WSDLEndpoint(%s): %v", p.Name(), err)
+		}
+		mux.Handle(wsdlPath, h)
+		tb.wsdlURLs[p.Name()] = ts.URL + wsdlPath
+	}
+	tb.engine = NewEngine(ts.URL + "/uddi")
+	return tb
+}
+
+func (tb *testbed) register(t *testing.T, providerName, svcName, iface string) *Registration {
+	t.Helper()
+	reg, err := tb.engine.Register(Publication{
+		ProviderName:    providerName,
+		ServiceName:     svcName,
+		Endpoint:        tb.endpoints[svcName],
+		WSDLURL:         tb.wsdlURLs[svcName],
+		InterfaceTModel: iface,
+	})
+	if err != nil {
+		t.Fatalf("Register(%s): %v", svcName, err)
+	}
+	return reg
+}
+
+func TestRegisterLocateInvoke(t *testing.T) {
+	dfb := service.NewDomesticFlightBooking(service.SimulatedOptions{})
+	tb := newTestbed(t, dfb)
+	reg := tb.register(t, "QF Airlines", "DomesticFlightBooking", "FlightBooking-interface")
+	if reg.ServiceKey == "" || reg.BusinessKey == "" {
+		t.Fatalf("registration = %+v", reg)
+	}
+
+	// Locate by name prefix (the Search panel flow).
+	hits, err := tb.engine.Locate(uddi.ServiceQuery{NamePattern: "Domestic"})
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	loc := hits[0]
+	if loc.Provider.Name != "QF Airlines" {
+		t.Errorf("provider = %q", loc.Provider.Name)
+	}
+	if loc.Definition == nil || loc.Definition.Operation("book") == nil {
+		t.Fatalf("WSDL not resolved: %+v", loc.Definition)
+	}
+
+	// Invoke through the WSDL binding (the Execute flow).
+	out, err := tb.engine.Invoke(context.Background(), &loc, "book", map[string]string{
+		"customer": "alice", "dest": "sydney",
+	})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if out["ref"] != "QF-ALI-SYD" {
+		t.Fatalf("ref = %q", out["ref"])
+	}
+
+	// Unknown operation is rejected against the WSDL before the call.
+	if _, err := tb.engine.Invoke(context.Background(), &loc, "teleport", nil); err == nil ||
+		!strings.Contains(err.Error(), "no operation") {
+		t.Fatalf("unknown op err = %v", err)
+	}
+}
+
+func TestRegisterReusesBusiness(t *testing.T) {
+	dfb := service.NewDomesticFlightBooking(service.SimulatedOptions{})
+	ita := service.NewInternationalTravel(service.SimulatedOptions{})
+	tb := newTestbed(t, dfb, ita)
+	r1 := tb.register(t, "QF Airlines", "DomesticFlightBooking", "")
+	r2 := tb.register(t, "QF Airlines", "InternationalTravel", "")
+	if r1.BusinessKey != r2.BusinessKey {
+		t.Fatalf("same provider got two business keys: %q vs %q", r1.BusinessKey, r2.BusinessKey)
+	}
+}
+
+func TestLocateByInterfaceTModel(t *testing.T) {
+	// Two alternative providers of the same interface: the discovery path
+	// a community uses to find members.
+	h1 := service.NewAccommodationBooking("GrandHotel", service.SimulatedOptions{})
+	h2 := service.NewAccommodationBooking("CityLodge", service.SimulatedOptions{})
+	tb := newTestbed(t, h1, h2)
+	tb.register(t, "Grand Group", "GrandHotel", "AccommodationBooking-interface")
+	tb.register(t, "Lodge Corp", "CityLodge", "AccommodationBooking-interface")
+
+	// Find both members through the interface fingerprint.
+	all, err := tb.engine.UDDI.FindBusiness("", uddi.MatchPrefix)
+	if err != nil || len(all) != 2 {
+		t.Fatalf("businesses = %v, %v", all, err)
+	}
+	tms, err := tb.engine.UDDI.FindTModel("AccommodationBooking-interface", uddi.MatchExact)
+	if err != nil || len(tms) == 0 {
+		t.Fatalf("FindTModel = %v, %v", tms, err)
+	}
+	tmHits, err := tb.engine.UDDI.FindService(uddi.ServiceQuery{TModelKey: tms[0].TModelKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmHits) != 2 {
+		t.Fatalf("interface members = %+v", tmHits)
+	}
+}
+
+func copyBody(dst *strings.Builder, resp *http.Response) (int64, error) {
+	buf := make([]byte, 32*1024)
+	var n int64
+	for {
+		m, err := resp.Body.Read(buf)
+		dst.Write(buf[:m])
+		n += int64(m)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, nil
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	tb := newTestbed(t)
+	if _, err := tb.engine.Register(Publication{ServiceName: "x", Endpoint: "http://x"}); err == nil {
+		t.Error("registration without provider accepted")
+	}
+	if _, err := tb.engine.Register(Publication{ProviderName: "p", ServiceName: "x"}); err == nil {
+		t.Error("registration without endpoint accepted")
+	}
+}
+
+func TestLocateOneMiss(t *testing.T) {
+	tb := newTestbed(t)
+	if _, err := tb.engine.LocateOne("Ghost"); err == nil {
+		t.Fatal("LocateOne found a ghost")
+	}
+}
+
+func TestInvokeServiceFaultSurfaces(t *testing.T) {
+	dfb := service.NewDomesticFlightBooking(service.SimulatedOptions{})
+	tb := newTestbed(t, dfb)
+	tb.register(t, "QF", "DomesticFlightBooking", "")
+	loc, err := tb.engine.LocateOne("DomesticFlightBooking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tokyo is not domestic: the provider returns an error that must
+	// surface as a SOAP fault.
+	_, err = tb.engine.Invoke(context.Background(), loc, "book", map[string]string{
+		"customer": "alice", "dest": "tokyo",
+	})
+	if err == nil || !strings.Contains(err.Error(), "no domestic route") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWSDLEndpointServesDocument(t *testing.T) {
+	dfb := service.NewDomesticFlightBooking(service.SimulatedOptions{})
+	h, err := WSDLEndpoint(dfb, "http://example/soap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	copyBody(&sb, resp)
+	if !strings.Contains(sb.String(), "definitions") || !strings.Contains(sb.String(), "book") {
+		t.Fatalf("wsdl = %s", sb.String())
+	}
+}

@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"selfserv/internal/message"
+	"selfserv/internal/routing"
+	"selfserv/internal/statechart"
+	"selfserv/internal/transport"
+)
+
+// Central is the baseline the paper argues against: a hub orchestrator
+// that keeps ALL control flow on one node. It interprets the same routing
+// plan as the peer-to-peer fabric, but every state firing becomes a
+// remote invocation round trip (TypeInvoke/TypeResult) through the hub,
+// and every routing decision is taken centrally. Used as the comparator
+// in experiments E3 and E7.
+//
+// Independent states still execute concurrently (the hub is an
+// orchestrator, not a serializer), so wall-clock comparisons against the
+// P2P engine isolate coordination cost, not artificial sequentialization.
+type Central struct {
+	net   transport.Network
+	ep    transport.Endpoint
+	dir   *Directory
+	plan  *routing.Plan
+	funcs Funcs
+
+	seq atomic.Int64
+
+	mu      sync.Mutex
+	pending map[string]chan *message.Message
+}
+
+// NewCentral deploys a central orchestrator for plan, listening on addr
+// for invocation replies. The plan's states must already be installed on
+// hosts (so the directory knows where each component service lives).
+func NewCentral(net transport.Network, addr string, dir *Directory, plan *routing.Plan, funcs Funcs) (*Central, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Central{
+		net:     net,
+		dir:     dir,
+		plan:    plan,
+		funcs:   funcs,
+		pending: map[string]chan *message.Message{},
+	}
+	ep, err := net.Listen(addr, c.handle)
+	if err != nil {
+		return nil, fmt.Errorf("engine: central listen: %w", err)
+	}
+	c.ep = ep
+	return c, nil
+}
+
+// Addr returns the orchestrator's transport address.
+func (c *Central) Addr() string { return c.ep.Addr() }
+
+// Close unregisters the orchestrator.
+func (c *Central) Close() error { return c.ep.Close() }
+
+// handle routes invocation replies to their waiting goroutine.
+func (c *Central) handle(_ context.Context, m *message.Message) {
+	if m.Type != message.TypeResult {
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[m.Instance]
+	delete(c.pending, m.Instance)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- m
+	}
+}
+
+// stateResult reports one completed remote invocation to the event loop.
+type stateResult struct {
+	state   string
+	outputs map[string]string
+	err     error
+}
+
+// centralRun is the marking of one instance inside the hub.
+type centralRun struct {
+	vars     map[string]string
+	received map[string]map[string]int // state -> source -> pending count
+	done     map[string]int            // wrapper-bound termination notices
+	inflight int
+	results  chan stateResult
+}
+
+// Execute runs one instance of the composite through the hub and returns
+// the final bag restricted to declared inputs+outputs.
+func (c *Central) Execute(ctx context.Context, inputs map[string]string) (map[string]string, error) {
+	run := &centralRun{
+		vars:     map[string]string{},
+		received: map[string]map[string]int{},
+		done:     map[string]int{},
+		results:  make(chan stateResult, len(c.plan.Tables)+1),
+	}
+	for k, v := range inputs {
+		run.vars[k] = v
+	}
+	instance := "c" + strconv.FormatInt(c.seq.Add(1), 10)
+
+	// Start phase: hub evaluates entry guards (it is the wrapper here).
+	started := 0
+	for _, target := range c.plan.Start {
+		ok, err := c.funcs.evalCondition(target.Condition, run.vars)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if err := c.applyAssignments(run, target.Actions); err != nil {
+			return nil, err
+		}
+		c.notify(run, message.WrapperID, target.To)
+		started++
+	}
+	if started == 0 {
+		return nil, fmt.Errorf("engine: composite %q: no start condition matched the request", c.plan.Composite)
+	}
+	if err := c.fireEnabled(ctx, instance, run); err != nil {
+		return nil, err
+	}
+
+	// Event loop: process invocation completions until a finish clause
+	// holds or the instance stalls.
+	for {
+		if c.finishSatisfied(run) {
+			return c.projectOutputs(run.vars), nil
+		}
+		if run.inflight == 0 {
+			return nil, fmt.Errorf("engine: composite %q instance %s stalled: no enabled state and no pending invocation", c.plan.Composite, instance)
+		}
+		select {
+		case res := <-run.results:
+			run.inflight--
+			if res.err != nil {
+				return nil, fmt.Errorf("%w: state %s: %v", ErrInstanceFault, res.state, res.err)
+			}
+			tbl := c.plan.Tables[res.state]
+			bindOutputs(tbl.Outputs, res.outputs, run.vars)
+			if err := c.postprocess(run, tbl); err != nil {
+				return nil, err
+			}
+			if err := c.fireEnabled(ctx, instance, run); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("engine: composite %q instance %s: %w", c.plan.Composite, instance, ctx.Err())
+		}
+	}
+}
+
+// notify records a control notification in the hub's marking. (No network
+// message: this is exactly the centralization being measured — routing
+// decisions are local to the hub.)
+func (c *Central) notify(run *centralRun, from, to string) {
+	if to == message.WrapperID {
+		run.done[from]++
+		return
+	}
+	bySrc, ok := run.received[to]
+	if !ok {
+		bySrc = map[string]int{}
+		run.received[to] = bySrc
+	}
+	bySrc[from]++
+}
+
+// postprocess evaluates a completed state's postprocessing targets on the
+// hub's global bag.
+func (c *Central) postprocess(run *centralRun, tbl *routing.Table) error {
+	for _, target := range tbl.Postprocessings {
+		ok, err := c.funcs.evalCondition(target.Condition, run.vars)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := c.applyAssignments(run, target.Actions); err != nil {
+			return err
+		}
+		c.notify(run, tbl.State, target.To)
+	}
+	return nil
+}
+
+// applyAssignments applies ECA actions to the hub's global bag.
+func (c *Central) applyAssignments(run *centralRun, actions []statechart.Assignment) error {
+	if len(actions) == 0 {
+		return nil
+	}
+	var al actionList
+	for _, a := range actions {
+		al = append(al, assignment{Var: a.Var, Expr: a.Expr})
+	}
+	merged, err := c.funcs.applyActions([]actionList{al}, run.vars)
+	if err != nil {
+		return err
+	}
+	run.vars = merged
+	return nil
+}
+
+// fireEnabled launches remote invocations for every state whose
+// precondition now holds.
+func (c *Central) fireEnabled(ctx context.Context, instance string, run *centralRun) error {
+	for state, bySrc := range run.received {
+		tbl := c.plan.Tables[state]
+		if tbl == nil {
+			return fmt.Errorf("engine: notification for unknown state %q", state)
+		}
+	clauses:
+		for _, clause := range tbl.Covered(bySrc) {
+			ok, err := c.funcs.evalCondition(clause.Condition, run.vars)
+			if err != nil {
+				if isUndefinedVar(err) {
+					continue clauses
+				}
+				return err
+			}
+			if !ok {
+				continue
+			}
+			for _, src := range clause.Sources {
+				bySrc[src]--
+				if bySrc[src] <= 0 {
+					delete(bySrc, src)
+				}
+			}
+			if err := c.applyAssignments(run, clause.Actions); err != nil {
+				return err
+			}
+			params, err := bindInputs(c.funcs, tbl.Inputs, run.vars)
+			if err != nil {
+				return err
+			}
+			run.inflight++
+			go c.invokeRemote(ctx, instance, tbl, params, run.results)
+			break // one firing per state per round; loop re-checks later
+		}
+	}
+	return nil
+}
+
+// invokeRemote performs one TypeInvoke/TypeResult round trip to the host
+// owning the state's service.
+func (c *Central) invokeRemote(ctx context.Context, instance string, tbl *routing.Table, params map[string]string, results chan<- stateResult) {
+	addr, found := c.dir.Lookup(c.plan.Composite, tbl.State)
+	if !found {
+		results <- stateResult{state: tbl.State, err: fmt.Errorf("state %q is not deployed", tbl.State)}
+		return
+	}
+	token := instance + "/" + tbl.State + "/" + strconv.FormatInt(c.seq.Add(1), 10)
+	ch := make(chan *message.Message, 1)
+	c.mu.Lock()
+	c.pending[token] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, token)
+		c.mu.Unlock()
+	}()
+
+	m := &message.Message{
+		Type:      message.TypeInvoke,
+		Composite: c.plan.Composite,
+		Instance:  token,
+		From:      "central",
+		To:        tbl.Service + "/" + tbl.Operation,
+		ReplyTo:   c.Addr(),
+		Vars:      params,
+	}
+	sendCtx := transport.WithSender(ctx, c.Addr())
+	if err := c.net.Send(sendCtx, addr, m); err != nil {
+		results <- stateResult{state: tbl.State, err: err}
+		return
+	}
+	select {
+	case reply := <-ch:
+		if reply.Error != "" {
+			results <- stateResult{state: tbl.State, err: fmt.Errorf("%s", reply.Error)}
+			return
+		}
+		results <- stateResult{state: tbl.State, outputs: reply.Vars}
+	case <-ctx.Done():
+		results <- stateResult{state: tbl.State, err: ctx.Err()}
+	}
+}
+
+// finishSatisfied checks the plan's finish clauses against collected
+// termination notices.
+func (c *Central) finishSatisfied(run *centralRun) bool {
+	for _, clause := range c.plan.Finish {
+		all := true
+		for _, src := range clause.Sources {
+			if run.done[src] <= 0 {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		ok, err := c.funcs.evalCondition(clause.Condition, run.vars)
+		if err != nil || !ok {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// projectOutputs mirrors Wrapper.projectOutputs.
+func (c *Central) projectOutputs(vars map[string]string) map[string]string {
+	if len(c.plan.Outputs) == 0 {
+		out := make(map[string]string, len(vars))
+		for k, v := range vars {
+			out[k] = v
+		}
+		return out
+	}
+	out := map[string]string{}
+	for _, p := range c.plan.Inputs {
+		if v, ok := vars[p.Name]; ok {
+			out[p.Name] = v
+		}
+	}
+	for _, p := range c.plan.Outputs {
+		if v, ok := vars[p.Name]; ok {
+			out[p.Name] = v
+		}
+	}
+	return out
+}

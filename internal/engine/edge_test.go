@@ -1,0 +1,192 @@
+package engine_test
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selfserv/internal/engine"
+	"selfserv/internal/message"
+	"selfserv/internal/service"
+	"selfserv/internal/transport"
+	"selfserv/internal/workload"
+)
+
+// TestHostIgnoresUnknownCoordinator: a notification for a state that is
+// not installed must be dropped without crashing the host.
+func TestHostIgnoresUnknownCoordinator(t *testing.T) {
+	reg := service.NewRegistry()
+	net := transport.NewInMem(transport.InMemOptions{Synchronous: true})
+	defer net.Close()
+	dir := engine.NewDirectory()
+	var logged atomic.Int64
+	h, err := engine.NewHost(net, "h1", reg, dir, engine.HostOptions{
+		Logf: func(string, ...any) { logged.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	err = net.Send(context.Background(), "h1", &message.Message{
+		Type: message.TypeNotify, Composite: "ghost", To: "nowhere", From: "a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if logged.Load() == 0 {
+		t.Fatal("unknown coordinator message was not logged")
+	}
+}
+
+// TestHostInvokeEndpoint exercises the remote-invocation surface directly
+// (the path the central baseline uses).
+func TestHostInvokeEndpoint(t *testing.T) {
+	reg := service.NewRegistry()
+	echo := service.NewSimulated("Echo", service.SimulatedOptions{}).Echo("op")
+	reg.Register(echo)
+	net := transport.NewInMem(transport.InMemOptions{})
+	defer net.Close()
+	dir := engine.NewDirectory()
+	h, err := engine.NewHost(net, "h1", reg, dir, engine.HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	replies := make(chan *message.Message, 1)
+	_, err = net.Listen("caller", func(_ context.Context, m *message.Message) { replies <- m })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(to string) *message.Message {
+		t.Helper()
+		err := net.Send(context.Background(), "h1", &message.Message{
+			Type: message.TypeInvoke, Instance: "tok1", To: to,
+			ReplyTo: "caller", Vars: map[string]string{"k": "v"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case m := <-replies:
+			return m
+		case <-time.After(5 * time.Second):
+			t.Fatal("no reply")
+			return nil
+		}
+	}
+
+	if m := send("Echo/op"); m.Error != "" || m.Vars["k"] != "v" || m.Instance != "tok1" {
+		t.Fatalf("reply = %+v", m)
+	}
+	if m := send("Echo/none"); m.Error == "" {
+		t.Fatal("unknown operation did not error")
+	}
+	if m := send("Ghost/op"); m.Error == "" {
+		t.Fatal("unknown service did not error")
+	}
+	if m := send("malformed"); m.Error == "" || !strings.Contains(m.Error, "malformed") {
+		t.Fatalf("malformed target reply = %+v", m)
+	}
+}
+
+// TestWrapperDropsForeignAndLateMessages: messages for other composites or
+// finished/unknown instances must be ignored.
+func TestWrapperDropsForeignAndLateMessages(t *testing.T) {
+	reg := service.NewRegistry()
+	workload.RegisterChainProviders(reg, 1, service.SimulatedOptions{})
+	f := buildFabric(t, workload.Chain(1), reg, nil)
+
+	// Normal run to learn the wrapper address works.
+	out, err := f.wrapper.Execute(ctxWithTimeout(t), map[string]string{"x": "0"})
+	if err != nil || out["x"] != "1" {
+		t.Fatalf("run: %v %v", out, err)
+	}
+	wAddr := f.wrapper.Addr()
+	// Foreign composite.
+	if err := f.net.Send(context.Background(), wAddr, &message.Message{
+		Type: message.TypeDone, Composite: "Other", Instance: "i1", From: "s1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Late done for a finished instance.
+	if err := f.net.Send(context.Background(), wAddr, &message.Message{
+		Type: message.TypeDone, Composite: "Chain1", Instance: "i1", From: "s1",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Fault for unknown instance.
+	if err := f.net.Send(context.Background(), wAddr, &message.Message{
+		Type: message.TypeFault, Composite: "Chain1", Instance: "zzz", From: "s1", Error: "boom",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The wrapper still works afterwards.
+	out, err = f.wrapper.Execute(ctxWithTimeout(t), map[string]string{"x": "5"})
+	if err != nil || out["x"] != "6" {
+		t.Fatalf("post-noise run: %v %v", out, err)
+	}
+}
+
+// TestCentralStallsOnEventChart: the central baseline does not implement
+// ECA events, so an event-gated chart must stall with a diagnostic rather
+// than hang.
+func TestCentralStallsOnEventChart(t *testing.T) {
+	f := eventFabric(t, "")
+	central, err := engine.NewCentral(f.net, "central", f.dir, f.plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	_, err = central.Execute(ctxWithTimeout(t), map[string]string{"item": "x"})
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want stall diagnostic", err)
+	}
+}
+
+// TestP2PUnderLossyNetworkEventuallyFailsCleanly: with heavy loss the
+// execution may hang awaiting a dropped message; the wrapper must respect
+// the context deadline and return its error rather than block forever.
+func TestP2PUnderLossyNetworkEventuallyFailsCleanly(t *testing.T) {
+	reg := service.NewRegistry()
+	workload.RegisterChainProviders(reg, 4, service.SimulatedOptions{})
+	net := transport.NewInMem(transport.InMemOptions{DropRate: 0.8, Seed: 3})
+	defer net.Close()
+	f := buildFabricOn(t, net, workload.Chain(4), reg, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.wrapper.Execute(ctx, map[string]string{"x": "0"})
+	if err == nil {
+		t.Skip("execution survived 80% loss; nothing to assert")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not honoured")
+	}
+}
+
+// TestDirectory exercises the peer directory API.
+func TestDirectory(t *testing.T) {
+	d := engine.NewDirectory()
+	if _, ok := d.Lookup("C", "s1"); ok {
+		t.Fatal("empty directory resolved something")
+	}
+	d.Set("C", "s1", "addr1")
+	d.Set("C", "s2", "addr2")
+	d.Set("D", "s1", "other")
+	if addr, ok := d.Lookup("C", "s1"); !ok || addr != "addr1" {
+		t.Fatalf("Lookup = %q %v", addr, ok)
+	}
+	peers := d.Peers("C")
+	if len(peers) != 2 || peers["s2"] != "addr2" {
+		t.Fatalf("Peers = %v", peers)
+	}
+	// Peers returns a copy.
+	peers["s1"] = "mutated"
+	if addr, _ := d.Lookup("C", "s1"); addr != "addr1" {
+		t.Fatal("Peers exposed internal state")
+	}
+}

@@ -1,0 +1,151 @@
+// Package engine executes composite services. It provides the paper's
+// peer-to-peer provisioning model — state coordinators co-located with
+// their component services, exchanging notifications according to
+// precompiled routing tables — plus a centralized baseline orchestrator
+// (the architecture the paper argues against) used as the comparator in
+// experiments E3/E7.
+//
+// The pieces:
+//
+//   - Host (host.go): runs the coordinators of the states whose services
+//     live on that node, and answers remote invocation requests.
+//   - Wrapper (wrapper.go): the composite service's client-facing shim;
+//     starts instances and collects termination notices.
+//   - Central (central.go): the baseline hub orchestrator that keeps all
+//     control flow on one node.
+//
+// All components speak the message vocabulary of package message over any
+// transport.Network, so the same code runs in-process (tests, benchmarks)
+// and over TCP (examples, cmd/hostd).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"selfserv/internal/expr"
+	"selfserv/internal/message"
+)
+
+// ErrInstanceFault reports that a composite execution failed; the cause
+// is in the message carried by the fault.
+var ErrInstanceFault = errors.New("engine: instance fault")
+
+// ErrUnknownComposite reports a start request for an undeployed service.
+var ErrUnknownComposite = errors.New("engine: unknown composite")
+
+// Directory maps (composite, peer ID) to the transport address hosting
+// that peer. Peer IDs are state IDs plus message.WrapperID. It is the
+// runtime equivalent of the "location" column the paper stores in routing
+// tables; the deployer fills it during deployment.
+type Directory struct {
+	mu    sync.RWMutex
+	addrs map[string]map[string]string
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{addrs: map[string]map[string]string{}}
+}
+
+// Set records that peer id of composite lives at addr.
+func (d *Directory) Set(composite, id, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byID, ok := d.addrs[composite]
+	if !ok {
+		byID = map[string]string{}
+		d.addrs[composite] = byID
+	}
+	byID[id] = addr
+}
+
+// Lookup resolves the address of peer id within composite.
+func (d *Directory) Lookup(composite, id string) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	addr, ok := d.addrs[composite][id]
+	return addr, ok
+}
+
+// Peers returns a copy of the peer->address map for composite.
+func (d *Directory) Peers(composite string) map[string]string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[string]string, len(d.addrs[composite]))
+	for id, addr := range d.addrs[composite] {
+		out[id] = addr
+	}
+	return out
+}
+
+// Funcs is a registry of guard functions (e.g. the travel scenario's
+// domestic(...) and near(...)) made available to every condition
+// evaluation. Both coordinators (postprocessing) and wrappers (start
+// conditions) use it.
+type Funcs map[string]expr.Func
+
+// env builds the evaluation environment for one instance's variable bag.
+func (f Funcs) env(vars map[string]string) expr.Env {
+	e := expr.NewMapEnv()
+	for k, v := range vars {
+		e.BindText(k, v)
+	}
+	for name, fn := range f {
+		e.BindFunc(name, fn)
+	}
+	return e
+}
+
+// evalCondition evaluates a guard against vars; the empty guard is true.
+func (f Funcs) evalCondition(cond string, vars map[string]string) (bool, error) {
+	if cond == "" {
+		return true, nil
+	}
+	ok, err := expr.EvalBool(cond, f.env(vars))
+	if err != nil {
+		return false, fmt.Errorf("engine: condition %q: %w", cond, err)
+	}
+	return ok, nil
+}
+
+// applyActions evaluates assignments against vars and returns a NEW bag
+// with the results merged (the input map is never mutated).
+func (f Funcs) applyActions(actions []actionList, vars map[string]string) (map[string]string, error) {
+	out := make(map[string]string, len(vars)+2)
+	for k, v := range vars {
+		out[k] = v
+	}
+	for _, as := range actions {
+		for _, a := range as {
+			v, err := expr.Eval(a.Expr, f.env(out))
+			if err != nil {
+				return nil, fmt.Errorf("engine: action %s := %s: %w", a.Var, a.Expr, err)
+			}
+			out[a.Var] = v.Text()
+		}
+	}
+	return out, nil
+}
+
+// actionList is a slice of assignments (routing.Target.Actions shape,
+// kept local to avoid importing routing here).
+type actionList []assignment
+
+type assignment struct {
+	Var  string
+	Expr string
+}
+
+// fault constructs a fault message for an instance.
+func fault(composite, instance, from string, err error) *message.Message {
+	return &message.Message{
+		Type:      message.TypeFault,
+		Composite: composite,
+		Instance:  instance,
+		From:      from,
+		To:        message.WrapperID,
+		Error:     err.Error(),
+	}
+}

@@ -1,0 +1,234 @@
+package engine_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"selfserv/internal/routing"
+	"selfserv/internal/service"
+	"selfserv/internal/statechart"
+	"selfserv/internal/workload"
+)
+
+// eventChart: quote -> [on confirm] purchase -> end. The purchase step
+// waits for both the quote's completion AND the user's "confirm" event,
+// whose payload carries the approval limit used in the guard.
+func eventChart(guard string) *statechart.Statechart {
+	return &statechart.Statechart{
+		Name:    "Purchasing",
+		Inputs:  []statechart.Param{{Name: "item", Type: "string"}},
+		Outputs: []statechart.Param{{Name: "order", Type: "string"}},
+		Root: &statechart.State{
+			ID: "root", Kind: statechart.KindCompound,
+			Children: []*statechart.State{
+				{ID: "i", Kind: statechart.KindInitial},
+				{ID: "quote", Kind: statechart.KindBasic, Service: "Quoter", Operation: "quote",
+					Inputs:  []statechart.Binding{{Param: "item", Var: "item"}},
+					Outputs: []statechart.Binding{{Param: "price", Var: "price"}}},
+				{ID: "purchase", Kind: statechart.KindBasic, Service: "Purchaser", Operation: "buy",
+					Inputs:  []statechart.Binding{{Param: "item", Var: "item"}},
+					Outputs: []statechart.Binding{{Param: "order", Var: "order"}}},
+				{ID: "f", Kind: statechart.KindFinal},
+			},
+			Transitions: []statechart.Transition{
+				{From: "i", To: "quote"},
+				{From: "quote", To: "purchase", Event: "confirm", Condition: guard},
+				{From: "purchase", To: "f"},
+			},
+		},
+	}
+}
+
+func eventFabric(t *testing.T, guard string) *fabric {
+	t.Helper()
+	reg := service.NewRegistry()
+	quoter := service.NewSimulated("Quoter", service.SimulatedOptions{})
+	quoter.Handle("quote", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		return map[string]string{"price": "120"}, nil
+	})
+	reg.Register(quoter)
+	purchaser := service.NewSimulated("Purchaser", service.SimulatedOptions{})
+	purchaser.Handle("buy", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		return map[string]string{"order": "ORD-" + p["item"]}, nil
+	})
+	reg.Register(purchaser)
+	return buildFabric(t, eventChart(guard), reg, nil)
+}
+
+func TestEventGatesTransition(t *testing.T) {
+	f := eventFabric(t, "")
+	ctx := ctxWithTimeout(t)
+
+	done := make(chan map[string]string, 1)
+	errs := make(chan error, 1)
+	go func() {
+		out, err := f.wrapper.ExecuteInstance(ctx, "ev1", map[string]string{"item": "widget"})
+		if err != nil {
+			errs <- err
+			return
+		}
+		done <- out
+	}()
+
+	// Without the event, the instance must NOT complete.
+	select {
+	case out := <-done:
+		t.Fatalf("completed without the confirm event: %v", out)
+	case err := <-errs:
+		t.Fatalf("failed early: %v", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	if err := f.wrapper.RaiseEvent(ctx, "ev1", "confirm", map[string]string{"approver": "boss"}); err != nil {
+		t.Fatalf("RaiseEvent: %v", err)
+	}
+	select {
+	case out := <-done:
+		if out["order"] != "ORD-widget" {
+			t.Fatalf("out = %v", out)
+		}
+	case err := <-errs:
+		t.Fatalf("execution failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("instance did not complete after the event")
+	}
+}
+
+func TestEventBeforeCompletionAlsoFires(t *testing.T) {
+	// Raising the event before the source state finishes must work too:
+	// the clause counts pending notifications regardless of order.
+	reg := service.NewRegistry()
+	quoter := service.NewSimulated("Quoter", service.SimulatedOptions{BaseLatency: 100 * time.Millisecond})
+	quoter.Handle("quote", func(context.Context, map[string]string) (map[string]string, error) {
+		return map[string]string{"price": "9"}, nil
+	})
+	reg.Register(quoter)
+	purchaser := service.NewSimulated("Purchaser", service.SimulatedOptions{})
+	purchaser.Handle("buy", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		return map[string]string{"order": "OK"}, nil
+	})
+	reg.Register(purchaser)
+	f := buildFabric(t, eventChart(""), reg, nil)
+	ctx := ctxWithTimeout(t)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.wrapper.ExecuteInstance(ctx, "early", map[string]string{"item": "x"})
+		done <- err
+	}()
+	// Quote takes 100ms; raise immediately.
+	time.Sleep(10 * time.Millisecond)
+	if err := f.wrapper.RaiseEvent(ctx, "early", "confirm", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("execution: %v", err)
+	}
+}
+
+func TestEventPayloadGuard(t *testing.T) {
+	// The guard references both the quote output and the event payload:
+	// price <= limit. A too-low limit must keep the instance waiting; a
+	// second confirm with a higher limit releases it.
+	f := eventFabric(t, "price <= limit")
+	ctx := ctxWithTimeout(t)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.wrapper.ExecuteInstance(ctx, "pay1", map[string]string{"item": "gold"})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// price is 120; limit 100 fails the guard -> still waiting.
+	if err := f.wrapper.RaiseEvent(ctx, "pay1", "confirm", map[string]string{"limit": "100"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("completed despite failing guard: %v", err)
+	case <-time.After(150 * time.Millisecond):
+	}
+	// A new confirm with limit 200 satisfies the guard.
+	if err := f.wrapper.RaiseEvent(ctx, "pay1", "confirm", map[string]string{"limit": "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("execution: %v", err)
+	}
+}
+
+func TestEventPlanShape(t *testing.T) {
+	plan, err := routing.Generate(eventChart("price <= limit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs := plan.Events(); len(evs) != 1 || evs[0] != "confirm" {
+		t.Fatalf("Events = %v", evs)
+	}
+	if subs := plan.EventSubscribers("confirm"); len(subs) != 1 || subs[0] != "purchase" {
+		t.Fatalf("Subscribers = %v", subs)
+	}
+	if subs := plan.EventSubscribers("ghost"); len(subs) != 0 {
+		t.Fatalf("ghost subscribers = %v", subs)
+	}
+	// The purchase clause requires both quote and the event, with the
+	// guard receiver-side.
+	pre := plan.Tables["purchase"].Preconditions
+	if len(pre) != 1 {
+		t.Fatalf("preconditions = %+v", pre)
+	}
+	c := pre[0]
+	if len(c.Sources) != 2 || c.Condition != "price <= limit" {
+		t.Fatalf("clause = %+v", c)
+	}
+	found := false
+	for _, s := range c.Sources {
+		if s == routing.EventSource("confirm") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("clause sources = %v", c.Sources)
+	}
+	// The quote's postprocessing is unconditional (guard moved).
+	for _, tgt := range plan.Tables["quote"].Postprocessings {
+		if tgt.Condition != "" {
+			t.Fatalf("quote postprocessing = %+v", tgt)
+		}
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	t.Run("bad event name", func(t *testing.T) {
+		sc := eventChart("")
+		sc.Root.Transitions[1].Event = "has space"
+		if err := statechart.Validate(sc); err == nil || !strings.Contains(err.Error(), "malformed event name") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("event on initial transition", func(t *testing.T) {
+		sc := eventChart("")
+		sc.Root.Transitions[0].Event = "go"
+		if err := statechart.Validate(sc); err == nil || !strings.Contains(err.Error(), "initial transitions") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("event into final", func(t *testing.T) {
+		sc := eventChart("")
+		sc.Root.Transitions[2].Event = "finish"
+		if err := statechart.Validate(sc); err == nil || !strings.Contains(err.Error(), "final state") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestRaiseEventUnknownSubscriberIsNoop(t *testing.T) {
+	f := travelFabric(t)
+	// TravelPlanner has no events; raising one is a harmless no-op.
+	if err := f.wrapper.RaiseEvent(context.Background(), "none", "ghost", nil); err != nil {
+		t.Fatalf("RaiseEvent: %v", err)
+	}
+	_ = workload.Travel
+}

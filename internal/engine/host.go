@@ -1,0 +1,433 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"selfserv/internal/expr"
+	"selfserv/internal/message"
+	"selfserv/internal/routing"
+	"selfserv/internal/service"
+	"selfserv/internal/statechart"
+	"selfserv/internal/transport"
+)
+
+// HostOptions configure a Host.
+type HostOptions struct {
+	// Funcs are the guard functions available to condition evaluation.
+	Funcs Funcs
+	// MaxInstancesPerState bounds per-coordinator instance bookkeeping;
+	// the oldest instances are evicted beyond it. Zero means 16384.
+	MaxInstancesPerState int
+	// Logf, when set, receives coordinator trace lines (tests and the
+	// hostd binary use it; benchmarks leave it nil).
+	Logf func(format string, args ...any)
+}
+
+// Host is one node of the peer-to-peer execution fabric. It runs the
+// coordinators of every state deployed to it (states whose component
+// service lives on this node) and answers remote TypeInvoke requests
+// (used by the centralized baseline and by remote wrappers).
+type Host struct {
+	net      transport.Network
+	ep       transport.Endpoint
+	registry *service.Registry
+	dir      *Directory
+	opts     HostOptions
+
+	mu     sync.RWMutex
+	coords map[string]*coordinator // key: composite + "\x00" + stateID
+}
+
+// NewHost creates a host listening on addr over net, executing services
+// out of registry and resolving peers through dir.
+func NewHost(net transport.Network, addr string, registry *service.Registry, dir *Directory, opts HostOptions) (*Host, error) {
+	if opts.MaxInstancesPerState <= 0 {
+		opts.MaxInstancesPerState = 16384
+	}
+	h := &Host{
+		net:      net,
+		registry: registry,
+		dir:      dir,
+		opts:     opts,
+		coords:   map[string]*coordinator{},
+	}
+	ep, err := net.Listen(addr, h.handle)
+	if err != nil {
+		return nil, fmt.Errorf("engine: host listen: %w", err)
+	}
+	h.ep = ep
+	return h, nil
+}
+
+// Addr returns the host's transport address.
+func (h *Host) Addr() string { return h.ep.Addr() }
+
+// Close unregisters the host from the network.
+func (h *Host) Close() error { return h.ep.Close() }
+
+// Install deploys one state's routing table onto this host — the moment
+// the paper describes as the deployer "uploading these tables into the
+// hosts of the corresponding component services". The host registers the
+// state's coordinator and records its own address in the directory.
+func (h *Host) Install(composite string, table *routing.Table) error {
+	if table == nil {
+		return fmt.Errorf("engine: nil table")
+	}
+	if _, err := h.registry.Lookup(table.Service); err != nil {
+		return fmt.Errorf("engine: install %s/%s: %w", composite, table.State, err)
+	}
+	c := &coordinator{
+		host:      h,
+		composite: composite,
+		table:     table,
+		instances: map[string]*coordInstance{},
+	}
+	h.mu.Lock()
+	h.coords[coordKey(composite, table.State)] = c
+	h.mu.Unlock()
+	h.dir.Set(composite, table.State, h.Addr())
+	return nil
+}
+
+// Uninstall removes a state's coordinator (service retirement).
+func (h *Host) Uninstall(composite, stateID string) {
+	h.mu.Lock()
+	delete(h.coords, coordKey(composite, stateID))
+	h.mu.Unlock()
+}
+
+// States returns the state IDs deployed on this host for composite.
+func (h *Host) States(composite string) []string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []string
+	prefix := composite + "\x00"
+	for k := range h.coords {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, strings.TrimPrefix(k, prefix))
+		}
+	}
+	return out
+}
+
+func coordKey(composite, stateID string) string { return composite + "\x00" + stateID }
+
+// handle is the host's transport handler.
+func (h *Host) handle(ctx context.Context, m *message.Message) {
+	switch m.Type {
+	case message.TypeStart, message.TypeNotify:
+		h.mu.RLock()
+		c := h.coords[coordKey(m.Composite, m.To)]
+		h.mu.RUnlock()
+		if c == nil {
+			h.logf("host %s: no coordinator for %s/%s", h.Addr(), m.Composite, m.To)
+			return
+		}
+		c.onNotification(ctx, m)
+	case message.TypeInvoke:
+		h.serveInvoke(ctx, m)
+	default:
+		h.logf("host %s: unexpected message %s", h.Addr(), m)
+	}
+}
+
+// serveInvoke executes a remote invocation request ("service/operation"
+// in To) and replies with a TypeResult to m.ReplyTo.
+func (h *Host) serveInvoke(ctx context.Context, m *message.Message) {
+	reply := &message.Message{
+		Type:      message.TypeResult,
+		Composite: m.Composite,
+		Instance:  m.Instance,
+		From:      m.To,
+	}
+	svc, op, ok := strings.Cut(m.To, "/")
+	if !ok {
+		reply.Error = fmt.Sprintf("engine: malformed invoke target %q", m.To)
+	} else {
+		resp, err := h.registry.Invoke(ctx, service.Request{Service: svc, Operation: op, Params: m.Vars})
+		if err != nil {
+			reply.Error = err.Error()
+		} else {
+			reply.Vars = resp.Outputs
+		}
+	}
+	if m.ReplyTo == "" {
+		h.logf("host %s: invoke without replyTo", h.Addr())
+		return
+	}
+	sendCtx := transport.WithSender(ctx, h.Addr())
+	if err := h.net.Send(sendCtx, m.ReplyTo, reply); err != nil {
+		h.logf("host %s: reply to %s failed: %v", h.Addr(), m.ReplyTo, err)
+	}
+}
+
+func (h *Host) logf(format string, args ...any) {
+	if h.opts.Logf != nil {
+		h.opts.Logf(format, args...)
+	}
+}
+
+// coordinator is the peer software component attached to one state of a
+// composite service (§2). It interprets its routing table: collect
+// notifications until a precondition clause is satisfied, invoke the
+// local component service, then run postprocessing.
+type coordinator struct {
+	host      *Host
+	composite string
+	table     *routing.Table
+
+	mu        sync.Mutex
+	instances map[string]*coordInstance
+	order     []string // instance IDs in arrival order, for eviction
+}
+
+// coordInstance is the per-execution bookkeeping of one coordinator.
+type coordInstance struct {
+	received map[string]int // source -> pending notification count
+	vars     map[string]string
+	running  bool // an invocation is in flight; new clause checks wait
+}
+
+func (c *coordinator) instance(id string) *coordInstance {
+	inst, ok := c.instances[id]
+	if !ok {
+		inst = &coordInstance{received: map[string]int{}, vars: map[string]string{}}
+		c.instances[id] = inst
+		c.order = append(c.order, id)
+		if len(c.order) > c.host.opts.MaxInstancesPerState {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.instances, evict)
+		}
+	}
+	return inst
+}
+
+// onNotification processes a start/notify message for one instance.
+func (c *coordinator) onNotification(ctx context.Context, m *message.Message) {
+	c.mu.Lock()
+	inst := c.instance(m.Instance)
+	for k, v := range m.Vars {
+		inst.vars[k] = v
+	}
+	inst.received[m.From]++
+	c.maybeFireLocked(ctx, m.Instance, inst)
+	c.mu.Unlock()
+}
+
+// maybeFireLocked checks precondition clauses and launches the service
+// invocation when one is satisfied: all of its sources have pending
+// notifications AND its receiver-side condition (if any) holds on the
+// merged variable bag. Clauses whose condition evaluates false keep their
+// notifications pending — a later notification may change the bag (or
+// satisfy an alternative clause). Caller holds c.mu.
+func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, inst *coordInstance) {
+	if inst.running {
+		return
+	}
+	funcs := c.host.opts.Funcs
+	for _, clause := range c.table.Covered(inst.received) {
+		ok, err := funcs.evalCondition(clause.Condition, inst.vars)
+		if err != nil {
+			// A receiver-side guard referencing still-missing variables is
+			// not an error: the bag may complete later. Anything else is.
+			if isUndefinedVar(err) {
+				continue
+			}
+			go c.sendFault(transport.WithSender(ctx, c.host.Addr()), instanceID, err)
+			return
+		}
+		if !ok {
+			continue
+		}
+		// Consume the notifications of the matched clause so loops re-arm.
+		for _, src := range clause.Sources {
+			inst.received[src]--
+			if inst.received[src] <= 0 {
+				delete(inst.received, src)
+			}
+		}
+		vars := inst.vars
+		if len(clause.Actions) > 0 {
+			var al actionList
+			for _, a := range clause.Actions {
+				al = append(al, assignment{Var: a.Var, Expr: a.Expr})
+			}
+			merged, err := funcs.applyActions([]actionList{al}, vars)
+			if err != nil {
+				go c.sendFault(transport.WithSender(ctx, c.host.Addr()), instanceID, err)
+				return
+			}
+			inst.vars = merged
+			vars = merged
+		}
+		inst.running = true
+		snapshot := make(map[string]string, len(vars))
+		for k, v := range vars {
+			snapshot[k] = v
+		}
+		go c.fire(ctx, instanceID, snapshot)
+		return
+	}
+}
+
+// isUndefinedVar reports whether err stems from an undefined variable in
+// a guard (receiver-side guards tolerate these until the bag completes).
+func isUndefinedVar(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "undefined variable")
+}
+
+// fire invokes the component service and runs postprocessing.
+func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[string]string) {
+	c.host.logf("coord %s/%s: firing instance %s", c.composite, c.table.State, instanceID)
+
+	params, err := bindInputs(c.host.opts.Funcs, c.table.Inputs, vars)
+	if err == nil {
+		var resp service.Response
+		resp, err = c.host.registry.Invoke(ctx, service.Request{
+			Service:   c.table.Service,
+			Operation: c.table.Operation,
+			Params:    params,
+		})
+		if err == nil {
+			bindOutputs(c.table.Outputs, resp.Outputs, vars)
+		}
+	}
+
+	if err != nil {
+		c.finish(ctx, instanceID, nil, err)
+		return
+	}
+	c.finish(ctx, instanceID, vars, nil)
+}
+
+// finish merges results, re-checks pending clauses (loops), and runs the
+// postprocessing phase: evaluating each target's condition on the local
+// variable bag and notifying the peers whose guard holds.
+func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, invokeErr error) {
+	c.mu.Lock()
+	inst := c.instances[instanceID]
+	if inst != nil {
+		if vars != nil {
+			for k, v := range vars {
+				inst.vars[k] = v
+			}
+		}
+		inst.running = false
+	}
+	c.mu.Unlock()
+
+	sendCtx := transport.WithSender(ctx, c.host.Addr())
+	if invokeErr != nil {
+		c.sendFault(sendCtx, instanceID, invokeErr)
+		return
+	}
+
+	funcs := c.host.opts.Funcs
+	notified := 0
+	for _, target := range c.table.Postprocessings {
+		ok, err := funcs.evalCondition(target.Condition, vars)
+		if err != nil {
+			c.sendFault(sendCtx, instanceID, err)
+			return
+		}
+		if !ok {
+			continue
+		}
+		outVars := vars
+		if len(target.Actions) > 0 {
+			var al actionList
+			for _, a := range target.Actions {
+				al = append(al, assignment{Var: a.Var, Expr: a.Expr})
+			}
+			outVars, err = funcs.applyActions([]actionList{al}, vars)
+			if err != nil {
+				c.sendFault(sendCtx, instanceID, err)
+				return
+			}
+		}
+		typ := message.TypeNotify
+		if target.To == message.WrapperID {
+			typ = message.TypeDone
+		}
+		out := &message.Message{
+			Type:      typ,
+			Composite: c.composite,
+			Instance:  instanceID,
+			From:      c.table.State,
+			To:        target.To,
+			Vars:      outVars,
+		}
+		addr, found := c.host.dir.Lookup(c.composite, target.To)
+		if !found {
+			c.sendFault(sendCtx, instanceID, fmt.Errorf("engine: no address for peer %q of %s", target.To, c.composite))
+			return
+		}
+		if err := c.host.net.Send(sendCtx, addr, out); err != nil {
+			c.sendFault(sendCtx, instanceID, fmt.Errorf("engine: notify %s: %w", target.To, err))
+			return
+		}
+		notified++
+	}
+	c.host.logf("coord %s/%s: instance %s notified %d peer(s)", c.composite, c.table.State, instanceID, notified)
+
+	// Loops: the consumed clause may already be re-satisfiable.
+	c.mu.Lock()
+	if inst := c.instances[instanceID]; inst != nil {
+		c.maybeFireLocked(ctx, instanceID, inst)
+	}
+	c.mu.Unlock()
+}
+
+// sendFault reports a failed firing to the wrapper.
+func (c *coordinator) sendFault(ctx context.Context, instanceID string, cause error) {
+	addr, found := c.host.dir.Lookup(c.composite, message.WrapperID)
+	if !found {
+		c.host.logf("coord %s/%s: fault with no wrapper address: %v", c.composite, c.table.State, cause)
+		return
+	}
+	m := fault(c.composite, instanceID, c.table.State, cause)
+	if err := c.host.net.Send(ctx, addr, m); err != nil {
+		c.host.logf("coord %s/%s: fault delivery failed: %v (original: %v)", c.composite, c.table.State, err, cause)
+	}
+}
+
+// bindInputs computes the service call parameters from the instance
+// variables per the state's input bindings. A binding with Var copies the
+// variable (missing variables are an error: the precondition fired, so
+// dataflow should have delivered them); a binding with Expr evaluates it.
+func bindInputs(funcs Funcs, bindings []statechart.Binding, vars map[string]string) (map[string]string, error) {
+	params := make(map[string]string, len(bindings))
+	for _, b := range bindings {
+		switch {
+		case b.Var != "":
+			v, ok := vars[b.Var]
+			if !ok {
+				return nil, fmt.Errorf("engine: input %q needs undefined variable %q", b.Param, b.Var)
+			}
+			params[b.Param] = v
+		case b.Expr != "":
+			v, err := expr.Eval(b.Expr, funcs.env(vars))
+			if err != nil {
+				return nil, fmt.Errorf("engine: input %q: %w", b.Param, err)
+			}
+			params[b.Param] = v.Text()
+		}
+	}
+	return params, nil
+}
+
+// bindOutputs copies operation outputs into the instance variable bag per
+// the state's output bindings. Unbound outputs are ignored; bound-but-
+// missing outputs simply don't set the variable (services may omit
+// optional outputs).
+func bindOutputs(bindings []statechart.Binding, outputs, vars map[string]string) {
+	for _, b := range bindings {
+		if v, ok := outputs[b.Param]; ok {
+			vars[b.Var] = v
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"selfserv/internal/message"
+	"selfserv/internal/routing"
+	"selfserv/internal/transport"
+)
+
+// Wrapper is the composite service's entry point — the class the paper
+// has providers "download and configure". It accepts execution requests,
+// notifies the coordinators of the states "which need to be entered in
+// the first place", then waits for the termination notices of the states
+// "which are exited in the last place".
+type Wrapper struct {
+	net   transport.Network
+	ep    transport.Endpoint
+	dir   *Directory
+	plan  *routing.Plan
+	funcs Funcs
+
+	seq atomic.Int64
+
+	mu        sync.Mutex
+	instances map[string]*wrapperInstance
+}
+
+// wrapperInstance tracks one running execution at the wrapper.
+type wrapperInstance struct {
+	done     chan struct{}
+	received map[string]int
+	vars     map[string]string
+	err      error
+	finished bool
+}
+
+// NewWrapper deploys the wrapper side of plan: it listens on addr and
+// registers itself as the composite's WrapperID peer in dir.
+func NewWrapper(net transport.Network, addr string, dir *Directory, plan *routing.Plan, funcs Funcs) (*Wrapper, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Wrapper{
+		net:       net,
+		dir:       dir,
+		plan:      plan,
+		funcs:     funcs,
+		instances: map[string]*wrapperInstance{},
+	}
+	ep, err := net.Listen(addr, w.handle)
+	if err != nil {
+		return nil, fmt.Errorf("engine: wrapper listen: %w", err)
+	}
+	w.ep = ep
+	dir.Set(plan.Composite, message.WrapperID, ep.Addr())
+	return w, nil
+}
+
+// Addr returns the wrapper's transport address.
+func (w *Wrapper) Addr() string { return w.ep.Addr() }
+
+// Composite returns the composite service name this wrapper fronts.
+func (w *Wrapper) Composite() string { return w.plan.Composite }
+
+// Close unregisters the wrapper.
+func (w *Wrapper) Close() error { return w.ep.Close() }
+
+// Execute runs one instance of the composite service with the given
+// input variables and returns the final variable bag restricted to the
+// composite's declared outputs (plus every input, which the paper's XML
+// result documents also carry). It blocks until the instance terminates,
+// faults, or ctx is done.
+func (w *Wrapper) Execute(ctx context.Context, inputs map[string]string) (map[string]string, error) {
+	id := "i" + strconv.FormatInt(w.seq.Add(1), 10)
+	return w.ExecuteInstance(ctx, id, inputs)
+}
+
+// ExecuteInstance is Execute with a caller-chosen instance ID (IDs must
+// be unique per wrapper).
+func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[string]string) (map[string]string, error) {
+	inst := &wrapperInstance{
+		done:     make(chan struct{}),
+		received: map[string]int{},
+		vars:     map[string]string{},
+	}
+	for k, v := range inputs {
+		inst.vars[k] = v
+	}
+	w.mu.Lock()
+	if _, dup := w.instances[id]; dup {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("engine: duplicate instance ID %q", id)
+	}
+	w.instances[id] = inst
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.instances, id)
+		w.mu.Unlock()
+	}()
+
+	// Start phase: the wrapper is the "sender" for entry states, so it
+	// evaluates their guard conditions against the request's inputs.
+	sendCtx := transport.WithSender(ctx, w.Addr())
+	started := 0
+	for _, target := range w.plan.Start {
+		ok, err := w.funcs.evalCondition(target.Condition, inputs)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		vars := inst.vars
+		if len(target.Actions) > 0 {
+			var al actionList
+			for _, a := range target.Actions {
+				al = append(al, assignment{Var: a.Var, Expr: a.Expr})
+			}
+			vars, err = w.funcs.applyActions([]actionList{al}, vars)
+			if err != nil {
+				return nil, err
+			}
+		}
+		addr, found := w.dir.Lookup(w.plan.Composite, target.To)
+		if !found {
+			return nil, fmt.Errorf("engine: composite %q: state %q is not deployed", w.plan.Composite, target.To)
+		}
+		m := &message.Message{
+			Type:      message.TypeStart,
+			Composite: w.plan.Composite,
+			Instance:  id,
+			From:      message.WrapperID,
+			To:        target.To,
+			Vars:      vars,
+		}
+		if err := w.net.Send(sendCtx, addr, m); err != nil {
+			return nil, fmt.Errorf("engine: start %s: %w", target.To, err)
+		}
+		started++
+	}
+	if started == 0 {
+		return nil, fmt.Errorf("engine: composite %q: no start condition matched the request", w.plan.Composite)
+	}
+
+	select {
+	case <-inst.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("engine: composite %q instance %s: %w", w.plan.Composite, id, ctx.Err())
+	}
+	if inst.err != nil {
+		return nil, inst.err
+	}
+	return w.projectOutputs(inst.vars), nil
+}
+
+// projectOutputs filters the final bag to declared inputs+outputs; when
+// the plan declares no outputs the whole bag is returned.
+func (w *Wrapper) projectOutputs(vars map[string]string) map[string]string {
+	if len(w.plan.Outputs) == 0 {
+		out := make(map[string]string, len(vars))
+		for k, v := range vars {
+			out[k] = v
+		}
+		return out
+	}
+	out := map[string]string{}
+	for _, p := range w.plan.Inputs {
+		if v, ok := vars[p.Name]; ok {
+			out[p.Name] = v
+		}
+	}
+	for _, p := range w.plan.Outputs {
+		if v, ok := vars[p.Name]; ok {
+			out[p.Name] = v
+		}
+	}
+	return out
+}
+
+// RaiseEvent delivers an ECA event to a running instance: every state
+// whose precondition subscribes to the event receives a notification from
+// the "$event:<name>" pseudo-source, carrying the event's payload
+// variables. Raising an event the plan never references is a no-op (the
+// paper's composite consumes only declared events).
+func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payload map[string]string) error {
+	subscribers := w.plan.EventSubscribers(event)
+	src := routing.EventSource(event)
+
+	// The wrapper's own finish clauses may reference the event too.
+	w.mu.Lock()
+	if inst, ok := w.instances[instanceID]; ok && !inst.finished {
+		for k, v := range payload {
+			inst.vars[k] = v
+		}
+		inst.received[src]++
+		if w.finishSatisfied(inst) {
+			inst.finished = true
+			close(inst.done)
+		}
+	}
+	w.mu.Unlock()
+
+	sendCtx := transport.WithSender(ctx, w.Addr())
+	for _, state := range subscribers {
+		addr, found := w.dir.Lookup(w.plan.Composite, state)
+		if !found {
+			return fmt.Errorf("engine: event %q: subscriber %q is not deployed", event, state)
+		}
+		m := &message.Message{
+			Type:      message.TypeNotify,
+			Composite: w.plan.Composite,
+			Instance:  instanceID,
+			From:      src,
+			To:        state,
+			Vars:      payload,
+		}
+		if err := w.net.Send(sendCtx, addr, m); err != nil {
+			return fmt.Errorf("engine: event %q to %s: %w", event, state, err)
+		}
+	}
+	return nil
+}
+
+// handle receives termination and fault notices from exit coordinators.
+func (w *Wrapper) handle(_ context.Context, m *message.Message) {
+	if m.Composite != w.plan.Composite {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	inst, ok := w.instances[m.Instance]
+	if !ok || inst.finished {
+		return // late or duplicate notice after completion: drop
+	}
+	switch m.Type {
+	case message.TypeDone:
+		for k, v := range m.Vars {
+			inst.vars[k] = v
+		}
+		inst.received[m.From]++
+		if w.finishSatisfied(inst) {
+			inst.finished = true
+			close(inst.done)
+		}
+	case message.TypeFault:
+		inst.err = fmt.Errorf("%w: state %s: %s", ErrInstanceFault, m.From, m.Error)
+		inst.finished = true
+		close(inst.done)
+	}
+}
+
+// finishSatisfied checks the plan's finish clauses against received
+// termination notices: all sources present and the clause's receiver-side
+// condition (if any) true on the merged bag. Conditions that cannot be
+// evaluated yet (undefined variables) keep waiting.
+func (w *Wrapper) finishSatisfied(inst *wrapperInstance) bool {
+	for _, clause := range w.plan.Finish {
+		all := true
+		for _, src := range clause.Sources {
+			if inst.received[src] <= 0 {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		ok, err := w.funcs.evalCondition(clause.Condition, inst.vars)
+		if err != nil || !ok {
+			continue
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package expr
+
+import "fmt"
+
+// tokenKind identifies the lexical class of a token.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokString
+	tokIdent   // identifier or dotted path: a, a.b.c
+	tokAnd     // "and" or "&&"
+	tokOr      // "or" or "||"
+	tokNot     // "not" or "!"
+	tokTrue    // "true"
+	tokFalse   // "false"
+	tokEq      // "=" or "=="
+	tokNeq     // "!=" or "<>"
+	tokLt      // "<"
+	tokLte     // "<="
+	tokGt      // ">"
+	tokGte     // ">="
+	tokPlus    // "+"
+	tokMinus   // "-"
+	tokStar    // "*"
+	tokSlash   // "/"
+	tokPercent // "%"
+	tokLParen  // "("
+	tokRParen  // ")"
+	tokComma   // ","
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokIdent:
+		return "identifier"
+	case tokAnd:
+		return "'and'"
+	case tokOr:
+		return "'or'"
+	case tokNot:
+		return "'not'"
+	case tokTrue:
+		return "'true'"
+	case tokFalse:
+		return "'false'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLte:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGte:
+		return "'>='"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokPercent:
+		return "'%'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is a lexeme with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokNumber:
+		return fmt.Sprintf("%g", t.num)
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	case tokIdent:
+		return t.text
+	default:
+		return t.kind.String()
+	}
+}

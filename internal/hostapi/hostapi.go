@@ -1,0 +1,239 @@
+// Package hostapi is the administration protocol of a SELF-SERV host
+// daemon: the HTTP surface the service deployer uses to upload routing
+// tables "into the hosts of the corresponding component services" when
+// deployer and hosts live in different processes (cmd/hostd +
+// cmd/selfserv). In-process deployments use engine.Host.Install directly
+// and never touch this package.
+//
+// Endpoints (all under the admin address):
+//
+//	GET  /info                         -> coordinator transport address, services, states
+//	POST /install?composite=C          -> body: routing table XML; installs a coordinator
+//	POST /directory?composite=C       -> body: "peerID addr" lines; records peer locations
+//	GET  /healthz                      -> 200 ok
+package hostapi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"selfserv/internal/engine"
+	"selfserv/internal/routing"
+)
+
+// Info describes a host daemon.
+type Info struct {
+	// CoordAddr is the transport address coordinators listen on.
+	CoordAddr string `json:"coordAddr"`
+	// Services are the provider names available locally.
+	Services []string `json:"services"`
+	// States maps composite -> state IDs installed here.
+	States map[string][]string `json:"states"`
+}
+
+// Server exposes one engine.Host over HTTP.
+type Server struct {
+	host      *engine.Host
+	dir       *engine.Directory
+	services  func() []string
+	mux       *http.ServeMux
+	installed map[string][]string
+}
+
+// NewServer wraps host (with its directory) in an admin API. services
+// reports the local provider names for /info.
+func NewServer(host *engine.Host, dir *engine.Directory, services func() []string) *Server {
+	s := &Server{
+		host:      host,
+		dir:       dir,
+		services:  services,
+		mux:       http.NewServeMux(),
+		installed: map[string][]string{},
+	}
+	s.mux.HandleFunc("/info", s.handleInfo)
+	s.mux.HandleFunc("/install", s.handleInstall)
+	s.mux.HandleFunc("/directory", s.handleDirectory)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	info := Info{
+		CoordAddr: s.host.Addr(),
+		Services:  s.services(),
+		States:    map[string][]string{},
+	}
+	for composite := range s.installed {
+		states := s.host.States(composite)
+		sort.Strings(states)
+		info.States[composite] = states
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	composite := r.URL.Query().Get("composite")
+	if composite == "" {
+		http.Error(w, "missing composite parameter", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	table, err := routing.UnmarshalTable(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.host.Install(composite, table); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	s.installed[composite] = append(s.installed[composite], table.State)
+	fmt.Fprintf(w, "installed %s/%s\n", composite, table.State)
+}
+
+func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	composite := r.URL.Query().Get("composite")
+	if composite == "" {
+		http.Error(w, "missing composite parameter", http.StatusBadRequest)
+		return
+	}
+	scanner := bufio.NewScanner(io.LimitReader(r.Body, 1<<20))
+	n := 0
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			http.Error(w, fmt.Sprintf("malformed directory line %q", line), http.StatusBadRequest)
+			return
+		}
+		s.dir.Set(composite, fields[0], fields[1])
+		n++
+	}
+	if err := scanner.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "recorded %d peer(s) for %s\n", n, composite)
+}
+
+// Client drives a remote host daemon's admin API.
+type Client struct {
+	// BaseURL is the admin address, e.g. "http://10.0.0.5:7070".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Info fetches the daemon's description.
+func (c *Client) Info() (*Info, error) {
+	resp, err := c.http().Get(c.BaseURL + "/info")
+	if err != nil {
+		return nil, fmt.Errorf("hostapi: info: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("hostapi: info: HTTP %d", resp.StatusCode)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("hostapi: info: %w", err)
+	}
+	return &info, nil
+}
+
+// Install uploads one routing table.
+func (c *Client) Install(composite string, table *routing.Table) error {
+	data, err := routing.MarshalTable(table)
+	if err != nil {
+		return err
+	}
+	return c.post(fmt.Sprintf("/install?composite=%s", composite), "text/xml", data)
+}
+
+// PushDirectory records peer locations on the daemon.
+func (c *Client) PushDirectory(composite string, peers map[string]string) error {
+	var sb strings.Builder
+	ids := make([]string, 0, len(peers))
+	for id := range peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%s %s\n", id, peers[id])
+	}
+	return c.post(fmt.Sprintf("/directory?composite=%s", composite), "text/plain", []byte(sb.String()))
+}
+
+func (c *Client) post(path, contentType string, body []byte) error {
+	resp, err := c.http().Post(c.BaseURL+path, contentType, strings.NewReader(string(body)))
+	if err != nil {
+		return fmt.Errorf("hostapi: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("hostapi: %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// RemoteInstaller adapts a Client to deployer.Installer, so the standard
+// deployer drives remote daemons exactly like in-process hosts.
+type RemoteInstaller struct {
+	Client *Client
+	// CoordAddr caches the daemon's transport address (from Info).
+	CoordAddr string
+}
+
+// NewRemoteInstaller resolves a daemon's transport address and returns an
+// installer for it.
+func NewRemoteInstaller(adminURL string) (*RemoteInstaller, error) {
+	c := &Client{BaseURL: adminURL}
+	info, err := c.Info()
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteInstaller{Client: c, CoordAddr: info.CoordAddr}, nil
+}
+
+// Install implements deployer.Installer.
+func (ri *RemoteInstaller) Install(composite string, table *routing.Table) error {
+	return ri.Client.Install(composite, table)
+}
+
+// Addr implements deployer.Installer: the coordinator transport address
+// (what peers must dial), not the admin URL.
+func (ri *RemoteInstaller) Addr() string { return ri.CoordAddr }

@@ -1,0 +1,181 @@
+package hostapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"selfserv/internal/deployer"
+	"selfserv/internal/engine"
+	"selfserv/internal/message"
+	"selfserv/internal/routing"
+	"selfserv/internal/service"
+	"selfserv/internal/transport"
+	"selfserv/internal/workload"
+)
+
+// daemon bundles one simulated hostd process: TCP-coordinator host plus
+// admin HTTP server.
+type daemon struct {
+	host  *engine.Host
+	dir   *engine.Directory
+	admin *httptest.Server
+}
+
+func newDaemon(t *testing.T, net transport.Network, reg *service.Registry) *daemon {
+	t.Helper()
+	dir := engine.NewDirectory()
+	h, err := engine.NewHost(net, "127.0.0.1:0", reg, dir, engine.HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	srv := NewServer(h, dir, reg.Names)
+	admin := httptest.NewServer(srv)
+	t.Cleanup(admin.Close)
+	return &daemon{host: h, dir: dir, admin: admin}
+}
+
+func TestDistributedDeployAndExecute(t *testing.T) {
+	// Two "processes", each with its own directory, connected over real
+	// TCP; a third party deploys Chain(2) across them and executes it.
+	sc := workload.Chain(2)
+
+	reg1 := service.NewRegistry()
+	workload.RegisterChainProviders(reg1, 1, service.SimulatedOptions{}) // svc1
+	reg2 := service.NewRegistry()
+	reg2.Register(mustLookup(t, func() *service.Registry {
+		r := service.NewRegistry()
+		workload.RegisterChainProviders(r, 2, service.SimulatedOptions{})
+		return r
+	}(), "svc2"))
+
+	net1 := transport.NewTCP()
+	defer net1.Close()
+	net2 := transport.NewTCP()
+	defer net2.Close()
+	d1 := newDaemon(t, net1, reg1)
+	d2 := newDaemon(t, net2, reg2)
+
+	// Deployer side: remote installers driven through the admin API.
+	ri1, err := NewRemoteInstaller(d1.admin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri2, err := NewRemoteInstaller(d2.admin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := deployer.Deploy(sc, deployer.Placement{"svc1": ri1, "svc2": ri2})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+
+	// Wrapper side: its own process with its own transport + directory.
+	wnet := transport.NewTCP()
+	defer wnet.Close()
+	wdir := engine.NewDirectory()
+	for state, addr := range dep.Hosts {
+		wdir.Set(sc.Name, state, addr)
+	}
+	w, err := engine.NewWrapper(wnet, "127.0.0.1:0", wdir, dep.Plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Every daemon (and the wrapper) must know all peer locations.
+	peers := map[string]string{message.WrapperID: w.Addr()}
+	for state, addr := range dep.Hosts {
+		peers[state] = addr
+	}
+	for _, ri := range []*RemoteInstaller{ri1, ri2} {
+		if err := ri.Client.PushDirectory(sc.Name, peers); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	out, err := w.Execute(ctx, map[string]string{"x": "0"})
+	if err != nil {
+		t.Fatalf("Execute across daemons: %v", err)
+	}
+	if out["x"] != "2" {
+		t.Fatalf("x = %q, want 2", out["x"])
+	}
+
+	// Info reflects the installations.
+	info, err := ri1.Client.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CoordAddr != d1.host.Addr() {
+		t.Fatalf("info.CoordAddr = %q", info.CoordAddr)
+	}
+	if got := info.States["Chain2"]; len(got) != 1 || got[0] != "s1" {
+		t.Fatalf("info.States = %v", info.States)
+	}
+}
+
+func mustLookup(t *testing.T, reg *service.Registry, name string) service.Provider {
+	t.Helper()
+	p, err := reg.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAdminErrors(t *testing.T) {
+	reg := service.NewRegistry()
+	net := transport.NewInMem(transport.InMemOptions{})
+	defer net.Close()
+	d := newDaemon(t, net, reg)
+	c := &Client{BaseURL: d.admin.URL}
+
+	t.Run("install bad xml", func(t *testing.T) {
+		err := c.post("/install?composite=C", "text/xml", []byte("not xml"))
+		if err == nil || !strings.Contains(err.Error(), "400") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("install without composite", func(t *testing.T) {
+		err := c.post("/install", "text/xml", []byte("<x/>"))
+		if err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("install for absent service", func(t *testing.T) {
+		err := c.Install("C", &routing.Table{State: "s", Service: "missing", Operation: "op"})
+		if err == nil || !strings.Contains(err.Error(), "409") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("directory malformed", func(t *testing.T) {
+		err := c.post("/directory?composite=C", "text/plain", []byte("only-one-field\n"))
+		if err == nil {
+			t.Fatal("accepted")
+		}
+	})
+	t.Run("directory comments and blanks ok", func(t *testing.T) {
+		err := c.post("/directory?composite=C", "text/plain", []byte("# comment\n\npeer addr\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("healthz", func(t *testing.T) {
+		resp, err := d.admin.Client().Get(d.admin.URL + "/healthz")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("healthz: %v %v", resp, err)
+		}
+		resp.Body.Close()
+	})
+	t.Run("remote installer against dead daemon", func(t *testing.T) {
+		if _, err := NewRemoteInstaller("http://127.0.0.1:1"); err == nil {
+			t.Fatal("reached a dead daemon")
+		}
+	})
+}

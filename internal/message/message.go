@@ -1,0 +1,174 @@
+// Package message defines the XML control documents that SELF-SERV peers
+// exchange. In the paper, services "communicate through XML documents ...
+// exchanged through Java sockets"; this package is the Go equivalent of
+// that document vocabulary, shared by the peer-to-peer coordinators, the
+// composite-service wrapper, and the centralized baseline orchestrator.
+package message
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+)
+
+// Type discriminates control documents.
+type Type string
+
+// Message types.
+const (
+	// TypeStart flows from the composite wrapper to the coordinators of
+	// the states that must be entered first.
+	TypeStart Type = "start"
+	// TypeNotify flows between peer coordinators: the source state has
+	// completed and its postprocessing selected the target.
+	TypeNotify Type = "notify"
+	// TypeDone flows from the coordinators of the states exited last back
+	// to the composite wrapper, carrying the final variable bindings.
+	TypeDone Type = "done"
+	// TypeFault reports a failed execution to the wrapper.
+	TypeFault Type = "fault"
+	// TypeInvoke asks a service host to execute an operation (used by the
+	// centralized orchestrator and by wrappers talking to providers).
+	TypeInvoke Type = "invoke"
+	// TypeResult carries an operation result back to the invoker.
+	TypeResult Type = "result"
+)
+
+// WrapperID is the reserved pseudo-address of a composite service's
+// wrapper in From/To fields of control messages.
+const WrapperID = "$wrapper"
+
+// Message is one control document. Vars carries the execution instance's
+// variable bindings as text (see expr.FromText for the text convention).
+type Message struct {
+	// Type discriminates the document.
+	Type Type
+	// Composite names the composite service the instance belongs to.
+	Composite string
+	// Instance identifies one execution of the composite service.
+	Instance string
+	// From and To are state IDs within the composite's statechart, or
+	// WrapperID. For TypeInvoke/TypeResult, To/From name the target
+	// service and operation as "service/operation".
+	From string
+	To   string
+	// Seq is a sender-local sequence number, useful in logs and tests.
+	Seq int
+	// Vars is the variable bag. Nil and empty are equivalent.
+	Vars map[string]string
+	// Error describes a fault (TypeFault or failed TypeResult).
+	Error string
+	// ReplyTo is the network address to send a TypeResult back to; set on
+	// TypeInvoke messages.
+	ReplyTo string
+}
+
+// Clone returns an independent copy of m (its Vars map is copied).
+func (m *Message) Clone() *Message {
+	cp := *m
+	if m.Vars != nil {
+		cp.Vars = make(map[string]string, len(m.Vars))
+		for k, v := range m.Vars {
+			cp.Vars[k] = v
+		}
+	}
+	return &cp
+}
+
+// MergeVars copies bindings from vars into m.Vars, overwriting existing
+// names, and returns m for chaining.
+func (m *Message) MergeVars(vars map[string]string) *Message {
+	if len(vars) == 0 {
+		return m
+	}
+	if m.Vars == nil {
+		m.Vars = make(map[string]string, len(vars))
+	}
+	for k, v := range vars {
+		m.Vars[k] = v
+	}
+	return m
+}
+
+// String renders a compact one-line summary for logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s %s/%s %s->%s vars=%d", m.Type, m.Composite, m.Instance, m.From, m.To, len(m.Vars))
+}
+
+// xmlMessage is the wire representation.
+type xmlMessage struct {
+	XMLName   xml.Name `xml:"message"`
+	Type      string   `xml:"type,attr"`
+	Composite string   `xml:"composite,attr,omitempty"`
+	Instance  string   `xml:"instance,attr,omitempty"`
+	From      string   `xml:"from,attr,omitempty"`
+	To        string   `xml:"to,attr,omitempty"`
+	Seq       int      `xml:"seq,attr,omitempty"`
+	ReplyTo   string   `xml:"replyTo,attr,omitempty"`
+	Error     string   `xml:"error,omitempty"`
+	Vars      []xmlVar `xml:"var"`
+}
+
+type xmlVar struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Marshal encodes m as an XML document. Variables are emitted in sorted
+// order so the encoding is deterministic (stable tests, stable byte
+// counts in benchmarks).
+func Marshal(m *Message) ([]byte, error) {
+	doc := xmlMessage{
+		Type:      string(m.Type),
+		Composite: m.Composite,
+		Instance:  m.Instance,
+		From:      m.From,
+		To:        m.To,
+		Seq:       m.Seq,
+		ReplyTo:   m.ReplyTo,
+		Error:     m.Error,
+	}
+	names := make([]string, 0, len(m.Vars))
+	for k := range m.Vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		doc.Vars = append(doc.Vars, xmlVar{Name: k, Value: m.Vars[k]})
+	}
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	if err := enc.Encode(doc); err != nil {
+		return nil, fmt.Errorf("message: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an XML document produced by Marshal.
+func Unmarshal(data []byte) (*Message, error) {
+	var doc xmlMessage
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("message: unmarshal: %w", err)
+	}
+	if doc.Type == "" {
+		return nil, fmt.Errorf("message: document has no type attribute")
+	}
+	m := &Message{
+		Type:      Type(doc.Type),
+		Composite: doc.Composite,
+		Instance:  doc.Instance,
+		From:      doc.From,
+		To:        doc.To,
+		Seq:       doc.Seq,
+		ReplyTo:   doc.ReplyTo,
+		Error:     doc.Error,
+	}
+	if len(doc.Vars) > 0 {
+		m.Vars = make(map[string]string, len(doc.Vars))
+		for _, v := range doc.Vars {
+			m.Vars[v.Name] = v.Value
+		}
+	}
+	return m, nil
+}

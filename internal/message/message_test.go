@@ -1,0 +1,206 @@
+package message
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:      TypeNotify,
+		Composite: "TravelPlanner",
+		Instance:  "inst-42",
+		From:      "DFB",
+		To:        "CR",
+		Seq:       7,
+		ReplyTo:   "host1:9000",
+		Vars: map[string]string{
+			"destination": "sydney",
+			"price":       "120.5",
+			"vip":         "true",
+			"note":        "needs <escaping> & \"quotes\"",
+		},
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Type != m.Type || back.Composite != m.Composite || back.Instance != m.Instance ||
+		back.From != m.From || back.To != m.To || back.Seq != m.Seq || back.ReplyTo != m.ReplyTo {
+		t.Fatalf("header mismatch: %+v vs %+v", back, m)
+	}
+	if len(back.Vars) != len(m.Vars) {
+		t.Fatalf("vars = %v", back.Vars)
+	}
+	for k, v := range m.Vars {
+		if back.Vars[k] != v {
+			t.Errorf("var %q = %q, want %q", k, back.Vars[k], v)
+		}
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	m := &Message{Type: TypeDone, Vars: map[string]string{"b": "2", "a": "1", "c": "3"}}
+	first, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("non-deterministic encoding:\n%s\n%s", first, again)
+		}
+	}
+	s := string(first)
+	if strings.Index(s, `name="a"`) > strings.Index(s, `name="b"`) {
+		t.Error("vars not sorted")
+	}
+}
+
+func TestUnmarshalFaults(t *testing.T) {
+	if _, err := Unmarshal([]byte("not xml")); err == nil {
+		t.Error("Unmarshal accepted garbage")
+	}
+	if _, err := Unmarshal([]byte("<message/>")); err == nil {
+		t.Error("Unmarshal accepted message without type")
+	}
+}
+
+func TestFaultMessage(t *testing.T) {
+	m := &Message{Type: TypeFault, Error: "service unavailable: no member"}
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Error != m.Error {
+		t.Fatalf("Error = %q, want %q", back.Error, m.Error)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := &Message{Type: TypeNotify, Vars: map[string]string{"k": "v"}}
+	cp := m.Clone()
+	cp.Vars["k"] = "changed"
+	cp.Vars["new"] = "x"
+	if m.Vars["k"] != "v" || len(m.Vars) != 1 {
+		t.Fatal("Clone shares Vars map")
+	}
+	var nilVars *Message = &Message{Type: TypeStart}
+	cp2 := nilVars.Clone()
+	if cp2.Vars != nil {
+		t.Fatal("Clone invented a Vars map")
+	}
+}
+
+func TestMergeVars(t *testing.T) {
+	m := &Message{Type: TypeNotify}
+	m.MergeVars(nil) // no-op on nil
+	if m.Vars != nil {
+		t.Fatal("MergeVars(nil) allocated")
+	}
+	m.MergeVars(map[string]string{"a": "1"})
+	m.MergeVars(map[string]string{"a": "2", "b": "3"})
+	if m.Vars["a"] != "2" || m.Vars["b"] != "3" {
+		t.Fatalf("Vars = %v", m.Vars)
+	}
+}
+
+// Property: round trip preserves arbitrary var maps (printable content).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(instance string, keys, vals []string) bool {
+		m := &Message{Type: TypeNotify, Instance: sanitize(instance), Vars: map[string]string{}}
+		for i := 0; i < len(keys) && i < len(vals); i++ {
+			k := "k" + sanitizeName(keys[i])
+			m.Vars[k] = sanitize(vals[i])
+		}
+		data, err := Marshal(m)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if back.Instance != m.Instance || len(back.Vars) != len(m.Vars) {
+			return false
+		}
+		for k, v := range m.Vars {
+			if back.Vars[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize strips control characters that XML 1.0 cannot represent; the
+// transport never produces them, so excluding them from the property is a
+// faithful model.
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r == '\t' || r == '\n' || r >= 0x20 && r != 0xFFFE && r != 0xFFFF && !(r >= 0xD800 && r <= 0xDFFF) {
+			sb.WriteRune(r)
+		}
+	}
+	// encoding/xml chardata trims nothing, but leading/trailing \r would
+	// be normalized; strip it for a clean equality property.
+	return strings.Trim(sb.String(), "\r")
+}
+
+func sanitizeName(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := &Message{
+		Type: TypeNotify, Composite: "TravelPlanner", Instance: "inst-1",
+		From: "DFB", To: "CR",
+		Vars: map[string]string{"destination": "sydney", "flightRef": "QF-1", "price": "120.5"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	m := &Message{
+		Type: TypeNotify, Composite: "TravelPlanner", Instance: "inst-1",
+		From: "DFB", To: "CR",
+		Vars: map[string]string{"destination": "sydney", "flightRef": "QF-1", "price": "120.5"},
+	}
+	data, err := Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

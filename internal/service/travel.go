@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+)
+
+// This file provides the five component services of the paper's travel
+// scenario (Fig 2). They are deterministic simulations: outputs are
+// derived from inputs, so end-to-end tests can assert exact results.
+//
+// The attraction-distance model: AttractionsSearch reports the distance
+// (km) between the major attraction and the city centre; destinations are
+// assigned fixed distances so tests can force the near/far branches.
+
+// DomesticCities are the destinations the DomesticFlightBooking service
+// can reach; the travel scenario's domestic(dest) guard checks membership.
+var DomesticCities = []string{"sydney", "melbourne", "brisbane", "perth", "adelaide"}
+
+// IsDomesticCity reports whether dest is served domestically.
+func IsDomesticCity(dest string) bool {
+	for _, c := range DomesticCities {
+		if c == dest {
+			return true
+		}
+	}
+	return false
+}
+
+// attractionTable maps destinations to (attraction, distance-km). Unknown
+// destinations get a default far-away attraction, exercising car rental.
+var attractionTable = map[string]struct {
+	name string
+	km   float64
+}{
+	"sydney":    {"Opera House", 2},
+	"melbourne": {"Great Ocean Road", 180},
+	"brisbane":  {"Australia Zoo", 70},
+	"perth":     {"Rottnest Island", 30},
+	"adelaide":  {"Barossa Valley", 60},
+	"tokyo":     {"Mount Fuji", 100},
+	"paris":     {"Louvre", 3},
+	"auckland":  {"Hobbiton", 160},
+}
+
+// NewDomesticFlightBooking returns the DFB elementary service.
+func NewDomesticFlightBooking(opts SimulatedOptions) *Simulated {
+	s := NewSimulated("DomesticFlightBooking", opts)
+	s.Handle("book", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		dest := p["dest"]
+		if dest == "" {
+			return nil, fmt.Errorf("missing dest")
+		}
+		if !IsDomesticCity(dest) {
+			return nil, fmt.Errorf("no domestic route to %q", dest)
+		}
+		return map[string]string{
+			"ref": fmt.Sprintf("QF-%s-%s", short(p["customer"]), short(dest)),
+		}, nil
+	})
+	return s
+}
+
+// NewInternationalTravel returns the ITA elementary service, which books
+// an international flight and bundles travel insurance.
+func NewInternationalTravel(opts SimulatedOptions) *Simulated {
+	s := NewSimulated("InternationalTravel", opts)
+	s.Handle("arrange", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		dest := p["dest"]
+		if dest == "" {
+			return nil, fmt.Errorf("missing dest")
+		}
+		return map[string]string{
+			"ref":       fmt.Sprintf("INT-%s-%s", short(p["customer"]), short(dest)),
+			"insurance": fmt.Sprintf("INS-%s", short(p["customer"])),
+		}, nil
+	})
+	return s
+}
+
+// NewAttractionsSearch returns the AS elementary service.
+func NewAttractionsSearch(opts SimulatedOptions) *Simulated {
+	s := NewSimulated("AttractionsSearch", opts)
+	s.Handle("search", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		dest := p["dest"]
+		a, ok := attractionTable[dest]
+		if !ok {
+			a.name, a.km = "Remote Wonder", 120
+		}
+		return map[string]string{
+			"top":      a.name,
+			"distance": strconv.FormatFloat(a.km, 'g', -1, 64),
+		}, nil
+	})
+	return s
+}
+
+// NewAccommodationBooking returns one accommodation provider. Several of
+// these, under different hotel names, form the AccommodationBooking
+// community in the demo. The provider name is the hotel brand; the
+// community routes "AccommodationBooking" requests to one of them.
+func NewAccommodationBooking(brand string, opts SimulatedOptions) *Simulated {
+	s := NewSimulated(brand, opts)
+	s.Handle("book", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		dest := p["dest"]
+		if dest == "" {
+			return nil, fmt.Errorf("missing dest")
+		}
+		return map[string]string{
+			"addr": fmt.Sprintf("%s %s", brand, dest),
+		}, nil
+	})
+	return s
+}
+
+// NewCarRental returns the CR elementary service.
+func NewCarRental(opts SimulatedOptions) *Simulated {
+	s := NewSimulated("CarRental", opts)
+	s.Handle("rent", func(_ context.Context, p map[string]string) (map[string]string, error) {
+		if p["addr"] == "" {
+			return nil, fmt.Errorf("missing addr (pickup location)")
+		}
+		return map[string]string{
+			"car": fmt.Sprintf("CAR-%s", short(p["customer"])),
+		}, nil
+	})
+	return s
+}
+
+// short returns a compact uppercase token derived from s for reference
+// strings.
+func short(s string) string {
+	if s == "" {
+		return "X"
+	}
+	if len(s) > 3 {
+		s = s[:3]
+	}
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

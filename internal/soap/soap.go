@@ -1,0 +1,298 @@
+// Package soap implements the subset of SOAP 1.1 that SELF-SERV's
+// discovery engine and service bindings use: envelope encoding/decoding
+// with a single body element, the fault model, and an HTTP binding
+// (client and server handler). The paper implements "service
+// registration, discovery and invocation ... as SOAP calls"; this package
+// is that wire layer.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Namespace constants for the envelope.
+const (
+	EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+	selfservNS = "urn:selfserv"
+)
+
+// Fault is a SOAP fault, also used as a Go error.
+type Fault struct {
+	Code   string // e.g. "Client", "Server"
+	String string // human-readable fault string
+	Detail string // optional detail
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Detail != "" {
+		return fmt.Sprintf("soap: fault %s: %s (%s)", f.Code, f.String, f.Detail)
+	}
+	return fmt.Sprintf("soap: fault %s: %s", f.Code, f.String)
+}
+
+// Message is a decoded SOAP call or response: one body element with flat
+// text parameters — the document/literal shape the paper's toolkit
+// (WSTK 2.4) produced for simple types.
+type Message struct {
+	// Action is the local name of the body element (the operation).
+	Action string
+	// Params are the child elements of the body element.
+	Params map[string]string
+}
+
+// wire types
+
+type envelope struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Envelope"`
+	Body    body     `xml:"http://schemas.xmlsoap.org/soap/envelope/ Body"`
+}
+
+type body struct {
+	Raw []byte `xml:",innerxml"`
+}
+
+type outEnvelope struct {
+	XMLName xml.Name `xml:"soap:Envelope"`
+	NS      string   `xml:"xmlns:soap,attr"`
+	Body    outBody  `xml:"soap:Body"`
+}
+
+type outBody struct {
+	Raw []byte `xml:",innerxml"`
+}
+
+type faultBody struct {
+	XMLName xml.Name `xml:"Fault"`
+	Code    string   `xml:"faultcode"`
+	String  string   `xml:"faultstring"`
+	Detail  string   `xml:"detail,omitempty"`
+}
+
+// Encode renders a Message as a SOAP envelope. Parameters are emitted in
+// sorted order for determinism.
+func Encode(m *Message) ([]byte, error) {
+	if m.Action == "" {
+		return nil, fmt.Errorf("soap: message has no action")
+	}
+	var inner bytes.Buffer
+	fmt.Fprintf(&inner, "<%s xmlns=%q>", m.Action, selfservNS)
+	names := make([]string, 0, len(m.Params))
+	for k := range m.Params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if !validElementName(k) {
+			return nil, fmt.Errorf("soap: invalid parameter name %q", k)
+		}
+		var esc bytes.Buffer
+		if err := xml.EscapeText(&esc, []byte(m.Params[k])); err != nil {
+			return nil, fmt.Errorf("soap: escape %q: %w", k, err)
+		}
+		fmt.Fprintf(&inner, "<%s>%s</%s>", k, esc.String(), k)
+	}
+	fmt.Fprintf(&inner, "</%s>", m.Action)
+	return encodeEnvelope(inner.Bytes())
+}
+
+// EncodeFault renders a fault envelope.
+func EncodeFault(f *Fault) ([]byte, error) {
+	raw, err := xml.Marshal(faultBody{Code: f.Code, String: f.String, Detail: f.Detail})
+	if err != nil {
+		return nil, fmt.Errorf("soap: marshal fault: %w", err)
+	}
+	return encodeEnvelope(raw)
+}
+
+func encodeEnvelope(inner []byte) ([]byte, error) {
+	env := outEnvelope{NS: EnvelopeNS, Body: outBody{Raw: inner}}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		return nil, fmt.Errorf("soap: marshal envelope: %w", err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// Decode parses a SOAP envelope into a Message, or returns the *Fault it
+// carries as an error.
+func Decode(data []byte) (*Message, error) {
+	var env envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("soap: unmarshal envelope: %w", err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(env.Body.Raw))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("soap: empty body")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("soap: parse body: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if start.Name.Local == "Fault" {
+			var fb faultBody
+			if err := dec.DecodeElement(&fb, &start); err != nil {
+				return nil, fmt.Errorf("soap: parse fault: %w", err)
+			}
+			return nil, &Fault{Code: strings.TrimPrefix(fb.Code, "soap:"), String: fb.String, Detail: fb.Detail}
+		}
+		m := &Message{Action: start.Name.Local, Params: map[string]string{}}
+		if err := decodeParams(dec, &start, m.Params); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+}
+
+// decodeParams reads the flat children of the body element.
+func decodeParams(dec *xml.Decoder, start *xml.StartElement, out map[string]string) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("soap: parse params: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var text string
+			if err := dec.DecodeElement(&text, &t); err != nil {
+				return fmt.Errorf("soap: parse param %s: %w", t.Name.Local, err)
+			}
+			out[t.Name.Local] = text
+		case xml.EndElement:
+			if t.Name.Local == start.Name.Local {
+				return nil
+			}
+		}
+	}
+}
+
+func validElementName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Call performs a SOAP request/response exchange over HTTP POST.
+func Call(client *http.Client, url string, req *Message) (*Message, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	data, err := Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	httpReq.Header.Set("SOAPAction", `"`+req.Action+`"`)
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("soap: call %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("soap: read response: %w", err)
+	}
+	return Decode(body)
+}
+
+// Handler is the server side of one SOAP action: it maps request
+// parameters to response parameters, or returns an error (a *Fault is
+// passed through; other errors become Server faults).
+type Handler func(params map[string]string) (map[string]string, error)
+
+// Server dispatches SOAP calls to registered action handlers over HTTP.
+// The zero value is ready to use. It implements http.Handler.
+type Server struct {
+	handlers map[string]Handler
+}
+
+// NewServer returns an empty SOAP server.
+func NewServer() *Server {
+	return &Server{handlers: map[string]Handler{}}
+}
+
+// Handle registers h for the given action (body element local name) and
+// returns the server for chaining.
+func (s *Server) Handle(action string, h Handler) *Server {
+	s.handlers[action] = h
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoint: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "Client", String: "unreadable request", Detail: err.Error()})
+		return
+	}
+	req, err := Decode(data)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "Client", String: "malformed envelope", Detail: err.Error()})
+		return
+	}
+	h, ok := s.handlers[req.Action]
+	if !ok {
+		s.writeFault(w, &Fault{Code: "Client", String: fmt.Sprintf("unknown action %q", req.Action)})
+		return
+	}
+	out, err := h(req.Params)
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.writeFault(w, f)
+			return
+		}
+		s.writeFault(w, &Fault{Code: "Server", String: err.Error()})
+		return
+	}
+	resp := &Message{Action: req.Action + "Response", Params: out}
+	body, err := Encode(resp)
+	if err != nil {
+		s.writeFault(w, &Fault{Code: "Server", String: "encode response", Detail: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(body)
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, f *Fault) {
+	body, err := EncodeFault(f)
+	if err != nil {
+		http.Error(w, f.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(http.StatusInternalServerError)
+	w.Write(body)
+}

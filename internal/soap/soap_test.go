@@ -1,0 +1,227 @@
+package soap
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Message{
+		Action: "book",
+		Params: map[string]string{
+			"customer": "alice",
+			"dest":     "sydney <CBD> & \"harbour\"",
+			"depart":   "2026-07-01",
+		},
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.Contains(string(data), "soap:Envelope") {
+		t.Fatalf("no envelope in %s", data)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.Action != "book" {
+		t.Fatalf("Action = %q", back.Action)
+	}
+	for k, v := range m.Params {
+		if back.Params[k] != v {
+			t.Errorf("param %q = %q, want %q", k, back.Params[k], v)
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	m := &Message{Action: "op", Params: map[string]string{"b": "2", "a": "1", "c": "3"}}
+	first, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, _ := Encode(m)
+		if string(again) != string(first) {
+			t.Fatal("non-deterministic encoding")
+		}
+	}
+}
+
+func TestEncodeRejectsBadNames(t *testing.T) {
+	bad := []string{"", "1abc", "has space", "<tag>", "a&b"}
+	for _, name := range bad {
+		m := &Message{Action: "op", Params: map[string]string{name: "v"}}
+		if _, err := Encode(m); err == nil {
+			t.Errorf("Encode accepted parameter name %q", name)
+		}
+	}
+	if _, err := Encode(&Message{}); err == nil {
+		t.Error("Encode accepted empty action")
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	f := &Fault{Code: "Server", String: "boom", Detail: "stack"}
+	data, err := EncodeFault(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decode(data)
+	var back *Fault
+	if !errors.As(err, &back) {
+		t.Fatalf("Decode returned %v, want *Fault", err)
+	}
+	if back.Code != "Server" || back.String != "boom" || back.Detail != "stack" {
+		t.Fatalf("fault = %+v", back)
+	}
+	if !strings.Contains(back.Error(), "boom") {
+		t.Fatalf("Error() = %q", back.Error())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		[]byte("not xml"),
+		[]byte("<other/>"),
+	}
+	for _, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode(%q) succeeded", data)
+		}
+	}
+	// Empty body.
+	empty, _ := encodeEnvelope(nil)
+	if _, err := Decode(empty); err == nil || !strings.Contains(err.Error(), "empty body") {
+		t.Errorf("empty body err = %v", err)
+	}
+}
+
+func TestServerDispatch(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("greet", func(p map[string]string) (map[string]string, error) {
+		return map[string]string{"greeting": "hello " + p["name"]}, nil
+	})
+	srv.Handle("fail", func(map[string]string) (map[string]string, error) {
+		return nil, fmt.Errorf("kaput")
+	})
+	srv.Handle("clientFault", func(map[string]string) (map[string]string, error) {
+		return nil, &Fault{Code: "Client", String: "bad request"}
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	t.Run("success", func(t *testing.T) {
+		resp, err := Call(nil, ts.URL, &Message{Action: "greet", Params: map[string]string{"name": "bob"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Action != "greetResponse" || resp.Params["greeting"] != "hello bob" {
+			t.Fatalf("resp = %+v", resp)
+		}
+	})
+
+	t.Run("server fault", func(t *testing.T) {
+		_, err := Call(nil, ts.URL, &Message{Action: "fail"})
+		var f *Fault
+		if !errors.As(err, &f) || f.Code != "Server" || !strings.Contains(f.String, "kaput") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("client fault passthrough", func(t *testing.T) {
+		_, err := Call(nil, ts.URL, &Message{Action: "clientFault"})
+		var f *Fault
+		if !errors.As(err, &f) || f.Code != "Client" {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("unknown action", func(t *testing.T) {
+		_, err := Call(nil, ts.URL, &Message{Action: "nosuch"})
+		var f *Fault
+		if !errors.As(err, &f) || !strings.Contains(f.String, "unknown action") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+
+	t.Run("GET rejected", func(t *testing.T) {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	})
+}
+
+func TestCallConnectionError(t *testing.T) {
+	_, err := Call(nil, "http://127.0.0.1:1/unreachable", &Message{Action: "x"})
+	if err == nil {
+		t.Fatal("Call to dead endpoint succeeded")
+	}
+}
+
+// Property: any printable param values survive the envelope round trip.
+func TestQuickParamRoundTrip(t *testing.T) {
+	f := func(vals []string) bool {
+		m := &Message{Action: "op", Params: map[string]string{}}
+		for i, v := range vals {
+			m.Params[fmt.Sprintf("p%d", i)] = sanitizeXML(v)
+		}
+		data, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		if len(back.Params) != len(m.Params) {
+			return false
+		}
+		for k, v := range m.Params {
+			if back.Params[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeXML(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r == '\t' || r == '\n' || r >= 0x20 && r != 0xFFFE && r != 0xFFFF && !(r >= 0xD800 && r <= 0xDFFF) {
+			sb.WriteRune(r)
+		}
+	}
+	return strings.Trim(sb.String(), "\r \t\n")
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	m := &Message{Action: "book", Params: map[string]string{
+		"customer": "alice", "dest": "sydney", "depart": "2026-07-01", "return": "2026-07-14",
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

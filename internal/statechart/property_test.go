@@ -1,0 +1,91 @@
+package statechart_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"selfserv/internal/statechart"
+	"selfserv/internal/workload"
+)
+
+// Property: every valid random chart survives an XML round trip with its
+// structure intact, and Clone is always deep.
+func TestRandomChartsXMLRoundTripAndClone(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			sc := workload.RandomChart(workload.RandomOptions{
+				States: 18, MaxDepth: 4, BranchProb: 0.35, ParallelProb: 0.3, Seed: seed,
+			})
+			if err := statechart.Validate(sc); err != nil {
+				t.Fatalf("invalid chart: %v", err)
+			}
+
+			data, err := statechart.MarshalXML(sc)
+			if err != nil {
+				t.Fatalf("MarshalXML: %v", err)
+			}
+			back, err := statechart.UnmarshalXML(data)
+			if err != nil {
+				t.Fatalf("UnmarshalXML: %v", err)
+			}
+			// Unmarshal defaults Name to ID; normalize for comparison.
+			norm := sc.Clone()
+			norm.Root.Walk(func(s *statechart.State) bool {
+				if s.Name == "" {
+					s.Name = s.ID
+				}
+				return true
+			})
+			if !reflect.DeepEqual(norm, back) {
+				t.Fatalf("XML round trip changed the chart:\n%s\nvs\n%s", norm, back)
+			}
+			if err := statechart.Validate(back); err != nil {
+				t.Fatalf("round-tripped chart invalid: %v", err)
+			}
+
+			// Clone depth: mutating the clone leaves the original intact.
+			cp := sc.Clone()
+			cp.Root.Walk(func(s *statechart.State) bool {
+				s.ID = "mut_" + s.ID
+				return true
+			})
+			if sc.Root.ID == cp.Root.ID {
+				t.Fatal("Clone shares state")
+			}
+			if err := statechart.Validate(sc); err != nil {
+				t.Fatalf("original corrupted by clone mutation: %v", err)
+			}
+
+			// Structural counters agree between original and round trip.
+			if sc.CountStates() != back.CountStates() || sc.Depth() != back.Depth() ||
+				len(sc.BasicStates()) != len(back.BasicStates()) {
+				t.Fatal("structural counters diverged after round trip")
+			}
+		})
+	}
+}
+
+// Property: Find locates exactly the states Walk visits.
+func TestFindConsistentWithWalk(t *testing.T) {
+	sc := workload.RandomChart(workload.RandomOptions{
+		States: 20, MaxDepth: 3, BranchProb: 0.3, ParallelProb: 0.3, Seed: 99,
+	})
+	var ids []string
+	sc.Root.Walk(func(s *statechart.State) bool {
+		ids = append(ids, s.ID)
+		return true
+	})
+	for _, id := range ids {
+		got := sc.Find(id)
+		if got == nil || got.ID != id {
+			t.Fatalf("Find(%q) = %v", id, got)
+		}
+		if id != sc.Root.ID {
+			if p := sc.Parent(id); p == nil || p.Child(id) == nil {
+				t.Fatalf("Parent(%q) inconsistent", id)
+			}
+		}
+	}
+}

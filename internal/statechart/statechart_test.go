@@ -1,0 +1,377 @@
+package statechart
+
+import (
+	"strings"
+	"testing"
+)
+
+// chain returns a valid linear chart: init -> s1 -> s2 -> ... -> sn -> end.
+func chain(n int) *Statechart {
+	root := &State{ID: "root", Kind: KindCompound}
+	root.Children = append(root.Children, &State{ID: "init", Kind: KindInitial})
+	prev := "init"
+	for i := 1; i <= n; i++ {
+		id := "s" + string(rune('0'+i))
+		root.Children = append(root.Children, &State{
+			ID: id, Kind: KindBasic, Service: "svc" + id, Operation: "run",
+		})
+		root.Transitions = append(root.Transitions, Transition{From: prev, To: id})
+		prev = id
+	}
+	root.Children = append(root.Children, &State{ID: "end", Kind: KindFinal})
+	root.Transitions = append(root.Transitions, Transition{From: prev, To: "end"})
+	return &Statechart{Name: "chain", Root: root}
+}
+
+// travelChart builds the paper's Fig 2 scenario:
+// init -> AND(flight-or-ITA || attractions || accommodation) -> conditional CR -> end.
+func travelChart() *Statechart {
+	flightRegion := &State{
+		ID: "flightRegion", Kind: KindCompound,
+		Children: []*State{
+			{ID: "fInit", Kind: KindInitial},
+			{ID: "DFB", Kind: KindBasic, Service: "DomesticFlightBooking", Operation: "book",
+				Inputs:  []Binding{{Param: "dest", Var: "destination"}},
+				Outputs: []Binding{{Param: "ref", Var: "flightRef"}}},
+			{ID: "ITA", Kind: KindBasic, Service: "InternationalTravel", Operation: "arrange",
+				Inputs:  []Binding{{Param: "dest", Var: "destination"}},
+				Outputs: []Binding{{Param: "ref", Var: "flightRef"}}},
+			{ID: "fEnd", Kind: KindFinal},
+		},
+		Transitions: []Transition{
+			{From: "fInit", To: "DFB", Condition: "domestic(destination)"},
+			{From: "fInit", To: "ITA", Condition: "not domestic(destination)"},
+			{From: "DFB", To: "fEnd"},
+			{From: "ITA", To: "fEnd"},
+		},
+	}
+	asRegion := &State{
+		ID: "asRegion", Kind: KindCompound,
+		Children: []*State{
+			{ID: "aInit", Kind: KindInitial},
+			{ID: "AS", Kind: KindBasic, Service: "AttractionsSearch", Operation: "search",
+				Inputs:  []Binding{{Param: "dest", Var: "destination"}},
+				Outputs: []Binding{{Param: "top", Var: "major_attraction"}}},
+			{ID: "aEnd", Kind: KindFinal},
+		},
+		Transitions: []Transition{
+			{From: "aInit", To: "AS"},
+			{From: "AS", To: "aEnd"},
+		},
+	}
+	abRegion := &State{
+		ID: "abRegion", Kind: KindCompound,
+		Children: []*State{
+			{ID: "bInit", Kind: KindInitial},
+			{ID: "AB", Kind: KindBasic, Service: "AccommodationBooking", Operation: "book",
+				Inputs:  []Binding{{Param: "dest", Var: "destination"}},
+				Outputs: []Binding{{Param: "addr", Var: "accommodation"}}},
+			{ID: "bEnd", Kind: KindFinal},
+		},
+		Transitions: []Transition{
+			{From: "bInit", To: "AB"},
+			{From: "AB", To: "bEnd"},
+		},
+	}
+	par := &State{
+		ID: "bookings", Kind: KindConcurrent,
+		Children: []*State{flightRegion, asRegion, abRegion},
+	}
+	root := &State{
+		ID: "root", Kind: KindCompound,
+		Children: []*State{
+			{ID: "init", Kind: KindInitial},
+			par,
+			{ID: "CR", Kind: KindBasic, Service: "CarRental", Operation: "rent",
+				Inputs:  []Binding{{Param: "addr", Var: "accommodation"}},
+				Outputs: []Binding{{Param: "car", Var: "car"}}},
+			{ID: "end", Kind: KindFinal},
+		},
+		Transitions: []Transition{
+			{From: "init", To: "bookings"},
+			{From: "bookings", To: "CR", Condition: "not near(major_attraction, accommodation)"},
+			{From: "bookings", To: "end", Condition: "near(major_attraction, accommodation)"},
+			{From: "CR", To: "end"},
+		},
+	}
+	return &Statechart{
+		Name:    "TravelPlanner",
+		Inputs:  []Param{{Name: "destination", Type: "string"}},
+		Outputs: []Param{{Name: "flightRef", Type: "string"}, {Name: "accommodation", Type: "string"}},
+		Root:    root,
+	}
+}
+
+func TestValidateTravelScenario(t *testing.T) {
+	sc := travelChart()
+	if err := Validate(sc); err != nil {
+		t.Fatalf("travel scenario should validate: %v", err)
+	}
+}
+
+func TestValidateChain(t *testing.T) {
+	if err := Validate(chain(3)); err != nil {
+		t.Fatalf("chain should validate: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	sc := travelChart()
+	if got := sc.Find("AB"); got == nil || got.Service != "AccommodationBooking" {
+		t.Fatalf("Find(AB) = %+v", got)
+	}
+	if sc.Find("nope") != nil {
+		t.Fatal("Find(nope) found something")
+	}
+	if p := sc.Parent("AB"); p == nil || p.ID != "abRegion" {
+		t.Fatalf("Parent(AB) = %v", p)
+	}
+	if p := sc.Parent("root"); p != nil {
+		t.Fatalf("Parent(root) = %v, want nil", p)
+	}
+	basics := sc.BasicStates()
+	if len(basics) != 5 {
+		t.Fatalf("BasicStates: got %d, want 5", len(basics))
+	}
+	svcs := sc.Services()
+	want := []string{"AccommodationBooking", "AttractionsSearch", "CarRental", "DomesticFlightBooking", "InternationalTravel"}
+	if len(svcs) != len(want) {
+		t.Fatalf("Services = %v, want %v", svcs, want)
+	}
+	for i := range want {
+		if svcs[i] != want[i] {
+			t.Fatalf("Services = %v, want %v", svcs, want)
+		}
+	}
+	if d := sc.Depth(); d != 4 {
+		t.Fatalf("Depth = %d, want 4", d)
+	}
+	if n := sc.CountStates(); n != 18 {
+		t.Fatalf("CountStates = %d, want 18", n)
+	}
+	root := sc.Root
+	if init := root.Initial(); init == nil || init.ID != "init" {
+		t.Fatalf("Initial = %v", init)
+	}
+	if fin := root.Final(); fin == nil || fin.ID != "end" {
+		t.Fatalf("Final = %v", fin)
+	}
+	if len(root.TransitionsFrom("bookings")) != 2 {
+		t.Fatal("TransitionsFrom(bookings) != 2")
+	}
+	if len(root.TransitionsTo("end")) != 2 {
+		t.Fatal("TransitionsTo(end) != 2")
+	}
+	if root.Child("CR") == nil || root.Child("AB") != nil {
+		t.Fatal("Child lookup wrong (must be direct children only)")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	sc := travelChart()
+	cp := sc.Clone()
+	cp.Find("AB").Service = "Mutated"
+	cp.Root.Transitions[1].Condition = "true"
+	cp.Inputs[0].Name = "changed"
+	if sc.Find("AB").Service != "AccommodationBooking" {
+		t.Fatal("Clone shares State pointers")
+	}
+	if sc.Root.Transitions[1].Condition == "true" {
+		t.Fatal("Clone shares transition slice")
+	}
+	if sc.Inputs[0].Name != "destination" {
+		t.Fatal("Clone shares param slice")
+	}
+}
+
+func mustInvalid(t *testing.T, sc *Statechart, wantSubstr string) {
+	t.Helper()
+	err := Validate(sc)
+	if err == nil {
+		t.Fatalf("Validate accepted invalid chart (want %q)", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("Validate error %q does not mention %q", err, wantSubstr)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	t.Run("no root", func(t *testing.T) {
+		mustInvalid(t, &Statechart{Name: "x"}, "no root state")
+	})
+	t.Run("no name", func(t *testing.T) {
+		sc := chain(1)
+		sc.Name = ""
+		mustInvalid(t, sc, "no name")
+	})
+	t.Run("root not compound", func(t *testing.T) {
+		mustInvalid(t, &Statechart{Name: "x", Root: &State{ID: "r", Kind: KindBasic, Service: "s", Operation: "o"}}, "must be compound")
+	})
+	t.Run("duplicate ids", func(t *testing.T) {
+		sc := chain(2)
+		sc.Root.Children[1].ID = "s2"
+		sc.Root.Transitions[0].To = "s2"
+		mustInvalid(t, sc, "duplicate state ID")
+	})
+	t.Run("reserved id", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Children[1].ID = "$bad"
+		sc.Root.Transitions[0].To = "$bad"
+		sc.Root.Transitions[1].From = "$bad"
+		mustInvalid(t, sc, "reserved prefix")
+	})
+	t.Run("basic without service", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Children[1].Service = ""
+		mustInvalid(t, sc, "names no service")
+	})
+	t.Run("basic without operation", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Children[1].Operation = ""
+		mustInvalid(t, sc, "names no operation")
+	})
+	t.Run("two initials", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Children = append(sc.Root.Children, &State{ID: "init2", Kind: KindInitial})
+		mustInvalid(t, sc, "initial states")
+	})
+	t.Run("no final", func(t *testing.T) {
+		sc := chain(1)
+		var kept []*State
+		for _, c := range sc.Root.Children {
+			if c.Kind != KindFinal {
+				kept = append(kept, c)
+			}
+		}
+		sc.Root.Children = kept
+		mustInvalid(t, sc, "final states")
+	})
+	t.Run("unknown transition target", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Transitions = append(sc.Root.Transitions, Transition{From: "s1", To: "ghost"})
+		mustInvalid(t, sc, "unknown state")
+	})
+	t.Run("transition from final", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Transitions = append(sc.Root.Transitions, Transition{From: "end", To: "s1"})
+		mustInvalid(t, sc, "starts at final")
+	})
+	t.Run("transition into initial", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Transitions = append(sc.Root.Transitions, Transition{From: "s1", To: "init"})
+		mustInvalid(t, sc, "incoming transitions")
+	})
+	t.Run("bad guard", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Transitions[0].Condition = "((("
+		mustInvalid(t, sc, "syntax error")
+	})
+	t.Run("bad action", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Transitions[0].Actions = []Assignment{{Var: "x", Expr: "1 +"}}
+		mustInvalid(t, sc, "syntax error")
+	})
+	t.Run("action without var", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Transitions[0].Actions = []Assignment{{Var: "", Expr: "1"}}
+		mustInvalid(t, sc, "no target variable")
+	})
+	t.Run("unreachable state", func(t *testing.T) {
+		sc := chain(2)
+		// Remove s1 -> s2, leaving s2 unreachable (but keep s2 -> end).
+		var kept []Transition
+		for _, tr := range sc.Root.Transitions {
+			if !(tr.From == "s1" && tr.To == "s2") {
+				kept = append(kept, tr)
+			}
+		}
+		sc.Root.Transitions = append(kept, Transition{From: "s1", To: "end"})
+		mustInvalid(t, sc, "unreachable")
+	})
+	t.Run("concurrent with one region", func(t *testing.T) {
+		inner := chain(1).Root
+		inner.ID = "region1"
+		sc := &Statechart{Name: "x", Root: &State{
+			ID: "root", Kind: KindCompound,
+			Children: []*State{
+				{ID: "init", Kind: KindInitial},
+				{ID: "par", Kind: KindConcurrent, Children: []*State{inner}},
+				{ID: "end", Kind: KindFinal},
+			},
+			Transitions: []Transition{{From: "init", To: "par"}, {From: "par", To: "end"}},
+		}}
+		mustInvalid(t, sc, "regions, want at least 2")
+	})
+	t.Run("region not compound", func(t *testing.T) {
+		sc := &Statechart{Name: "x", Root: &State{
+			ID: "root", Kind: KindCompound,
+			Children: []*State{
+				{ID: "init", Kind: KindInitial},
+				{ID: "par", Kind: KindConcurrent, Children: []*State{
+					{ID: "r1", Kind: KindBasic, Service: "s", Operation: "o"},
+					{ID: "r2", Kind: KindBasic, Service: "s", Operation: "o"},
+				}},
+				{ID: "end", Kind: KindFinal},
+			},
+			Transitions: []Transition{{From: "init", To: "par"}, {From: "par", To: "end"}},
+		}}
+		mustInvalid(t, sc, "must be compound")
+	})
+	t.Run("pseudo with service", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Children[0].Service = "oops"
+		mustInvalid(t, sc, "must not bind a service")
+	})
+	t.Run("input binding both var and expr", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Children[1].Inputs = []Binding{{Param: "p", Var: "v", Expr: "1"}}
+		mustInvalid(t, sc, "exactly one of var/expr")
+	})
+	t.Run("output binding without var", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Children[1].Outputs = []Binding{{Param: "p"}}
+		mustInvalid(t, sc, "target variable")
+	})
+	t.Run("output never produced", func(t *testing.T) {
+		sc := chain(1)
+		sc.Outputs = []Param{{Name: "ghostOutput"}}
+		mustInvalid(t, sc, "never produced")
+	})
+	t.Run("duplicate params", func(t *testing.T) {
+		sc := chain(1)
+		sc.Inputs = []Param{{Name: "a"}, {Name: "a"}}
+		mustInvalid(t, sc, "duplicate composite parameter")
+	})
+	t.Run("initial without outgoing", func(t *testing.T) {
+		sc := chain(1)
+		sc.Root.Transitions = []Transition{{From: "s1", To: "end"}}
+		mustInvalid(t, sc, "no outgoing transition")
+	})
+}
+
+func TestValidationErrorListsAllProblems(t *testing.T) {
+	sc := chain(1)
+	sc.Name = ""
+	sc.Root.Children[1].Service = ""
+	sc.Root.Children[1].Operation = ""
+	err := Validate(sc)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	ve, ok := err.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type %T, want *ValidationError", err)
+	}
+	if len(ve.Problems) < 3 {
+		t.Fatalf("got %d problems, want >= 3: %v", len(ve.Problems), ve.Problems)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := travelChart().String()
+	for _, want := range []string{"TravelPlanner", "DFB", "CarRental.rent", "domestic(destination)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}

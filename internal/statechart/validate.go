@@ -1,0 +1,358 @@
+package statechart
+
+import (
+	"fmt"
+	"strings"
+
+	"selfserv/internal/expr"
+)
+
+// ValidationError aggregates all problems found in a statechart so that a
+// composer sees every issue in one pass, mirroring the service editor's
+// "analyse" step in the paper.
+type ValidationError struct {
+	Chart    string
+	Problems []string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("statechart %q is invalid:\n  - %s",
+		e.Chart, strings.Join(e.Problems, "\n  - "))
+}
+
+// Validate checks the well-formedness rules the deployer relies on:
+//
+//   - the root exists and is a compound state;
+//   - state IDs are unique and non-empty;
+//   - every compound state has exactly one initial and exactly one final
+//     pseudo-state, plus at least one other child;
+//   - every region of a concurrent state is a compound state;
+//   - basic states name a service and operation; pseudo/composite states
+//     do not;
+//   - transitions connect existing siblings, never start at a final state
+//     nor end at an initial state; the initial state has at least one
+//     outgoing transition and no incoming ones;
+//   - guard conditions, binding expressions, and action expressions parse;
+//   - every non-pseudo child of a compound state is reachable from the
+//     initial state, and the final state is reachable from the initial
+//     state;
+//   - concurrent states have at least two regions (otherwise they are
+//     pointless and usually a composition mistake).
+//
+// Validate returns nil if the chart is well-formed, otherwise a
+// *ValidationError listing every problem found.
+func Validate(sc *Statechart) error {
+	v := &validator{chart: sc}
+	v.run()
+	if len(v.problems) == 0 {
+		return nil
+	}
+	return &ValidationError{Chart: sc.Name, Problems: v.problems}
+}
+
+type validator struct {
+	chart    *Statechart
+	problems []string
+}
+
+func (v *validator) errorf(format string, args ...any) {
+	v.problems = append(v.problems, fmt.Sprintf(format, args...))
+}
+
+func (v *validator) run() {
+	sc := v.chart
+	if sc.Name == "" {
+		v.errorf("composite service has no name")
+	}
+	if sc.Root == nil {
+		v.errorf("no root state")
+		return
+	}
+	if sc.Root.Kind != KindCompound {
+		v.errorf("root state %q must be compound, is %s", sc.Root.ID, sc.Root.Kind)
+	}
+	v.checkUniqueIDs()
+	sc.Root.Walk(func(s *State) bool {
+		v.checkState(s)
+		return true
+	})
+	v.checkParams()
+}
+
+func (v *validator) checkUniqueIDs() {
+	seen := map[string]bool{}
+	v.chart.Root.Walk(func(s *State) bool {
+		if s.ID == "" {
+			v.errorf("a %s state has an empty ID", s.Kind)
+			return true
+		}
+		if strings.HasPrefix(s.ID, "$") {
+			v.errorf("state ID %q uses reserved prefix '$'", s.ID)
+		}
+		if seen[s.ID] {
+			v.errorf("duplicate state ID %q", s.ID)
+		}
+		seen[s.ID] = true
+		return true
+	})
+}
+
+func (v *validator) checkState(s *State) {
+	switch s.Kind {
+	case KindBasic:
+		if s.Service == "" {
+			v.errorf("basic state %q names no service", s.ID)
+		}
+		if s.Operation == "" {
+			v.errorf("basic state %q names no operation", s.ID)
+		}
+		if len(s.Children) > 0 {
+			v.errorf("basic state %q has children", s.ID)
+		}
+		if len(s.Transitions) > 0 {
+			v.errorf("basic state %q declares transitions (only compound states may)", s.ID)
+		}
+		v.checkBindings(s)
+	case KindInitial, KindFinal:
+		if s.Service != "" || s.Operation != "" {
+			v.errorf("pseudo-state %q must not bind a service", s.ID)
+		}
+		if len(s.Children) > 0 || len(s.Transitions) > 0 {
+			v.errorf("pseudo-state %q must be a leaf", s.ID)
+		}
+	case KindCompound:
+		v.checkCompound(s)
+	case KindConcurrent:
+		v.checkConcurrent(s)
+	default:
+		v.errorf("state %q has unknown kind %d", s.ID, int(s.Kind))
+	}
+}
+
+func (v *validator) checkBindings(s *State) {
+	for _, b := range s.Inputs {
+		if b.Param == "" {
+			v.errorf("state %q has an input binding with no parameter name", s.ID)
+		}
+		if (b.Var == "") == (b.Expr == "") {
+			v.errorf("state %q input %q must set exactly one of var/expr", s.ID, b.Param)
+			continue
+		}
+		if b.Expr != "" {
+			if _, err := expr.Parse(b.Expr); err != nil {
+				v.errorf("state %q input %q: %v", s.ID, b.Param, err)
+			}
+		}
+	}
+	for _, b := range s.Outputs {
+		if b.Param == "" {
+			v.errorf("state %q has an output binding with no parameter name", s.ID)
+		}
+		if b.Var == "" {
+			v.errorf("state %q output %q must name a target variable", s.ID, b.Param)
+		}
+		if b.Expr != "" {
+			v.errorf("state %q output %q must not carry an expression", s.ID, b.Param)
+		}
+	}
+}
+
+func (v *validator) checkCompound(s *State) {
+	if s.Service != "" || s.Operation != "" {
+		v.errorf("compound state %q must not bind a service", s.ID)
+	}
+	var initials, finals, others int
+	ids := map[string]*State{}
+	for _, c := range s.Children {
+		ids[c.ID] = c
+		switch c.Kind {
+		case KindInitial:
+			initials++
+		case KindFinal:
+			finals++
+		default:
+			others++
+		}
+	}
+	if initials != 1 {
+		v.errorf("compound state %q has %d initial states, want exactly 1", s.ID, initials)
+	}
+	if finals != 1 {
+		v.errorf("compound state %q has %d final states, want exactly 1", s.ID, finals)
+	}
+	if others == 0 {
+		v.errorf("compound state %q has no working states", s.ID)
+	}
+	v.checkTransitions(s, ids)
+	if initials == 1 && finals == 1 {
+		v.checkReachability(s)
+	}
+}
+
+func (v *validator) checkConcurrent(s *State) {
+	if s.Service != "" || s.Operation != "" {
+		v.errorf("concurrent state %q must not bind a service", s.ID)
+	}
+	if len(s.Transitions) > 0 {
+		v.errorf("concurrent state %q must not declare transitions between regions", s.ID)
+	}
+	if len(s.Children) < 2 {
+		v.errorf("concurrent state %q has %d regions, want at least 2", s.ID, len(s.Children))
+	}
+	for _, r := range s.Children {
+		if r.Kind != KindCompound {
+			v.errorf("region %q of concurrent state %q must be compound, is %s", r.ID, s.ID, r.Kind)
+		}
+	}
+}
+
+func (v *validator) checkTransitions(s *State, ids map[string]*State) {
+	for i, t := range s.Transitions {
+		from, okF := ids[t.From]
+		to, okT := ids[t.To]
+		if !okF {
+			v.errorf("transition #%d in %q starts at unknown state %q", i, s.ID, t.From)
+		}
+		if !okT {
+			v.errorf("transition #%d in %q ends at unknown state %q", i, s.ID, t.To)
+		}
+		if okF && from.Kind == KindFinal {
+			v.errorf("transition #%d in %q starts at final state %q", i, s.ID, t.From)
+		}
+		if okT && to.Kind == KindInitial {
+			v.errorf("transition #%d in %q ends at initial state %q", i, s.ID, t.To)
+		}
+		if okF && okT && from.Kind == KindInitial && to.Kind == KindFinal {
+			v.errorf("transition #%d in %q short-circuits initial to final", i, s.ID)
+		}
+		if t.Condition != "" {
+			if _, err := expr.Parse(t.Condition); err != nil {
+				v.errorf("transition %s->%s in %q: %v", t.From, t.To, s.ID, err)
+			}
+		}
+		if t.Event != "" {
+			if !validEventName(t.Event) {
+				v.errorf("transition %s->%s in %q has malformed event name %q", t.From, t.To, s.ID, t.Event)
+			}
+			if okF && from.Kind == KindInitial {
+				v.errorf("transition %s->%s in %q: initial transitions must not carry events", t.From, t.To, s.ID)
+			}
+			if okT && to.Kind == KindFinal {
+				v.errorf("transition %s->%s in %q: transitions into a final state must not carry events", t.From, t.To, s.ID)
+			}
+		}
+		for _, a := range t.Actions {
+			if a.Var == "" {
+				v.errorf("transition %s->%s in %q has an action with no target variable", t.From, t.To, s.ID)
+			}
+			if _, err := expr.Parse(a.Expr); err != nil {
+				v.errorf("transition %s->%s action %q in %q: %v", t.From, t.To, a.Var, s.ID, err)
+			}
+		}
+	}
+	if init := s.Initial(); init != nil {
+		if len(s.TransitionsFrom(init.ID)) == 0 {
+			v.errorf("initial state of %q has no outgoing transition", s.ID)
+		}
+		if len(s.TransitionsTo(init.ID)) > 0 {
+			v.errorf("initial state of %q has incoming transitions", s.ID)
+		}
+	}
+}
+
+// checkReachability verifies that every working child and the final state
+// are reachable from the initial state via transitions.
+func (v *validator) checkReachability(s *State) {
+	init := s.Initial()
+	if init == nil {
+		return
+	}
+	reached := map[string]bool{init.ID: true}
+	frontier := []string{init.ID}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, t := range s.TransitionsFrom(cur) {
+			if !reached[t.To] {
+				reached[t.To] = true
+				frontier = append(frontier, t.To)
+			}
+		}
+	}
+	for _, c := range s.Children {
+		if c.Kind == KindInitial {
+			continue
+		}
+		if !reached[c.ID] {
+			v.errorf("state %q in %q is unreachable from the initial state", c.ID, s.ID)
+		}
+	}
+}
+
+// checkParams verifies the composite signature: declared parameter names
+// are unique, and output variables are produced by at least one state
+// output binding or transition action (a heuristic completeness check).
+func (v *validator) checkParams() {
+	seen := map[string]bool{}
+	for _, p := range v.chart.Inputs {
+		if p.Name == "" {
+			v.errorf("composite input with empty name")
+		}
+		if seen[p.Name] {
+			v.errorf("duplicate composite parameter %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	produced := map[string]bool{}
+	v.chart.Root.Walk(func(s *State) bool {
+		for _, b := range s.Outputs {
+			produced[b.Var] = true
+		}
+		for _, t := range s.Transitions {
+			for _, a := range t.Actions {
+				produced[a.Var] = true
+			}
+		}
+		return true
+	})
+	// Inputs and outputs are separate namespaces: a name appearing in both
+	// is an in-out variable threaded through the composite.
+	seenOut := map[string]bool{}
+	for _, p := range v.chart.Outputs {
+		if p.Name == "" {
+			v.errorf("composite output with empty name")
+			continue
+		}
+		if seenOut[p.Name] {
+			v.errorf("duplicate composite parameter %q", p.Name)
+		}
+		seenOut[p.Name] = true
+		if !produced[p.Name] && !inputDeclared(v.chart, p.Name) {
+			v.errorf("composite output %q is never produced by any state or action", p.Name)
+		}
+	}
+}
+
+// validEventName accepts identifier-shaped event names (letters, digits,
+// '_', '-', '.'; must start with a letter or '_').
+func validEventName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+func inputDeclared(sc *Statechart, name string) bool {
+	for _, p := range sc.Inputs {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}

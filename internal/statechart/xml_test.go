@@ -1,0 +1,153 @@
+package statechart
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestXMLRoundTrip(t *testing.T) {
+	for name, sc := range map[string]*Statechart{
+		"travel": travelChart(),
+		"chain":  chain(4),
+	} {
+		t.Run(name, func(t *testing.T) {
+			data, err := MarshalXML(sc)
+			if err != nil {
+				t.Fatalf("MarshalXML: %v", err)
+			}
+			back, err := UnmarshalXML(data)
+			if err != nil {
+				t.Fatalf("UnmarshalXML: %v", err)
+			}
+			// Unmarshal defaults Name to ID; normalize the original the same way.
+			norm := sc.Clone()
+			norm.Root.Walk(func(s *State) bool {
+				if s.Name == "" {
+					s.Name = s.ID
+				}
+				return true
+			})
+			if !reflect.DeepEqual(norm, back) {
+				t.Fatalf("round trip mismatch:\noriginal: %s\nback:     %s", norm, back)
+			}
+			if err := Validate(back); err != nil {
+				t.Fatalf("round-tripped chart invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestXMLReaderWriter(t *testing.T) {
+	sc := travelChart()
+	var buf bytes.Buffer
+	if err := WriteXML(&buf, sc); err != nil {
+		t.Fatalf("WriteXML: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "<?xml") {
+		t.Error("missing XML header")
+	}
+	back, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatalf("ReadXML: %v", err)
+	}
+	if back.Name != "TravelPlanner" {
+		t.Fatalf("Name = %q", back.Name)
+	}
+	if back.Find("CR") == nil {
+		t.Fatal("lost CR state")
+	}
+}
+
+func TestUnmarshalHandEditedDocument(t *testing.T) {
+	// A document as the paper's service editor would emit it, with the
+	// "and" alias for concurrent and a defaulted basic kind.
+	doc := `<?xml version="1.0"?>
+<statechart name="Mini">
+  <input name="city" type="string"/>
+  <output name="ref" type="string"/>
+  <state id="root" kind="compound">
+    <state id="i" kind="initial"/>
+    <state id="par" kind="and">
+      <state id="r1" kind="compound">
+        <state id="r1i" kind="initial"/>
+        <state id="book" service="Booker" operation="book">
+          <in param="city" var="city"/>
+          <out param="ref" var="ref"/>
+        </state>
+        <state id="r1f" kind="final"/>
+        <transition from="r1i" to="book"/>
+        <transition from="book" to="r1f"/>
+      </state>
+      <state id="r2" kind="compound">
+        <state id="r2i" kind="initial"/>
+        <state id="search" service="Searcher" operation="search">
+          <in param="q" expr="'hotels in ' + city"/>
+          <out param="hits" var="hits"/>
+        </state>
+        <state id="r2f" kind="final"/>
+        <transition from="r2i" to="search"/>
+        <transition from="search" to="r2f"/>
+      </state>
+    </state>
+    <state id="f" kind="final"/>
+    <transition from="i" to="par"/>
+    <transition from="par" to="f">
+      <assign var="done" expr="true"/>
+    </transition>
+  </state>
+</statechart>`
+	sc, err := UnmarshalXML([]byte(doc))
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v", err)
+	}
+	if err := Validate(sc); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	par := sc.Find("par")
+	if par.Kind != KindConcurrent {
+		t.Fatalf("par kind = %v, want concurrent", par.Kind)
+	}
+	book := sc.Find("book")
+	if book.Kind != KindBasic {
+		t.Fatalf("book kind = %v (default should be basic)", book.Kind)
+	}
+	search := sc.Find("search")
+	if len(search.Inputs) != 1 || search.Inputs[0].Expr == "" {
+		t.Fatalf("search inputs = %+v", search.Inputs)
+	}
+	tr := sc.Root.TransitionsFrom("par")
+	if len(tr) != 1 || len(tr[0].Actions) != 1 || tr[0].Actions[0].Var != "done" {
+		t.Fatalf("par transition = %+v", tr)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":      "this is not xml",
+		"unknown kind": `<statechart name="x"><state id="r" kind="wat"/></statechart>`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := UnmarshalXML([]byte(doc)); err == nil {
+				t.Fatal("UnmarshalXML succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestMarshalOmitsDefaults(t *testing.T) {
+	sc := chain(1)
+	data, err := MarshalXML(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if strings.Contains(s, `name=""`) {
+		t.Error("marshal emitted empty name attributes")
+	}
+	if strings.Contains(s, `service=""`) {
+		t.Error("marshal emitted empty service attributes")
+	}
+}

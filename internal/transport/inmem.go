@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"selfserv/internal/message"
+)
+
+// InMemOptions configures fault and latency injection on an in-memory
+// network.
+type InMemOptions struct {
+	// Latency delays every delivery by a fixed duration (simulated wire
+	// time). Zero means immediate.
+	Latency time.Duration
+	// DropRate in [0,1) silently drops that fraction of messages. A
+	// dropped message still counts as sent by the sender but never counts
+	// as received. Used for availability experiments.
+	DropRate float64
+	// Seed makes drop decisions reproducible. Zero uses a fixed default.
+	Seed int64
+	// Synchronous delivers messages on the caller's goroutine (after
+	// Latency). Deterministic ordering for tests; production-shaped runs
+	// should leave it false.
+	Synchronous bool
+}
+
+// InMem is a process-local Network. Every message is marshalled and
+// unmarshalled exactly as on the TCP path, so serialization bugs and costs
+// are identical; only the socket is elided.
+type InMem struct {
+	opts  InMemOptions
+	stats *statsBook
+
+	mu        sync.RWMutex
+	handlers  map[string]Handler
+	closed    bool
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	deliverWG sync.WaitGroup
+}
+
+// NewInMem returns an in-memory network with the given options.
+func NewInMem(opts InMemOptions) *InMem {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &InMem{
+		opts:     opts,
+		stats:    newStatsBook(),
+		handlers: map[string]Handler{},
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Listen implements Network.
+func (n *InMem) Listen(addr string, h Handler) (Endpoint, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("transport: empty address")
+	}
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for %q", addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.handlers[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	n.handlers[addr] = h
+	return &inmemEndpoint{net: n, addr: addr}, nil
+}
+
+// Send implements Network.
+func (n *InMem) Send(ctx context.Context, to string, m *message.Message) error {
+	data, err := encode(m)
+	if err != nil {
+		return err
+	}
+	n.mu.RLock()
+	h, ok := n.handlers[to]
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+	}
+	sender := SenderFrom(ctx)
+	if n.dropped() {
+		// The sender paid the cost of sending; the receiver never sees it.
+		n.stats.mu.Lock()
+		if sender != "" {
+			s := n.stats.node(sender)
+			s.MsgsOut++
+			s.BytesOut += int64(len(data))
+		}
+		n.stats.mu.Unlock()
+		return nil
+	}
+	n.stats.recordSend(sender, to, len(data))
+
+	deliver := func() {
+		if n.opts.Latency > 0 {
+			timer := time.NewTimer(n.opts.Latency)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			}
+		}
+		decoded, err := message.Unmarshal(data)
+		if err != nil {
+			// encode/decode are inverses; this is unreachable unless the
+			// message vocabulary itself is broken, which tests catch.
+			return
+		}
+		h(ctx, decoded)
+	}
+	if n.opts.Synchronous {
+		deliver()
+		return nil
+	}
+	n.deliverWG.Add(1)
+	go func() {
+		defer n.deliverWG.Done()
+		deliver()
+	}()
+	return nil
+}
+
+func (n *InMem) dropped() bool {
+	if n.opts.DropRate <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < n.opts.DropRate
+}
+
+// Stats implements Network.
+func (n *InMem) Stats() Stats { return n.stats.snapshot() }
+
+// Close implements Network. It waits for in-flight asynchronous
+// deliveries to finish so tests can assert on final state.
+func (n *InMem) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.handlers = map[string]Handler{}
+	n.mu.Unlock()
+	n.deliverWG.Wait()
+	return nil
+}
+
+type inmemEndpoint struct {
+	net  *InMem
+	addr string
+}
+
+func (e *inmemEndpoint) Addr() string { return e.addr }
+
+func (e *inmemEndpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	delete(e.net.handlers, e.addr)
+	return nil
+}

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"selfserv/internal/message"
+)
+
+// maxFrame bounds a single control document on the wire; SELF-SERV
+// messages are small (variable bags), so 16 MiB is generous and protects
+// listeners from corrupt length prefixes.
+const maxFrame = 16 << 20
+
+// TCP is a Network transmitting length-prefixed XML frames over TCP
+// connections, the Go equivalent of the paper's "XML documents exchanged
+// through Java sockets". Outbound connections are cached per destination.
+type TCP struct {
+	stats *statsBook
+
+	mu        sync.Mutex
+	listeners map[string]*tcpEndpoint
+	conns     map[string]*tcpConn
+	closed    bool
+
+	// DialTimeout bounds connection establishment; defaults to 5s.
+	DialTimeout time.Duration
+}
+
+// NewTCP returns an empty TCP network.
+func NewTCP() *TCP {
+	return &TCP{
+		stats:       newStatsBook(),
+		listeners:   map[string]*tcpEndpoint{},
+		conns:       map[string]*tcpConn{},
+		DialTimeout: 5 * time.Second,
+	}
+}
+
+// tcpConn pairs a cached connection with a write mutex so concurrent
+// frames to the same destination never interleave, while sends to
+// different destinations proceed in parallel.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// Listen implements Network. addr is "host:port"; "127.0.0.1:0" binds an
+// ephemeral port, reported by the endpoint's Addr.
+func (t *TCP) Listen(addr string, h Handler) (Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for %q", addr)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t.mu.Unlock()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{net: t, ln: ln, handler: h, accepted: map[net.Conn]struct{}{}}
+	t.mu.Lock()
+	t.listeners[ln.Addr().String()] = ep
+	t.mu.Unlock()
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Send implements Network. The first Send to a destination dials it; the
+// connection is cached and re-dialed once if it has gone stale.
+func (t *TCP) Send(ctx context.Context, to string, m *message.Message) error {
+	data, err := encode(m)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+
+	if err := t.write(ctx, to, frame); err != nil {
+		// Stale cached connection: drop it and retry once on a fresh one.
+		t.dropConn(to)
+		if err = t.write(ctx, to, frame); err != nil {
+			return err
+		}
+	}
+	t.stats.recordSend(SenderFrom(ctx), to, len(frame))
+	return nil
+}
+
+func (t *TCP) write(ctx context.Context, to string, frame []byte) error {
+	tc, err := t.conn(ctx, to)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		_ = tc.c.SetWriteDeadline(dl)
+	} else {
+		_ = tc.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	}
+	if _, err := tc.c.Write(frame); err != nil {
+		return fmt.Errorf("transport: write to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (t *TCP) conn(ctx context.Context, to string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+
+	d := net.Dialer{Timeout: t.DialTimeout}
+	c, err := d.DialContext(ctx, "tcp", to)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnknownAddress, to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		c.Close()
+		return existing, nil
+	}
+	tc := &tcpConn{c: c}
+	t.conns[to] = tc
+	return tc, nil
+}
+
+func (t *TCP) dropConn(to string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tc, ok := t.conns[to]; ok {
+		tc.c.Close()
+		delete(t.conns, to)
+	}
+}
+
+// Stats implements Network.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
+// Close implements Network.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	eps := make([]*tcpEndpoint, 0, len(t.listeners))
+	for _, ep := range t.listeners {
+		eps = append(eps, ep)
+	}
+	t.listeners = map[string]*tcpEndpoint{}
+	conns := t.conns
+	t.conns = map[string]*tcpConn{}
+	t.mu.Unlock()
+	for _, tc := range conns {
+		tc.c.Close()
+	}
+	for _, ep := range eps {
+		ep.closeListener()
+	}
+	return nil
+}
+
+type tcpEndpoint struct {
+	net     *TCP
+	ln      net.Listener
+	handler Handler
+
+	mu       sync.Mutex
+	closed   bool
+	accepted map[net.Conn]struct{}
+	wg       sync.WaitGroup
+}
+
+func (e *tcpEndpoint) Addr() string { return e.ln.Addr().String() }
+
+func (e *tcpEndpoint) Close() error {
+	e.net.mu.Lock()
+	delete(e.net.listeners, e.Addr())
+	e.net.mu.Unlock()
+	e.closeListener()
+	return nil
+}
+
+func (e *tcpEndpoint) closeListener() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.accepted))
+	for c := range e.accepted {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	e.ln.Close()
+	// Unblock readLoops waiting on peers that keep their cached outbound
+	// connections open.
+	for _, c := range conns {
+		c.Close()
+	}
+	e.wg.Wait()
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.accepted[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer func() {
+				e.mu.Lock()
+				delete(e.accepted, conn)
+				e.mu.Unlock()
+				conn.Close()
+			}()
+			e.readLoop(conn)
+		}()
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrame {
+			return // corrupt stream; drop the connection
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		m, err := message.Unmarshal(payload)
+		if err != nil {
+			continue // skip malformed document, keep the connection
+		}
+		go e.handler(context.Background(), m)
+	}
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selfserv/internal/message"
+)
+
+// TestTCPCorruptLengthPrefixDropsConnection: a frame announcing an absurd
+// length must close that connection without affecting the listener.
+func TestTCPCorruptLengthPrefixDropsConnection(t *testing.T) {
+	tn := NewTCP()
+	defer tn.Close()
+	var count atomic.Int64
+	ep, err := tn.Listen("127.0.0.1:0", func(context.Context, *message.Message) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw connection sending a corrupt prefix.
+	conn, err := net.Dial("tcp", ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evil [4]byte
+	binary.BigEndian.PutUint32(evil[:], 1<<31)
+	if _, err := conn.Write(evil[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The endpoint should close the connection; a subsequent read hits EOF.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection not closed after corrupt frame")
+	}
+	conn.Close()
+
+	// The listener still serves well-formed traffic.
+	if err := tn.Send(context.Background(), ep.Addr(), &message.Message{Type: message.TypeNotify}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return count.Load() == 1 }, "post-corruption delivery")
+}
+
+// TestTCPMalformedDocumentSkipped: a well-framed but non-XML payload is
+// skipped while the connection stays usable.
+func TestTCPMalformedDocumentSkipped(t *testing.T) {
+	tn := NewTCP()
+	defer tn.Close()
+	var count atomic.Int64
+	ep, err := tn.Listen("127.0.0.1:0", func(context.Context, *message.Message) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	writeFrame := func(payload []byte) {
+		t.Helper()
+		var prefix [4]byte
+		binary.BigEndian.PutUint32(prefix[:], uint32(len(payload)))
+		if _, err := conn.Write(append(prefix[:], payload...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFrame([]byte("this is not xml"))
+	good, err := message.Marshal(&message.Message{Type: message.TypeNotify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeFrame(good)
+	waitFor(t, func() bool { return count.Load() == 1 }, "good frame after bad one")
+}
+
+// TestTCPZeroLengthFrameDropsConnection: zero-length frames are invalid.
+func TestTCPZeroLengthFrameDropsConnection(t *testing.T) {
+	tn := NewTCP()
+	defer tn.Close()
+	ep, err := tn.Listen("127.0.0.1:0", func(context.Context, *message.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection survived zero-length frame")
+	}
+}

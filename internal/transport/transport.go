@@ -1,0 +1,165 @@
+// Package transport moves SELF-SERV control documents between peers.
+//
+// The paper exchanges XML documents over Java sockets. This package
+// provides two interchangeable implementations of the same Network
+// contract: a TCP implementation (length-prefixed XML frames over
+// net.Conn, the production path) and an in-memory implementation (for
+// tests and benchmarks, with configurable latency and fault injection).
+// Both serialize every message with package message, so costs and
+// observable behaviour match across implementations.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"selfserv/internal/message"
+)
+
+// Handler consumes an inbound message. Handlers are invoked on their own
+// goroutine per message and must be safe for concurrent use.
+type Handler func(ctx context.Context, m *message.Message)
+
+// ErrUnknownAddress reports a Send to an address nobody listens on.
+var ErrUnknownAddress = errors.New("transport: unknown address")
+
+// ErrClosed reports use of a closed network or endpoint.
+var ErrClosed = errors.New("transport: closed")
+
+// Network delivers one-way messages to named endpoints.
+type Network interface {
+	// Listen registers a handler under addr. For the TCP network the
+	// address is "host:port" ("host:0" picks a free port; the returned
+	// endpoint reports the bound address). For the in-memory network it
+	// is an arbitrary non-empty name.
+	Listen(addr string, h Handler) (Endpoint, error)
+	// Send delivers m to the endpoint listening on to. Delivery is
+	// asynchronous: a nil error means the message was accepted for
+	// delivery, not yet handled.
+	Send(ctx context.Context, to string, m *message.Message) error
+	// Stats returns a snapshot of per-address traffic counters.
+	Stats() Stats
+	// Close shuts down all endpoints.
+	Close() error
+}
+
+// Endpoint is a registered listener.
+type Endpoint interface {
+	// Addr is the address peers use to reach this endpoint.
+	Addr() string
+	// Close unregisters the endpoint.
+	Close() error
+}
+
+// NodeStats counts traffic seen by one address.
+type NodeStats struct {
+	MsgsIn   int64
+	MsgsOut  int64
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Stats is a snapshot of traffic by address.
+type Stats struct {
+	Nodes map[string]NodeStats
+}
+
+// Total sums the per-node counters.
+func (s Stats) Total() NodeStats {
+	var t NodeStats
+	for _, n := range s.Nodes {
+		t.MsgsIn += n.MsgsIn
+		t.MsgsOut += n.MsgsOut
+		t.BytesIn += n.BytesIn
+		t.BytesOut += n.BytesOut
+	}
+	return t
+}
+
+// Busiest returns the address with the highest MsgsIn+MsgsOut and its
+// counters. Ties break alphabetically so results are deterministic.
+func (s Stats) Busiest() (string, NodeStats) {
+	names := make([]string, 0, len(s.Nodes))
+	for n := range s.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bestName, best := "", NodeStats{}
+	for _, n := range names {
+		ns := s.Nodes[n]
+		if bestName == "" || ns.MsgsIn+ns.MsgsOut > best.MsgsIn+best.MsgsOut {
+			bestName, best = n, ns
+		}
+	}
+	return bestName, best
+}
+
+// statsBook is the shared mutable counter set behind Stats snapshots.
+type statsBook struct {
+	mu    sync.Mutex
+	nodes map[string]*NodeStats
+}
+
+func newStatsBook() *statsBook {
+	return &statsBook{nodes: map[string]*NodeStats{}}
+}
+
+func (b *statsBook) node(addr string) *NodeStats {
+	n, ok := b.nodes[addr]
+	if !ok {
+		n = &NodeStats{}
+		b.nodes[addr] = n
+	}
+	return n
+}
+
+func (b *statsBook) recordSend(from, to string, bytes int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if from != "" {
+		n := b.node(from)
+		n.MsgsOut++
+		n.BytesOut += int64(bytes)
+	}
+	n := b.node(to)
+	n.MsgsIn++
+	n.BytesIn += int64(bytes)
+}
+
+func (b *statsBook) snapshot() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := Stats{Nodes: make(map[string]NodeStats, len(b.nodes))}
+	for k, v := range b.nodes {
+		out.Nodes[k] = *v
+	}
+	return out
+}
+
+// senderKey carries the logical sender address through context so that
+// Stats can attribute outbound traffic. Coordinators set it via WithSender.
+type senderKey struct{}
+
+// WithSender tags ctx with the logical sender address for Stats
+// attribution.
+func WithSender(ctx context.Context, addr string) context.Context {
+	return context.WithValue(ctx, senderKey{}, addr)
+}
+
+// SenderFrom extracts the sender tag, or "".
+func SenderFrom(ctx context.Context) string {
+	s, _ := ctx.Value(senderKey{}).(string)
+	return s
+}
+
+// encode serializes m for the wire.
+func encode(m *message.Message) ([]byte, error) {
+	data, err := message.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return data, nil
+}

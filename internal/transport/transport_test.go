@@ -1,0 +1,380 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selfserv/internal/message"
+)
+
+// harness abstracts over the two Network implementations so the same
+// contract tests run against both.
+type harness struct {
+	name string
+	// newNet builds a fresh network.
+	newNet func() Network
+	// addrFor produces a listen address for logical node i.
+	addrFor func(i int) string
+}
+
+func harnesses() []harness {
+	return []harness{
+		{
+			name:    "inmem",
+			newNet:  func() Network { return NewInMem(InMemOptions{}) },
+			addrFor: func(i int) string { return fmt.Sprintf("node-%d", i) },
+		},
+		{
+			name:    "tcp",
+			newNet:  func() Network { return NewTCP() },
+			addrFor: func(i int) string { return "127.0.0.1:0" },
+		},
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestContractDeliver(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			n := h.newNet()
+			defer n.Close()
+
+			var mu sync.Mutex
+			var got []*message.Message
+			ep, err := n.Listen(h.addrFor(1), func(_ context.Context, m *message.Message) {
+				mu.Lock()
+				got = append(got, m)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatalf("Listen: %v", err)
+			}
+			msg := &message.Message{
+				Type: message.TypeNotify, Composite: "C", Instance: "i1",
+				From: "a", To: "b", Vars: map[string]string{"x": "1"},
+			}
+			if err := n.Send(context.Background(), ep.Addr(), msg); err != nil {
+				t.Fatalf("Send: %v", err)
+			}
+			waitFor(t, func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return len(got) == 1
+			}, "delivery")
+			mu.Lock()
+			defer mu.Unlock()
+			if got[0].Vars["x"] != "1" || got[0].Instance != "i1" {
+				t.Fatalf("delivered %+v", got[0])
+			}
+		})
+	}
+}
+
+func TestContractManyToOneOrdering(t *testing.T) {
+	// Deliveries are concurrent, but none may be lost.
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			n := h.newNet()
+			defer n.Close()
+			var count atomic.Int64
+			ep, err := n.Listen(h.addrFor(1), func(_ context.Context, m *message.Message) {
+				count.Add(1)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const senders, per = 8, 50
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m := &message.Message{Type: message.TypeNotify, Seq: i, From: fmt.Sprintf("s%d", s)}
+						if err := n.Send(context.Background(), ep.Addr(), m); err != nil {
+							t.Errorf("Send: %v", err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			waitFor(t, func() bool { return count.Load() == senders*per }, "all deliveries")
+		})
+	}
+}
+
+func TestContractUnknownAddress(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			n := h.newNet()
+			defer n.Close()
+			var bad string
+			if h.name == "tcp" {
+				bad = "127.0.0.1:1" // almost certainly nothing listens here
+			} else {
+				bad = "nobody"
+			}
+			err := n.Send(context.Background(), bad, &message.Message{Type: message.TypeStart})
+			if !errors.Is(err, ErrUnknownAddress) {
+				t.Fatalf("Send to unknown = %v, want ErrUnknownAddress", err)
+			}
+		})
+	}
+}
+
+func TestContractCloseRejectsSend(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			n := h.newNet()
+			ep, err := n.Listen(h.addrFor(1), func(context.Context, *message.Message) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := ep.Addr()
+			if err := n.Close(); err != nil {
+				t.Fatal(err)
+			}
+			err = n.Send(context.Background(), addr, &message.Message{Type: message.TypeStart})
+			if err == nil {
+				t.Fatal("Send after Close succeeded")
+			}
+		})
+	}
+}
+
+func TestContractStats(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			n := h.newNet()
+			defer n.Close()
+			var seen atomic.Int64
+			ep, err := n.Listen(h.addrFor(1), func(context.Context, *message.Message) { seen.Add(1) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := WithSender(context.Background(), "sender-A")
+			for i := 0; i < 3; i++ {
+				if err := n.Send(ctx, ep.Addr(), &message.Message{Type: message.TypeNotify}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitFor(t, func() bool { return seen.Load() == 3 }, "deliveries")
+			st := n.Stats()
+			in := st.Nodes[ep.Addr()]
+			if in.MsgsIn != 3 || in.BytesIn == 0 {
+				t.Fatalf("receiver stats = %+v", in)
+			}
+			out := st.Nodes["sender-A"]
+			if out.MsgsOut != 3 || out.BytesOut != in.BytesIn {
+				t.Fatalf("sender stats = %+v (receiver %+v)", out, in)
+			}
+			total := st.Total()
+			if total.MsgsIn != 3 || total.MsgsOut != 3 {
+				t.Fatalf("total = %+v", total)
+			}
+			name, busiest := st.Busiest()
+			if busiest.MsgsIn+busiest.MsgsOut == 0 || name == "" {
+				t.Fatalf("busiest = %q %+v", name, busiest)
+			}
+		})
+	}
+}
+
+func TestInMemSynchronousDeterminism(t *testing.T) {
+	n := NewInMem(InMemOptions{Synchronous: true})
+	defer n.Close()
+	var order []int
+	ep, _ := n.Listen("sink", func(_ context.Context, m *message.Message) {
+		order = append(order, m.Seq) // safe: synchronous delivery, single sender
+	})
+	for i := 0; i < 10; i++ {
+		if err := n.Send(context.Background(), ep.Addr(), &message.Message{Type: message.TypeNotify, Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, s := range order {
+		if s != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestInMemDropRate(t *testing.T) {
+	n := NewInMem(InMemOptions{DropRate: 0.5, Seed: 42, Synchronous: true})
+	defer n.Close()
+	delivered := 0
+	ep, _ := n.Listen("sink", func(context.Context, *message.Message) { delivered++ })
+	const total = 1000
+	for i := 0; i < total; i++ {
+		if err := n.Send(context.Background(), ep.Addr(), &message.Message{Type: message.TypeNotify}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delivered < total/3 || delivered > 2*total/3 {
+		t.Fatalf("delivered %d of %d with 50%% drop", delivered, total)
+	}
+	// Deterministic under the same seed.
+	n2 := NewInMem(InMemOptions{DropRate: 0.5, Seed: 42, Synchronous: true})
+	defer n2.Close()
+	delivered2 := 0
+	ep2, _ := n2.Listen("sink", func(context.Context, *message.Message) { delivered2++ })
+	for i := 0; i < total; i++ {
+		_ = n2.Send(context.Background(), ep2.Addr(), &message.Message{Type: message.TypeNotify})
+	}
+	if delivered2 != delivered {
+		t.Fatalf("same seed delivered %d then %d", delivered, delivered2)
+	}
+}
+
+func TestInMemLatency(t *testing.T) {
+	n := NewInMem(InMemOptions{Latency: 30 * time.Millisecond})
+	defer n.Close()
+	done := make(chan time.Time, 1)
+	ep, _ := n.Listen("sink", func(context.Context, *message.Message) { done <- time.Now() })
+	start := time.Now()
+	if err := n.Send(context.Background(), ep.Addr(), &message.Message{Type: message.TypeNotify}); err != nil {
+		t.Fatal(err)
+	}
+	at := <-done
+	if d := at.Sub(start); d < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms", d)
+	}
+}
+
+func TestInMemDuplicateListen(t *testing.T) {
+	n := NewInMem(InMemOptions{})
+	defer n.Close()
+	if _, err := n.Listen("a", func(context.Context, *message.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a", func(context.Context, *message.Message) {}); err == nil {
+		t.Fatal("duplicate Listen succeeded")
+	}
+	if _, err := n.Listen("", func(context.Context, *message.Message) {}); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if _, err := n.Listen("b", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestEndpointCloseStopsDelivery(t *testing.T) {
+	n := NewInMem(InMemOptions{Synchronous: true})
+	defer n.Close()
+	got := 0
+	ep, _ := n.Listen("x", func(context.Context, *message.Message) { got++ })
+	if err := n.Send(context.Background(), "x", &message.Message{Type: message.TypeNotify}); err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	err := n.Send(context.Background(), "x", &message.Message{Type: message.TypeNotify})
+	if !errors.Is(err, ErrUnknownAddress) {
+		t.Fatalf("Send after endpoint close = %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("got %d deliveries", got)
+	}
+}
+
+func TestTCPReconnectAfterReceiverRestart(t *testing.T) {
+	n := NewTCP()
+	defer n.Close()
+	recv := NewTCP()
+	var count atomic.Int64
+	ep, err := recv.Listen("127.0.0.1:0", func(context.Context, *message.Message) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ep.Addr()
+	if err := n.Send(context.Background(), addr, &message.Message{Type: message.TypeNotify}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return count.Load() == 1 }, "first delivery")
+
+	// Restart the receiver on the same port; the sender's cached
+	// connection is now stale and must be re-dialed transparently.
+	ep.Close()
+	ep2, err := recv.Listen(addr, func(context.Context, *message.Message) { count.Add(1) })
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	defer ep2.Close()
+	// Sends are fire-and-forget: a write into the stale connection can be
+	// silently buffered by the OS before the reset is detected, so the
+	// contract is "eventually delivered under retry", not exactly-once.
+	deadline := time.Now().Add(5 * time.Second)
+	for count.Load() < 2 && time.Now().Before(deadline) {
+		_ = n.Send(context.Background(), addr, &message.Message{Type: message.TypeNotify})
+		time.Sleep(20 * time.Millisecond)
+	}
+	if count.Load() < 2 {
+		t.Fatal("message never delivered after receiver restart")
+	}
+	recv.Close()
+}
+
+func TestSenderContextHelpers(t *testing.T) {
+	ctx := context.Background()
+	if SenderFrom(ctx) != "" {
+		t.Fatal("empty context has a sender")
+	}
+	ctx = WithSender(ctx, "me")
+	if SenderFrom(ctx) != "me" {
+		t.Fatal("sender not propagated")
+	}
+}
+
+func BenchmarkInMemSend(b *testing.B) {
+	n := NewInMem(InMemOptions{Synchronous: true})
+	defer n.Close()
+	ep, _ := n.Listen("sink", func(context.Context, *message.Message) {})
+	m := &message.Message{Type: message.TypeNotify, Vars: map[string]string{"a": "1", "b": "2"}}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := n.Send(ctx, ep.Addr(), m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPSend(b *testing.B) {
+	n := NewTCP()
+	defer n.Close()
+	var count atomic.Int64
+	ep, err := n.Listen("127.0.0.1:0", func(context.Context, *message.Message) { count.Add(1) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &message.Message{Type: message.TypeNotify, Vars: map[string]string{"a": "1", "b": "2"}}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Send(ctx, ep.Addr(), m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	deadline := time.Now().Add(10 * time.Second)
+	for count.Load() < int64(b.N) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,215 @@
+package uddi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"selfserv/internal/soap"
+)
+
+// Client is a typed UDDI client speaking the SOAP wire format of
+// NewSOAPServer against a registry URL.
+type Client struct {
+	// URL is the registry's SOAP endpoint (e.g. "http://host:port/uddi").
+	URL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) call(action string, params map[string]string) (map[string]string, error) {
+	resp, err := soap.Call(c.HTTPClient, c.URL, &soap.Message{Action: action, Params: params})
+	if err != nil {
+		return nil, fmt.Errorf("uddi: %s: %w", action, err)
+	}
+	return resp.Params, nil
+}
+
+// SaveBusiness publishes a business entity and returns it with its key.
+func (c *Client) SaveBusiness(b BusinessEntity) (BusinessEntity, error) {
+	out, err := c.call("save_business", map[string]string{
+		"businessKey": b.BusinessKey,
+		"name":        b.Name,
+		"description": b.Description,
+		"contact":     b.Contact,
+	})
+	if err != nil {
+		return b, err
+	}
+	b.BusinessKey = out["businessKey"]
+	return b, nil
+}
+
+// SaveService publishes a business service and returns it with its key.
+func (c *Client) SaveService(s BusinessService) (BusinessService, error) {
+	out, err := c.call("save_service", map[string]string{
+		"serviceKey":  s.ServiceKey,
+		"businessKey": s.BusinessKey,
+		"name":        s.Name,
+		"description": s.Description,
+	})
+	if err != nil {
+		return s, err
+	}
+	s.ServiceKey = out["serviceKey"]
+	return s, nil
+}
+
+// SaveBinding publishes a binding template and returns it with its key.
+func (c *Client) SaveBinding(b BindingTemplate) (BindingTemplate, error) {
+	out, err := c.call("save_binding", map[string]string{
+		"bindingKey":  b.BindingKey,
+		"serviceKey":  b.ServiceKey,
+		"accessPoint": b.AccessPoint,
+		"wsdlURL":     b.WSDLURL,
+	})
+	if err != nil {
+		return b, err
+	}
+	b.BindingKey = out["bindingKey"]
+	return b, nil
+}
+
+// SaveTModel publishes a tModel and returns it with its key.
+func (c *Client) SaveTModel(t TModel) (TModel, error) {
+	out, err := c.call("save_tModel", map[string]string{
+		"tModelKey":   t.TModelKey,
+		"name":        t.Name,
+		"overviewURL": t.OverviewURL,
+	})
+	if err != nil {
+		return t, err
+	}
+	t.TModelKey = out["tModelKey"]
+	return t, nil
+}
+
+// TagService links a service to an interface tModel.
+func (c *Client) TagService(serviceKey, tModelKey string) error {
+	_, err := c.call("tag_service", map[string]string{
+		"serviceKey": serviceKey,
+		"tModelKey":  tModelKey,
+	})
+	return err
+}
+
+// FindBusiness queries businesses by name pattern.
+func (c *Client) FindBusiness(pattern string, q Qualifier) ([]BusinessEntity, error) {
+	out, err := c.call("find_business", map[string]string{
+		"name":          pattern,
+		"findQualifier": qualifierName(q),
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := strings.Fields(out["businessKeys"])
+	hits := make([]BusinessEntity, len(keys))
+	for i, k := range keys {
+		hits[i] = BusinessEntity{BusinessKey: k, Name: out[fmt.Sprintf("name_%d", i)]}
+	}
+	return hits, nil
+}
+
+// FindService queries services.
+func (c *Client) FindService(q ServiceQuery) ([]BusinessService, error) {
+	out, err := c.call("find_service", map[string]string{
+		"name":          q.NamePattern,
+		"findQualifier": qualifierName(q.Qualifier),
+		"businessKey":   q.BusinessKey,
+		"tModelKey":     q.TModelKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := strings.Fields(out["serviceKeys"])
+	hits := make([]BusinessService, len(keys))
+	for i, k := range keys {
+		hits[i] = BusinessService{ServiceKey: k, Name: out[fmt.Sprintf("name_%d", i)]}
+	}
+	return hits, nil
+}
+
+// FindTModel queries tModels by name pattern.
+func (c *Client) FindTModel(pattern string, q Qualifier) ([]TModel, error) {
+	out, err := c.call("find_tModel", map[string]string{
+		"name":          pattern,
+		"findQualifier": qualifierName(q),
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := strings.Fields(out["tModelKeys"])
+	hits := make([]TModel, len(keys))
+	for i, k := range keys {
+		hits[i] = TModel{TModelKey: k, Name: out[fmt.Sprintf("name_%d", i)]}
+	}
+	return hits, nil
+}
+
+// GetServiceDetail fetches one service record.
+func (c *Client) GetServiceDetail(serviceKey string) (BusinessService, error) {
+	out, err := c.call("get_serviceDetail", map[string]string{"serviceKey": serviceKey})
+	if err != nil {
+		return BusinessService{}, err
+	}
+	return BusinessService{
+		ServiceKey:  out["serviceKey"],
+		BusinessKey: out["businessKey"],
+		Name:        out["name"],
+		Description: out["description"],
+	}, nil
+}
+
+// GetBusinessDetail fetches one business record.
+func (c *Client) GetBusinessDetail(businessKey string) (BusinessEntity, error) {
+	out, err := c.call("get_businessDetail", map[string]string{"businessKey": businessKey})
+	if err != nil {
+		return BusinessEntity{}, err
+	}
+	return BusinessEntity{
+		BusinessKey: out["businessKey"],
+		Name:        out["name"],
+		Description: out["description"],
+		Contact:     out["contact"],
+	}, nil
+}
+
+// GetBindings fetches a service's binding templates.
+func (c *Client) GetBindings(serviceKey string) ([]BindingTemplate, error) {
+	out, err := c.call("get_bindingDetail", map[string]string{"serviceKey": serviceKey})
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(out["count"])
+	if err != nil {
+		return nil, fmt.Errorf("uddi: bad count %q", out["count"])
+	}
+	hits := make([]BindingTemplate, n)
+	for i := 0; i < n; i++ {
+		hits[i] = BindingTemplate{
+			BindingKey:  out[fmt.Sprintf("bindingKey_%d", i)],
+			ServiceKey:  serviceKey,
+			AccessPoint: out[fmt.Sprintf("accessPoint_%d", i)],
+			WSDLURL:     out[fmt.Sprintf("wsdlURL_%d", i)],
+		}
+	}
+	return hits, nil
+}
+
+// DeleteService removes a service registration.
+func (c *Client) DeleteService(serviceKey string) error {
+	_, err := c.call("delete_service", map[string]string{"serviceKey": serviceKey})
+	return err
+}
+
+func qualifierName(q Qualifier) string {
+	switch q {
+	case MatchExact:
+		return "exactNameMatch"
+	case MatchContains:
+		return "contains"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,195 @@
+package uddi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"selfserv/internal/soap"
+)
+
+// NewSOAPServer exposes the registry's publish and inquiry API as SOAP
+// actions, the wire shape the paper describes ("a UDDI/SOAP request ...
+// is sent to the UDDI registry"). Mount the returned server on an HTTP
+// route (see Serve) or call it in-process via soap.Server.ServeHTTP.
+//
+// Parameter flattening: list results are returned as space-separated key
+// lists plus one <name_N> entry per hit, since the soap package carries
+// flat documents. The action names and field names follow UDDI v2.
+func NewSOAPServer(r *Registry) *soap.Server {
+	s := soap.NewServer()
+
+	s.Handle("save_business", func(p map[string]string) (map[string]string, error) {
+		b, err := r.SaveBusiness(BusinessEntity{
+			BusinessKey: p["businessKey"],
+			Name:        p["name"],
+			Description: p["description"],
+			Contact:     p["contact"],
+		})
+		if err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{"businessKey": b.BusinessKey}, nil
+	})
+
+	s.Handle("save_service", func(p map[string]string) (map[string]string, error) {
+		svc, err := r.SaveService(BusinessService{
+			ServiceKey:  p["serviceKey"],
+			BusinessKey: p["businessKey"],
+			Name:        p["name"],
+			Description: p["description"],
+		})
+		if err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{"serviceKey": svc.ServiceKey}, nil
+	})
+
+	s.Handle("save_binding", func(p map[string]string) (map[string]string, error) {
+		b, err := r.SaveBinding(BindingTemplate{
+			BindingKey:  p["bindingKey"],
+			ServiceKey:  p["serviceKey"],
+			AccessPoint: p["accessPoint"],
+			WSDLURL:     p["wsdlURL"],
+		})
+		if err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{"bindingKey": b.BindingKey}, nil
+	})
+
+	s.Handle("save_tModel", func(p map[string]string) (map[string]string, error) {
+		t, err := r.SaveTModel(TModel{
+			TModelKey:   p["tModelKey"],
+			Name:        p["name"],
+			OverviewURL: p["overviewURL"],
+		})
+		if err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{"tModelKey": t.TModelKey}, nil
+	})
+
+	s.Handle("tag_service", func(p map[string]string) (map[string]string, error) {
+		if err := r.TagService(p["serviceKey"], p["tModelKey"]); err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{}, nil
+	})
+
+	s.Handle("find_business", func(p map[string]string) (map[string]string, error) {
+		hits := r.FindBusiness(p["name"], qualifierFrom(p))
+		out := map[string]string{"count": strconv.Itoa(len(hits))}
+		keys := make([]string, len(hits))
+		for i, b := range hits {
+			keys[i] = b.BusinessKey
+			out[fmt.Sprintf("name_%d", i)] = b.Name
+		}
+		out["businessKeys"] = strings.Join(keys, " ")
+		return out, nil
+	})
+
+	s.Handle("find_service", func(p map[string]string) (map[string]string, error) {
+		hits := r.FindService(ServiceQuery{
+			NamePattern: p["name"],
+			Qualifier:   qualifierFrom(p),
+			BusinessKey: p["businessKey"],
+			TModelKey:   p["tModelKey"],
+		})
+		out := map[string]string{"count": strconv.Itoa(len(hits))}
+		keys := make([]string, len(hits))
+		for i, svc := range hits {
+			keys[i] = svc.ServiceKey
+			out[fmt.Sprintf("name_%d", i)] = svc.Name
+		}
+		out["serviceKeys"] = strings.Join(keys, " ")
+		return out, nil
+	})
+
+	s.Handle("find_tModel", func(p map[string]string) (map[string]string, error) {
+		hits := r.FindTModel(p["name"], qualifierFrom(p))
+		out := map[string]string{"count": strconv.Itoa(len(hits))}
+		keys := make([]string, len(hits))
+		for i, t := range hits {
+			keys[i] = t.TModelKey
+			out[fmt.Sprintf("name_%d", i)] = t.Name
+		}
+		out["tModelKeys"] = strings.Join(keys, " ")
+		return out, nil
+	})
+
+	s.Handle("get_businessDetail", func(p map[string]string) (map[string]string, error) {
+		b, err := r.GetBusiness(p["businessKey"])
+		if err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{
+			"businessKey": b.BusinessKey,
+			"name":        b.Name,
+			"description": b.Description,
+			"contact":     b.Contact,
+		}, nil
+	})
+
+	s.Handle("get_serviceDetail", func(p map[string]string) (map[string]string, error) {
+		svc, err := r.GetService(p["serviceKey"])
+		if err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{
+			"serviceKey":  svc.ServiceKey,
+			"businessKey": svc.BusinessKey,
+			"name":        svc.Name,
+			"description": svc.Description,
+		}, nil
+	})
+
+	s.Handle("get_bindingDetail", func(p map[string]string) (map[string]string, error) {
+		bindings, err := r.GetBindings(p["serviceKey"])
+		if err != nil {
+			return nil, clientFault(err)
+		}
+		out := map[string]string{"count": strconv.Itoa(len(bindings))}
+		for i, b := range bindings {
+			out[fmt.Sprintf("bindingKey_%d", i)] = b.BindingKey
+			out[fmt.Sprintf("accessPoint_%d", i)] = b.AccessPoint
+			out[fmt.Sprintf("wsdlURL_%d", i)] = b.WSDLURL
+		}
+		return out, nil
+	})
+
+	s.Handle("delete_service", func(p map[string]string) (map[string]string, error) {
+		if err := r.DeleteService(p["serviceKey"]); err != nil {
+			return nil, clientFault(err)
+		}
+		return map[string]string{}, nil
+	})
+
+	return s
+}
+
+func qualifierFrom(p map[string]string) Qualifier {
+	switch p["findQualifier"] {
+	case "exactNameMatch":
+		return MatchExact
+	case "contains":
+		return MatchContains
+	default:
+		return MatchPrefix
+	}
+}
+
+func clientFault(err error) error {
+	return &soap.Fault{Code: "Client", String: err.Error()}
+}
+
+// Serve mounts the registry's SOAP endpoint at /uddi on mux (creating a
+// mux when nil) and returns the handler, for use with http.Server.
+func Serve(r *Registry, mux *http.ServeMux) *http.ServeMux {
+	if mux == nil {
+		mux = http.NewServeMux()
+	}
+	mux.Handle("/uddi", NewSOAPServer(r))
+	return mux
+}

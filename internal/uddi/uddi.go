@@ -1,0 +1,335 @@
+// Package uddi implements the subset of the Universal Description,
+// Discovery and Integration registry that SELF-SERV's discovery engine
+// uses: businessEntity / businessService / bindingTemplate / tModel
+// records, save_* publish operations, find_* inquiry operations with
+// prefix or exact matching, and get_*Detail lookups.
+//
+// The paper's implementation delegated this to the IBM WSTK 2.4 UDDI
+// registry; this package is the in-repo substitute (see DESIGN.md's
+// substitution table). The registry is exposed both as a Go API (this
+// file) and as SOAP-over-HTTP endpoints (server.go / client.go),
+// mirroring "service registration, discovery and invocation are
+// implemented as SOAP calls".
+package uddi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports a get_*Detail miss.
+var ErrNotFound = errors.New("uddi: not found")
+
+// BusinessEntity describes a service provider (white pages).
+type BusinessEntity struct {
+	BusinessKey string
+	Name        string
+	Description string
+	Contact     string
+}
+
+// BusinessService describes one advertised service (yellow pages).
+type BusinessService struct {
+	ServiceKey  string
+	BusinessKey string
+	Name        string
+	Description string
+}
+
+// BindingTemplate carries the technical entry point of a service (green
+// pages): its access point and the URL of its WSDL description.
+type BindingTemplate struct {
+	BindingKey  string
+	ServiceKey  string
+	AccessPoint string
+	WSDLURL     string
+}
+
+// TModel is a reusable technical fingerprint; SELF-SERV uses tModels to
+// tag service interfaces (e.g. "FlightBooking-interface") so composers
+// can find alternative providers of the same interface.
+type TModel struct {
+	TModelKey   string
+	Name        string
+	OverviewURL string
+}
+
+// Registry is a thread-safe in-memory UDDI registry.
+type Registry struct {
+	mu         sync.RWMutex
+	seq        int
+	businesses map[string]*BusinessEntity
+	services   map[string]*BusinessService
+	bindings   map[string]*BindingTemplate
+	tmodels    map[string]*TModel
+	// serviceTModels links serviceKey -> tModelKeys (interface tags).
+	serviceTModels map[string][]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		businesses:     map[string]*BusinessEntity{},
+		services:       map[string]*BusinessService{},
+		bindings:       map[string]*BindingTemplate{},
+		tmodels:        map[string]*TModel{},
+		serviceTModels: map[string][]string{},
+	}
+}
+
+func (r *Registry) nextKey(prefix string) string {
+	r.seq++
+	return fmt.Sprintf("%s-%06d", prefix, r.seq)
+}
+
+// SaveBusiness registers or updates a business entity. An empty
+// BusinessKey allocates one.
+func (r *Registry) SaveBusiness(b BusinessEntity) (BusinessEntity, error) {
+	if b.Name == "" {
+		return b, fmt.Errorf("uddi: business needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b.BusinessKey == "" {
+		b.BusinessKey = r.nextKey("biz")
+	}
+	cp := b
+	r.businesses[b.BusinessKey] = &cp
+	return b, nil
+}
+
+// SaveService registers or updates a business service under an existing
+// business.
+func (r *Registry) SaveService(s BusinessService) (BusinessService, error) {
+	if s.Name == "" {
+		return s, fmt.Errorf("uddi: service needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.businesses[s.BusinessKey]; !ok {
+		return s, fmt.Errorf("uddi: unknown businessKey %q", s.BusinessKey)
+	}
+	if s.ServiceKey == "" {
+		s.ServiceKey = r.nextKey("svc")
+	}
+	cp := s
+	r.services[s.ServiceKey] = &cp
+	return s, nil
+}
+
+// SaveBinding registers or updates a binding template under an existing
+// service.
+func (r *Registry) SaveBinding(b BindingTemplate) (BindingTemplate, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.services[b.ServiceKey]; !ok {
+		return b, fmt.Errorf("uddi: unknown serviceKey %q", b.ServiceKey)
+	}
+	if b.AccessPoint == "" {
+		return b, fmt.Errorf("uddi: binding needs an access point")
+	}
+	if b.BindingKey == "" {
+		b.BindingKey = r.nextKey("bnd")
+	}
+	cp := b
+	r.bindings[b.BindingKey] = &cp
+	return b, nil
+}
+
+// SaveTModel registers or updates a tModel.
+func (r *Registry) SaveTModel(t TModel) (TModel, error) {
+	if t.Name == "" {
+		return t, fmt.Errorf("uddi: tModel needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t.TModelKey == "" {
+		t.TModelKey = r.nextKey("tm")
+	}
+	cp := t
+	r.tmodels[t.TModelKey] = &cp
+	return t, nil
+}
+
+// TagService links a service to a tModel (interface fingerprint).
+func (r *Registry) TagService(serviceKey, tModelKey string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.services[serviceKey]; !ok {
+		return fmt.Errorf("uddi: unknown serviceKey %q", serviceKey)
+	}
+	if _, ok := r.tmodels[tModelKey]; !ok {
+		return fmt.Errorf("uddi: unknown tModelKey %q", tModelKey)
+	}
+	for _, k := range r.serviceTModels[serviceKey] {
+		if k == tModelKey {
+			return nil
+		}
+	}
+	r.serviceTModels[serviceKey] = append(r.serviceTModels[serviceKey], tModelKey)
+	return nil
+}
+
+// Qualifier selects the matching mode of find operations.
+type Qualifier int
+
+// Matching modes.
+const (
+	// MatchPrefix is UDDI's default leftmost match.
+	MatchPrefix Qualifier = iota
+	// MatchExact requires full equality ("exactNameMatch").
+	MatchExact
+	// MatchContains is a convenience substring match.
+	MatchContains
+)
+
+func (q Qualifier) match(value, pattern string) bool {
+	value, pattern = strings.ToLower(value), strings.ToLower(pattern)
+	switch q {
+	case MatchExact:
+		return value == pattern
+	case MatchContains:
+		return strings.Contains(value, pattern)
+	default:
+		return strings.HasPrefix(value, pattern)
+	}
+}
+
+// FindBusiness returns businesses whose name matches pattern, sorted by
+// name. An empty pattern matches everything.
+func (r *Registry) FindBusiness(pattern string, q Qualifier) []BusinessEntity {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []BusinessEntity
+	for _, b := range r.businesses {
+		if pattern == "" || q.match(b.Name, pattern) {
+			out = append(out, *b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ServiceQuery filters FindService.
+type ServiceQuery struct {
+	// NamePattern matches the service name per Qualifier; empty matches
+	// all names.
+	NamePattern string
+	Qualifier   Qualifier
+	// BusinessKey restricts to one provider when non-empty.
+	BusinessKey string
+	// TModelKey restricts to services tagged with the interface when
+	// non-empty (how communities find alternative members).
+	TModelKey string
+}
+
+// FindService returns the services matching q, sorted by name.
+func (r *Registry) FindService(q ServiceQuery) []BusinessService {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []BusinessService
+	for _, s := range r.services {
+		if q.BusinessKey != "" && s.BusinessKey != q.BusinessKey {
+			continue
+		}
+		if q.NamePattern != "" && !q.Qualifier.match(s.Name, q.NamePattern) {
+			continue
+		}
+		if q.TModelKey != "" && !r.taggedLocked(s.ServiceKey, q.TModelKey) {
+			continue
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *Registry) taggedLocked(serviceKey, tModelKey string) bool {
+	for _, k := range r.serviceTModels[serviceKey] {
+		if k == tModelKey {
+			return true
+		}
+	}
+	return false
+}
+
+// FindTModel returns tModels whose name matches pattern, sorted by name.
+func (r *Registry) FindTModel(pattern string, q Qualifier) []TModel {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []TModel
+	for _, t := range r.tmodels {
+		if pattern == "" || q.match(t.Name, pattern) {
+			out = append(out, *t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GetBusiness returns the business with the given key.
+func (r *Registry) GetBusiness(key string) (BusinessEntity, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.businesses[key]
+	if !ok {
+		return BusinessEntity{}, fmt.Errorf("%w: business %q", ErrNotFound, key)
+	}
+	return *b, nil
+}
+
+// GetService returns the service with the given key.
+func (r *Registry) GetService(key string) (BusinessService, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.services[key]
+	if !ok {
+		return BusinessService{}, fmt.Errorf("%w: service %q", ErrNotFound, key)
+	}
+	return *s, nil
+}
+
+// GetBindings returns the binding templates of a service, sorted by key.
+func (r *Registry) GetBindings(serviceKey string) ([]BindingTemplate, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if _, ok := r.services[serviceKey]; !ok {
+		return nil, fmt.Errorf("%w: service %q", ErrNotFound, serviceKey)
+	}
+	var out []BindingTemplate
+	for _, b := range r.bindings {
+		if b.ServiceKey == serviceKey {
+			out = append(out, *b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BindingKey < out[j].BindingKey })
+	return out, nil
+}
+
+// DeleteService removes a service and its bindings.
+func (r *Registry) DeleteService(key string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.services[key]; !ok {
+		return fmt.Errorf("%w: service %q", ErrNotFound, key)
+	}
+	delete(r.services, key)
+	delete(r.serviceTModels, key)
+	for bk, b := range r.bindings {
+		if b.ServiceKey == key {
+			delete(r.bindings, bk)
+		}
+	}
+	return nil
+}
+
+// Counts reports registry sizes (businesses, services, bindings,
+// tModels), used by monitoring and experiments.
+func (r *Registry) Counts() (businesses, services, bindings, tmodels int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.businesses), len(r.services), len(r.bindings), len(r.tmodels)
+}

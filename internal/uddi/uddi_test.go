@@ -1,0 +1,310 @@
+package uddi
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func seeded(t *testing.T) (*Registry, BusinessEntity, BusinessService) {
+	t.Helper()
+	r := NewRegistry()
+	biz, err := r.SaveBusiness(BusinessEntity{Name: "QF Airlines", Contact: "ops@qf.example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := r.SaveService(BusinessService{
+		BusinessKey: biz.BusinessKey,
+		Name:        "DomesticFlightBooking",
+		Description: "books domestic flights",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SaveBinding(BindingTemplate{
+		ServiceKey:  svc.ServiceKey,
+		AccessPoint: "http://qf.example/soap",
+		WSDLURL:     "http://qf.example/wsdl",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return r, biz, svc
+}
+
+func TestSaveAndGet(t *testing.T) {
+	r, biz, svc := seeded(t)
+	gotB, err := r.GetBusiness(biz.BusinessKey)
+	if err != nil || gotB.Name != "QF Airlines" {
+		t.Fatalf("GetBusiness = %+v, %v", gotB, err)
+	}
+	gotS, err := r.GetService(svc.ServiceKey)
+	if err != nil || gotS.Name != "DomesticFlightBooking" || gotS.BusinessKey != biz.BusinessKey {
+		t.Fatalf("GetService = %+v, %v", gotS, err)
+	}
+	bindings, err := r.GetBindings(svc.ServiceKey)
+	if err != nil || len(bindings) != 1 || bindings[0].AccessPoint != "http://qf.example/soap" {
+		t.Fatalf("GetBindings = %+v, %v", bindings, err)
+	}
+	if _, err := r.GetBusiness("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing business err = %v", err)
+	}
+	if _, err := r.GetService("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing service err = %v", err)
+	}
+	if _, err := r.GetBindings("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing bindings err = %v", err)
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.SaveBusiness(BusinessEntity{}); err == nil {
+		t.Error("business without name accepted")
+	}
+	if _, err := r.SaveService(BusinessService{Name: "x", BusinessKey: "ghost"}); err == nil {
+		t.Error("service under unknown business accepted")
+	}
+	biz, _ := r.SaveBusiness(BusinessEntity{Name: "B"})
+	if _, err := r.SaveService(BusinessService{BusinessKey: biz.BusinessKey}); err == nil {
+		t.Error("service without name accepted")
+	}
+	if _, err := r.SaveBinding(BindingTemplate{ServiceKey: "ghost", AccessPoint: "x"}); err == nil {
+		t.Error("binding under unknown service accepted")
+	}
+	svc, _ := r.SaveService(BusinessService{BusinessKey: biz.BusinessKey, Name: "S"})
+	if _, err := r.SaveBinding(BindingTemplate{ServiceKey: svc.ServiceKey}); err == nil {
+		t.Error("binding without access point accepted")
+	}
+	if _, err := r.SaveTModel(TModel{}); err == nil {
+		t.Error("tModel without name accepted")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	r, _, svc := seeded(t)
+	svc.Description = "updated"
+	if _, err := r.SaveService(svc); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.GetService(svc.ServiceKey)
+	if got.Description != "updated" {
+		t.Fatalf("Description = %q", got.Description)
+	}
+	_, services, _, _ := r.Counts()
+	if services != 1 {
+		t.Fatalf("services = %d after update, want 1", services)
+	}
+}
+
+func TestFindQualifiers(t *testing.T) {
+	r, biz, _ := seeded(t)
+	if _, err := r.SaveService(BusinessService{BusinessKey: biz.BusinessKey, Name: "InternationalFlightBooking"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pattern string
+		q       Qualifier
+		want    int
+	}{
+		{"Domestic", MatchPrefix, 1},
+		{"domestic", MatchPrefix, 1}, // case-insensitive
+		{"Flight", MatchPrefix, 0},
+		{"Flight", MatchContains, 2},
+		{"DomesticFlightBooking", MatchExact, 1},
+		{"Domestic", MatchExact, 0},
+		{"", MatchPrefix, 2},
+	}
+	for _, tc := range cases {
+		got := r.FindService(ServiceQuery{NamePattern: tc.pattern, Qualifier: tc.q})
+		if len(got) != tc.want {
+			t.Errorf("FindService(%q, %v) = %d hits, want %d", tc.pattern, tc.q, len(got), tc.want)
+		}
+	}
+}
+
+func TestFindByBusinessAndTModel(t *testing.T) {
+	r, biz, svc := seeded(t)
+	other, _ := r.SaveBusiness(BusinessEntity{Name: "VA Airlines"})
+	otherSvc, _ := r.SaveService(BusinessService{BusinessKey: other.BusinessKey, Name: "DomesticFlightBookingVA"})
+	tm, err := r.SaveTModel(TModel{Name: "FlightBooking-interface"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TagService(svc.ServiceKey, tm.TModelKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TagService(otherSvc.ServiceKey, tm.TModelKey); err != nil {
+		t.Fatal(err)
+	}
+
+	byBiz := r.FindService(ServiceQuery{BusinessKey: biz.BusinessKey})
+	if len(byBiz) != 1 || byBiz[0].ServiceKey != svc.ServiceKey {
+		t.Fatalf("by business = %+v", byBiz)
+	}
+	byTM := r.FindService(ServiceQuery{TModelKey: tm.TModelKey})
+	if len(byTM) != 2 {
+		t.Fatalf("by tModel = %+v", byTM)
+	}
+	// tag errors
+	if err := r.TagService("ghost", tm.TModelKey); err == nil {
+		t.Error("tagging unknown service accepted")
+	}
+	if err := r.TagService(svc.ServiceKey, "ghost"); err == nil {
+		t.Error("tagging unknown tModel accepted")
+	}
+	// idempotent tagging
+	if err := r.TagService(svc.ServiceKey, tm.TModelKey); err != nil {
+		t.Fatal(err)
+	}
+	tms := r.FindTModel("Flight", MatchPrefix)
+	if len(tms) != 1 || tms[0].Name != "FlightBooking-interface" {
+		t.Fatalf("FindTModel = %+v", tms)
+	}
+}
+
+func TestDeleteService(t *testing.T) {
+	r, _, svc := seeded(t)
+	if err := r.DeleteService(svc.ServiceKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.GetService(svc.ServiceKey); !errors.Is(err, ErrNotFound) {
+		t.Fatal("service still present")
+	}
+	_, _, bindings, _ := r.Counts()
+	if bindings != 0 {
+		t.Fatalf("bindings = %d after delete, want 0", bindings)
+	}
+	if err := r.DeleteService(svc.ServiceKey); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestConcurrentPublishes(t *testing.T) {
+	r := NewRegistry()
+	biz, _ := r.SaveBusiness(BusinessEntity{Name: "B"})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				svc, err := r.SaveService(BusinessService{
+					BusinessKey: biz.BusinessKey,
+					Name:        fmt.Sprintf("svc-%d-%d", g, i),
+				})
+				if err != nil {
+					t.Errorf("SaveService: %v", err)
+					return
+				}
+				if _, err := r.SaveBinding(BindingTemplate{ServiceKey: svc.ServiceKey, AccessPoint: "http://x"}); err != nil {
+					t.Errorf("SaveBinding: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, services, bindings, _ := r.Counts()
+	if services != 400 || bindings != 400 {
+		t.Fatalf("counts = %d services, %d bindings", services, bindings)
+	}
+	// All keys unique.
+	seen := map[string]bool{}
+	for _, s := range r.FindService(ServiceQuery{}) {
+		if seen[s.ServiceKey] {
+			t.Fatalf("duplicate key %q", s.ServiceKey)
+		}
+		seen[s.ServiceKey] = true
+	}
+}
+
+func TestSOAPServerAndClient(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(Serve(reg, nil))
+	defer ts.Close()
+	c := &Client{URL: ts.URL + "/uddi"}
+
+	biz, err := c.SaveBusiness(BusinessEntity{Name: "QF Airlines", Contact: "ops@qf"})
+	if err != nil {
+		t.Fatalf("SaveBusiness: %v", err)
+	}
+	if biz.BusinessKey == "" {
+		t.Fatal("no business key assigned")
+	}
+	svc, err := c.SaveService(BusinessService{BusinessKey: biz.BusinessKey, Name: "FlightBooking"})
+	if err != nil {
+		t.Fatalf("SaveService: %v", err)
+	}
+	bnd, err := c.SaveBinding(BindingTemplate{
+		ServiceKey:  svc.ServiceKey,
+		AccessPoint: "http://qf/soap",
+		WSDLURL:     "http://qf/wsdl",
+	})
+	if err != nil {
+		t.Fatalf("SaveBinding: %v", err)
+	}
+	if bnd.BindingKey == "" {
+		t.Fatal("no binding key")
+	}
+	tm, err := c.SaveTModel(TModel{Name: "FlightBooking-interface"})
+	if err != nil {
+		t.Fatalf("SaveTModel: %v", err)
+	}
+	if err := c.TagService(svc.ServiceKey, tm.TModelKey); err != nil {
+		t.Fatalf("TagService: %v", err)
+	}
+
+	businesses, err := c.FindBusiness("QF", MatchPrefix)
+	if err != nil || len(businesses) != 1 || businesses[0].Name != "QF Airlines" {
+		t.Fatalf("FindBusiness = %+v, %v", businesses, err)
+	}
+	services, err := c.FindService(ServiceQuery{NamePattern: "Flight", Qualifier: MatchContains})
+	if err != nil || len(services) != 1 {
+		t.Fatalf("FindService = %+v, %v", services, err)
+	}
+	byTM, err := c.FindService(ServiceQuery{TModelKey: tm.TModelKey})
+	if err != nil || len(byTM) != 1 {
+		t.Fatalf("FindService by tModel = %+v, %v", byTM, err)
+	}
+	detail, err := c.GetServiceDetail(svc.ServiceKey)
+	if err != nil || detail.Name != "FlightBooking" || detail.BusinessKey != biz.BusinessKey {
+		t.Fatalf("GetServiceDetail = %+v, %v", detail, err)
+	}
+	bd, err := c.GetBusinessDetail(biz.BusinessKey)
+	if err != nil || bd.Contact != "ops@qf" {
+		t.Fatalf("GetBusinessDetail = %+v, %v", bd, err)
+	}
+	bindings, err := c.GetBindings(svc.ServiceKey)
+	if err != nil || len(bindings) != 1 || bindings[0].WSDLURL != "http://qf/wsdl" {
+		t.Fatalf("GetBindings = %+v, %v", bindings, err)
+	}
+	if err := c.DeleteService(svc.ServiceKey); err != nil {
+		t.Fatalf("DeleteService: %v", err)
+	}
+	if _, err := c.GetServiceDetail(svc.ServiceKey); err == nil {
+		t.Fatal("service still present after delete")
+	}
+	// Client errors surface SOAP faults.
+	if _, err := c.SaveService(BusinessService{Name: "orphan", BusinessKey: "ghost"}); err == nil {
+		t.Fatal("orphan service accepted over SOAP")
+	}
+}
+
+func BenchmarkPublishAndFind(b *testing.B) {
+	r := NewRegistry()
+	biz, _ := r.SaveBusiness(BusinessEntity{Name: "B"})
+	for i := 0; i < 500; i++ {
+		svc, _ := r.SaveService(BusinessService{BusinessKey: biz.BusinessKey, Name: fmt.Sprintf("svc-%04d", i)})
+		_, _ = r.SaveBinding(BindingTemplate{ServiceKey: svc.ServiceKey, AccessPoint: "http://x"})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits := r.FindService(ServiceQuery{NamePattern: "svc-02", Qualifier: MatchPrefix})
+		if len(hits) != 100 {
+			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+}

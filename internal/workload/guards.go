@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"fmt"
+
+	"selfserv/internal/expr"
+	"selfserv/internal/service"
+)
+
+// TravelGuards returns the guard functions the travel scenario's ECA
+// rules reference:
+//
+//   - domestic(dest): whether dest is served by domestic flights;
+//   - near(distance): whether the major attraction is within walking /
+//     transit range of the accommodation (< 50 km), which suppresses the
+//     car rental step.
+//
+// Register them as engine.Funcs on every host and wrapper executing the
+// travel composite.
+func TravelGuards() map[string]expr.Func {
+	return map[string]expr.Func{
+		"domestic": func(args []expr.Value) (expr.Value, error) {
+			if len(args) != 1 {
+				return expr.Value{}, fmt.Errorf("domestic expects 1 argument, got %d", len(args))
+			}
+			dest, err := args[0].AsString()
+			if err != nil {
+				return expr.Value{}, err
+			}
+			return expr.Bool(service.IsDomesticCity(dest)), nil
+		},
+		"near": func(args []expr.Value) (expr.Value, error) {
+			if len(args) != 1 {
+				return expr.Value{}, fmt.Errorf("near expects 1 argument, got %d", len(args))
+			}
+			km, err := args[0].AsNumber()
+			if err != nil {
+				return expr.Value{}, err
+			}
+			return expr.Bool(km < 50), nil
+		},
+	}
+}

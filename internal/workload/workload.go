@@ -1,0 +1,369 @@
+// Package workload builds the statecharts and request mixes used by the
+// examples, the test suites, and the benchmark harness (experiments
+// E1–E7 in DESIGN.md). It includes the paper's travel scenario (Fig 2)
+// and parameterized families — chains, parallel fans, and random nested
+// charts — for scalability sweeps.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selfserv/internal/statechart"
+)
+
+// Travel returns the paper's Fig 2 composite service: a traveller books a
+// domestic flight OR an international travel arrangement, in parallel
+// with an attractions search and an accommodation booking (the latter is
+// served by a community); when all three finish, a car is rented if the
+// major attraction is far from the accommodation.
+//
+// Service names used (to be registered with the platform):
+// DomesticFlightBooking, InternationalTravel, AttractionsSearch,
+// AccommodationBooking (community), CarRental.
+func Travel() *statechart.Statechart {
+	flightRegion := &statechart.State{
+		ID: "flightRegion", Kind: statechart.KindCompound,
+		Children: []*statechart.State{
+			{ID: "fInit", Kind: statechart.KindInitial},
+			{ID: "DFB", Name: "Domestic Flight Booking", Kind: statechart.KindBasic,
+				Service: "DomesticFlightBooking", Operation: "book",
+				Inputs: []statechart.Binding{
+					{Param: "customer", Var: "customer"},
+					{Param: "dest", Var: "destination"},
+					{Param: "depart", Var: "departDate"},
+					{Param: "return", Var: "returnDate"},
+				},
+				Outputs: []statechart.Binding{{Param: "ref", Var: "flightRef"}}},
+			{ID: "ITA", Name: "International Travel Arrangements", Kind: statechart.KindBasic,
+				Service: "InternationalTravel", Operation: "arrange",
+				Inputs: []statechart.Binding{
+					{Param: "customer", Var: "customer"},
+					{Param: "dest", Var: "destination"},
+					{Param: "depart", Var: "departDate"},
+					{Param: "return", Var: "returnDate"},
+				},
+				Outputs: []statechart.Binding{
+					{Param: "ref", Var: "flightRef"},
+					{Param: "insurance", Var: "insuranceRef"},
+				}},
+			{ID: "fEnd", Kind: statechart.KindFinal},
+		},
+		Transitions: []statechart.Transition{
+			{From: "fInit", To: "DFB", Condition: "domestic(destination)"},
+			{From: "fInit", To: "ITA", Condition: "not domestic(destination)"},
+			{From: "DFB", To: "fEnd"},
+			{From: "ITA", To: "fEnd"},
+		},
+	}
+	asRegion := &statechart.State{
+		ID: "asRegion", Kind: statechart.KindCompound,
+		Children: []*statechart.State{
+			{ID: "aInit", Kind: statechart.KindInitial},
+			{ID: "AS", Name: "Attractions Search", Kind: statechart.KindBasic,
+				Service: "AttractionsSearch", Operation: "search",
+				Inputs: []statechart.Binding{{Param: "dest", Var: "destination"}},
+				Outputs: []statechart.Binding{
+					{Param: "top", Var: "major_attraction"},
+					{Param: "distance", Var: "attractionDistance"},
+				}},
+			{ID: "aEnd", Kind: statechart.KindFinal},
+		},
+		Transitions: []statechart.Transition{
+			{From: "aInit", To: "AS"},
+			{From: "AS", To: "aEnd"},
+		},
+	}
+	abRegion := &statechart.State{
+		ID: "abRegion", Kind: statechart.KindCompound,
+		Children: []*statechart.State{
+			{ID: "bInit", Kind: statechart.KindInitial},
+			{ID: "AB", Name: "Accommodation Booking", Kind: statechart.KindBasic,
+				Service: "AccommodationBooking", Operation: "book",
+				Inputs: []statechart.Binding{
+					{Param: "customer", Var: "customer"},
+					{Param: "dest", Var: "destination"},
+				},
+				Outputs: []statechart.Binding{{Param: "addr", Var: "accommodation"}}},
+			{ID: "bEnd", Kind: statechart.KindFinal},
+		},
+		Transitions: []statechart.Transition{
+			{From: "bInit", To: "AB"},
+			{From: "AB", To: "bEnd"},
+		},
+	}
+	root := &statechart.State{
+		ID: "root", Kind: statechart.KindCompound,
+		Children: []*statechart.State{
+			{ID: "init", Kind: statechart.KindInitial},
+			{ID: "bookings", Name: "Bookings", Kind: statechart.KindConcurrent,
+				Children: []*statechart.State{flightRegion, asRegion, abRegion}},
+			{ID: "CR", Name: "Car Rental", Kind: statechart.KindBasic,
+				Service: "CarRental", Operation: "rent",
+				Inputs: []statechart.Binding{
+					{Param: "customer", Var: "customer"},
+					{Param: "addr", Var: "accommodation"},
+				},
+				Outputs: []statechart.Binding{{Param: "car", Var: "carRef"}}},
+			{ID: "end", Kind: statechart.KindFinal},
+		},
+		Transitions: []statechart.Transition{
+			{From: "init", To: "bookings"},
+			{From: "bookings", To: "CR", Condition: "not near(attractionDistance)"},
+			{From: "bookings", To: "end", Condition: "near(attractionDistance)"},
+			{From: "CR", To: "end"},
+		},
+	}
+	return &statechart.Statechart{
+		Name: "TravelPlanner",
+		Inputs: []statechart.Param{
+			{Name: "customer", Type: "string"},
+			{Name: "destination", Type: "string"},
+			{Name: "departDate", Type: "string"},
+			{Name: "returnDate", Type: "string"},
+		},
+		Outputs: []statechart.Param{
+			{Name: "flightRef", Type: "string"},
+			{Name: "accommodation", Type: "string"},
+			{Name: "major_attraction", Type: "string"},
+			{Name: "carRef", Type: "string"},
+		},
+		Root: root,
+	}
+}
+
+// Chain returns a sequential composite of n basic states
+// s1 -> s2 -> ... -> sn, each invoking service "svc<i>".run and threading
+// a counter variable through. Used by E3/E5.
+func Chain(n int) *statechart.Statechart {
+	if n < 1 {
+		panic("workload: Chain needs n >= 1")
+	}
+	root := &statechart.State{ID: "root", Kind: statechart.KindCompound}
+	root.Children = append(root.Children, &statechart.State{ID: "init", Kind: statechart.KindInitial})
+	prev := "init"
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		root.Children = append(root.Children, &statechart.State{
+			ID: id, Kind: statechart.KindBasic,
+			Service: fmt.Sprintf("svc%d", i), Operation: "run",
+			Inputs:  []statechart.Binding{{Param: "x", Var: "x"}},
+			Outputs: []statechart.Binding{{Param: "x", Var: "x"}},
+		})
+		root.Transitions = append(root.Transitions, statechart.Transition{From: prev, To: id})
+		prev = id
+	}
+	root.Children = append(root.Children, &statechart.State{ID: "end", Kind: statechart.KindFinal})
+	root.Transitions = append(root.Transitions, statechart.Transition{From: prev, To: "end"})
+	return &statechart.Statechart{
+		Name:    fmt.Sprintf("Chain%d", n),
+		Inputs:  []statechart.Param{{Name: "x", Type: "number"}},
+		Outputs: []statechart.Param{{Name: "x", Type: "number"}},
+		Root:    root,
+	}
+}
+
+// Parallel returns a composite with one AND-state of k single-service
+// regions: init -> AND(p1 || ... || pk) -> end. Each region invokes
+// service "svc<i>".run. Used by E3/E7 to stress join synchronization.
+func Parallel(k int) *statechart.Statechart {
+	if k < 2 {
+		panic("workload: Parallel needs k >= 2")
+	}
+	par := &statechart.State{ID: "par", Kind: statechart.KindConcurrent}
+	for i := 1; i <= k; i++ {
+		id := fmt.Sprintf("p%d", i)
+		region := &statechart.State{
+			ID: "r" + id, Kind: statechart.KindCompound,
+			Children: []*statechart.State{
+				{ID: "i" + id, Kind: statechart.KindInitial},
+				{ID: id, Kind: statechart.KindBasic,
+					Service: fmt.Sprintf("svc%d", i), Operation: "run",
+					Inputs:  []statechart.Binding{{Param: "x", Var: "x"}},
+					Outputs: []statechart.Binding{{Param: "y", Var: fmt.Sprintf("y%d", i)}},
+				},
+				{ID: "f" + id, Kind: statechart.KindFinal},
+			},
+			Transitions: []statechart.Transition{
+				{From: "i" + id, To: id},
+				{From: id, To: "f" + id},
+			},
+		}
+		par.Children = append(par.Children, region)
+	}
+	root := &statechart.State{
+		ID: "root", Kind: statechart.KindCompound,
+		Children: []*statechart.State{
+			{ID: "init", Kind: statechart.KindInitial},
+			par,
+			{ID: "end", Kind: statechart.KindFinal},
+		},
+		Transitions: []statechart.Transition{
+			{From: "init", To: "par"},
+			{From: "par", To: "end"},
+		},
+	}
+	return &statechart.Statechart{
+		Name:    fmt.Sprintf("Parallel%d", k),
+		Inputs:  []statechart.Param{{Name: "x", Type: "number"}},
+		Outputs: []statechart.Param{{Name: "y1", Type: "number"}},
+		Root:    root,
+	}
+}
+
+// RandomOptions parameterize RandomChart.
+type RandomOptions struct {
+	// States is the approximate number of basic states (>= 1).
+	States int
+	// MaxDepth bounds composite nesting (1 = flat).
+	MaxDepth int
+	// BranchProb is the probability that a slot becomes an alternative
+	// branch pair instead of a single state.
+	BranchProb float64
+	// ParallelProb is the probability that a slot becomes a concurrent
+	// state (when depth allows).
+	ParallelProb float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+// RandomChart generates a valid random statechart with roughly
+// opts.States basic states, for deployer scalability experiments (E5).
+// The same options always produce the same chart.
+func RandomChart(opts RandomOptions) *statechart.Statechart {
+	if opts.States < 1 {
+		opts.States = 1
+	}
+	if opts.MaxDepth < 1 {
+		opts.MaxDepth = 1
+	}
+	g := &randGen{
+		rng:    rand.New(rand.NewSource(opts.Seed + 1)),
+		opts:   opts,
+		budget: opts.States,
+	}
+	root := g.compoundN("n", opts.MaxDepth, -1)
+	return &statechart.Statechart{
+		Name:    fmt.Sprintf("Random%d_%d", opts.States, opts.Seed),
+		Inputs:  []statechart.Param{{Name: "x", Type: "number"}},
+		Outputs: []statechart.Param{{Name: "x", Type: "number"}},
+		Root:    root,
+	}
+}
+
+type randGen struct {
+	rng    *rand.Rand
+	opts   RandomOptions
+	budget int
+	nextID int
+}
+
+func (g *randGen) id(prefix string) string {
+	g.nextID++
+	return fmt.Sprintf("%s%d", prefix, g.nextID)
+}
+
+// basic consumes one unit of budget and returns a basic state.
+func (g *randGen) basic(prefix string) *statechart.State {
+	g.budget--
+	id := g.id(prefix)
+	return &statechart.State{
+		ID: id, Kind: statechart.KindBasic,
+		Service: "svc_" + id, Operation: "run",
+		Inputs:  []statechart.Binding{{Param: "x", Var: "x"}},
+		Outputs: []statechart.Binding{{Param: "x", Var: "x"}},
+	}
+}
+
+// slot produces the next working state: a basic state, a nested compound,
+// or a concurrent state, depending on depth and dice.
+func (g *randGen) slot(prefix string, depth int) *statechart.State {
+	if depth > 1 && g.budget >= 4 && g.rng.Float64() < g.opts.ParallelProb {
+		k := 2 + g.rng.Intn(2) // 2..3 regions
+		par := &statechart.State{ID: g.id(prefix + "par"), Kind: statechart.KindConcurrent}
+		for i := 0; i < k; i++ {
+			par.Children = append(par.Children, g.compound(prefix, depth-1))
+		}
+		return par
+	}
+	if depth > 1 && g.budget >= 2 && g.rng.Float64() < 0.3 {
+		return g.compound(prefix, depth-1)
+	}
+	return g.basic(prefix)
+}
+
+// compound builds a sequential backbone with optional alternative
+// branches, consuming budget proportionally.
+func (g *randGen) compound(prefix string, depth int) *statechart.State {
+	// Nested compounds take between 1 and 3 sequential slots.
+	return g.compoundN(prefix, depth, 1+g.rng.Intn(3))
+}
+
+// compoundN builds a compound state with the given number of sequential
+// slots; slots < 0 means "keep going until the basic-state budget is
+// spent" (used for the root so charts actually reach the requested size).
+func (g *randGen) compoundN(prefix string, depth, slots int) *statechart.State {
+	c := &statechart.State{ID: g.id(prefix + "c"), Kind: statechart.KindCompound}
+	init := &statechart.State{ID: g.id(prefix + "i"), Kind: statechart.KindInitial}
+	fin := &statechart.State{ID: g.id(prefix + "f"), Kind: statechart.KindFinal}
+	c.Children = append(c.Children, init)
+
+	prev := init.ID
+	prevCond := ""
+	for s := 0; slots < 0 && g.budget > 0 || s < slots; s++ {
+		if slots >= 0 && g.budget <= 0 && s > 0 {
+			break
+		}
+		if g.budget >= 2 && g.rng.Float64() < g.opts.BranchProb {
+			// Alternative branch: prev splits to a/b on x parity; both go
+			// to a join slot via direct wiring to the next slot.
+			a := g.slot(prefix, depth)
+			b := g.slot(prefix, depth)
+			join := g.basicOrReuse(prefix)
+			c.Children = append(c.Children, a, b, join)
+			c.Transitions = append(c.Transitions,
+				statechart.Transition{From: prev, To: a.ID, Condition: conjCond(prevCond, "x % 2 = 0")},
+				statechart.Transition{From: prev, To: b.ID, Condition: conjCond(prevCond, "x % 2 = 1")},
+				statechart.Transition{From: a.ID, To: join.ID},
+				statechart.Transition{From: b.ID, To: join.ID},
+			)
+			prev, prevCond = join.ID, ""
+			continue
+		}
+		st := g.slot(prefix, depth)
+		c.Children = append(c.Children, st)
+		c.Transitions = append(c.Transitions, statechart.Transition{From: prev, To: st.ID, Condition: prevCond})
+		prev, prevCond = st.ID, ""
+	}
+	c.Children = append(c.Children, fin)
+	c.Transitions = append(c.Transitions, statechart.Transition{From: prev, To: fin.ID})
+	return c
+}
+
+// basicOrReuse always creates a basic state; the budget may go negative
+// to keep generated charts valid (every compound needs a working state).
+func (g *randGen) basicOrReuse(prefix string) *statechart.State {
+	return g.basic(prefix)
+}
+
+func conjCond(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return "(" + a + ") and (" + b + ")"
+}
+
+// TravelRequest returns the input variable bag for one travel execution.
+// Domestic destinations trigger the DFB branch; far attractions trigger
+// car rental.
+func TravelRequest(customer, destination string, domestic bool) map[string]string {
+	return map[string]string{
+		"customer":    customer,
+		"destination": destination,
+		"departDate":  "2026-07-01",
+		"returnDate":  "2026-07-14",
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"testing"
+
+	"selfserv/internal/statechart"
+)
+
+func TestTravelValidates(t *testing.T) {
+	sc := Travel()
+	if err := statechart.Validate(sc); err != nil {
+		t.Fatalf("Travel: %v", err)
+	}
+	if got := len(sc.BasicStates()); got != 5 {
+		t.Fatalf("Travel has %d basic states, want 5", got)
+	}
+}
+
+func TestChainValidatesAndSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 32} {
+		sc := Chain(n)
+		if err := statechart.Validate(sc); err != nil {
+			t.Fatalf("Chain(%d): %v", n, err)
+		}
+		if got := len(sc.BasicStates()); got != n {
+			t.Fatalf("Chain(%d) has %d basic states", n, got)
+		}
+	}
+}
+
+func TestParallelValidatesAndSizes(t *testing.T) {
+	for _, k := range []int{2, 3, 8, 16} {
+		sc := Parallel(k)
+		if err := statechart.Validate(sc); err != nil {
+			t.Fatalf("Parallel(%d): %v", k, err)
+		}
+		if got := len(sc.BasicStates()); got != k {
+			t.Fatalf("Parallel(%d) has %d basic states", k, got)
+		}
+		if d := sc.Depth(); d != 4 {
+			t.Fatalf("Parallel(%d) depth = %d, want 4", k, d)
+		}
+	}
+}
+
+func TestPanicsOnBadSizes(t *testing.T) {
+	assertPanics(t, func() { Chain(0) })
+	assertPanics(t, func() { Parallel(1) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestRandomChartValidAndReproducible(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		opts := RandomOptions{States: 24, MaxDepth: 3, BranchProb: 0.3, ParallelProb: 0.3, Seed: seed}
+		sc := RandomChart(opts)
+		if err := statechart.Validate(sc); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, sc)
+		}
+		again := RandomChart(opts)
+		if sc.String() != again.String() {
+			t.Fatalf("seed %d: non-reproducible chart", seed)
+		}
+	}
+}
+
+func TestRandomChartScalesWithBudget(t *testing.T) {
+	small := RandomChart(RandomOptions{States: 4, MaxDepth: 2, Seed: 7})
+	big := RandomChart(RandomOptions{States: 128, MaxDepth: 4, BranchProb: 0.25, ParallelProb: 0.25, Seed: 7})
+	if len(big.BasicStates()) <= len(small.BasicStates()) {
+		t.Fatalf("big chart (%d basics) not bigger than small (%d)",
+			len(big.BasicStates()), len(small.BasicStates()))
+	}
+	// The generator may overshoot slightly but should land near budget.
+	if n := len(big.BasicStates()); n < 64 {
+		t.Fatalf("requested ~128 basic states, got %d", n)
+	}
+}
+
+func TestTravelRequest(t *testing.T) {
+	req := TravelRequest("alice", "sydney", true)
+	for _, k := range []string{"customer", "destination", "departDate", "returnDate"} {
+		if req[k] == "" {
+			t.Errorf("request missing %q", k)
+		}
+	}
+}

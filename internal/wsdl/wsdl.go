@@ -1,0 +1,266 @@
+// Package wsdl models the subset of WSDL 1.1 that SELF-SERV uses to
+// describe services: messages with string-typed parts, a portType of
+// operations (input/output message pairs), a SOAP binding, and a service
+// with one port carrying the endpoint address. Documents generate from a
+// Definition and parse back; the discovery engine publishes their URLs in
+// the UDDI registry, and wrappers read the binding details to invoke
+// operations (§4: "sent to the service using the binding details of the
+// WSDL service descriptions").
+package wsdl
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+
+	"selfserv/internal/service"
+)
+
+// Part is one named parameter of a message.
+type Part struct {
+	Name string
+	Type string // informational: "string", "number", "bool"
+}
+
+// Operation describes one operation: its input and output parts.
+type Operation struct {
+	Name    string
+	Inputs  []Part
+	Outputs []Part
+}
+
+// Definition is a parsed or constructed WSDL document.
+type Definition struct {
+	// Service is the service name.
+	Service string
+	// TargetNamespace defaults to "urn:selfserv:<service>".
+	TargetNamespace string
+	// Endpoint is the SOAP address of the service's port.
+	Endpoint string
+	// Operations of the single portType, sorted by name.
+	Operations []Operation
+}
+
+// Operation returns the named operation, or nil.
+func (d *Definition) Operation(name string) *Operation {
+	for i := range d.Operations {
+		if d.Operations[i].Name == name {
+			return &d.Operations[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural completeness.
+func (d *Definition) Validate() error {
+	if d.Service == "" {
+		return fmt.Errorf("wsdl: definition has no service name")
+	}
+	if d.Endpoint == "" {
+		return fmt.Errorf("wsdl: %s: no endpoint address", d.Service)
+	}
+	if len(d.Operations) == 0 {
+		return fmt.Errorf("wsdl: %s: no operations", d.Service)
+	}
+	seen := map[string]bool{}
+	for _, op := range d.Operations {
+		if op.Name == "" {
+			return fmt.Errorf("wsdl: %s: operation with empty name", d.Service)
+		}
+		if seen[op.Name] {
+			return fmt.Errorf("wsdl: %s: duplicate operation %q", d.Service, op.Name)
+		}
+		seen[op.Name] = true
+	}
+	return nil
+}
+
+// FromProvider derives a Definition from a live provider: one operation
+// per provider operation. Parameter parts cannot be introspected from the
+// Provider interface, so operations get a generic single "params" part
+// unless the provider implements Describer.
+func FromProvider(p service.Provider, endpoint string) *Definition {
+	d := &Definition{
+		Service:         p.Name(),
+		TargetNamespace: "urn:selfserv:" + p.Name(),
+		Endpoint:        endpoint,
+	}
+	type describer interface {
+		Describe(op string) ([]Part, []Part, bool)
+	}
+	for _, op := range p.Operations() {
+		o := Operation{Name: op}
+		if desc, ok := p.(describer); ok {
+			if in, out, found := desc.Describe(op); found {
+				o.Inputs, o.Outputs = in, out
+			}
+		}
+		d.Operations = append(d.Operations, o)
+	}
+	sort.Slice(d.Operations, func(i, j int) bool { return d.Operations[i].Name < d.Operations[j].Name })
+	return d
+}
+
+// --- XML wire format ---
+
+type xmlDefinitions struct {
+	XMLName  xml.Name      `xml:"definitions"`
+	Name     string        `xml:"name,attr"`
+	TargetNS string        `xml:"targetNamespace,attr"`
+	Messages []xmlMessage  `xml:"message"`
+	PortType []xmlPortType `xml:"portType"`
+	Binding  []xmlBinding  `xml:"binding"`
+	Service  []xmlService  `xml:"service"`
+}
+
+type xmlMessage struct {
+	Name  string    `xml:"name,attr"`
+	Parts []xmlPart `xml:"part"`
+}
+
+type xmlPart struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr,omitempty"`
+}
+
+type xmlPortType struct {
+	Name       string           `xml:"name,attr"`
+	Operations []xmlPTOperation `xml:"operation"`
+}
+
+type xmlPTOperation struct {
+	Name   string    `xml:"name,attr"`
+	Input  xmlMsgRef `xml:"input"`
+	Output xmlMsgRef `xml:"output"`
+}
+
+type xmlMsgRef struct {
+	Message string `xml:"message,attr"`
+}
+
+type xmlBinding struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type xmlService struct {
+	Name  string    `xml:"name,attr"`
+	Ports []xmlPort `xml:"port"`
+}
+
+type xmlPort struct {
+	Name    string     `xml:"name,attr"`
+	Binding string     `xml:"binding,attr"`
+	Address xmlAddress `xml:"address"`
+}
+
+type xmlAddress struct {
+	Location string `xml:"location,attr"`
+}
+
+// Marshal renders the definition as a WSDL document.
+func Marshal(d *Definition) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	ns := d.TargetNamespace
+	if ns == "" {
+		ns = "urn:selfserv:" + d.Service
+	}
+	doc := xmlDefinitions{
+		Name:     d.Service,
+		TargetNS: ns,
+	}
+	pt := xmlPortType{Name: d.Service + "PortType"}
+	for _, op := range d.Operations {
+		inMsg := xmlMessage{Name: op.Name + "Request"}
+		for _, p := range op.Inputs {
+			inMsg.Parts = append(inMsg.Parts, xmlPart(p))
+		}
+		outMsg := xmlMessage{Name: op.Name + "Response"}
+		for _, p := range op.Outputs {
+			outMsg.Parts = append(outMsg.Parts, xmlPart(p))
+		}
+		doc.Messages = append(doc.Messages, inMsg, outMsg)
+		pt.Operations = append(pt.Operations, xmlPTOperation{
+			Name:   op.Name,
+			Input:  xmlMsgRef{Message: inMsg.Name},
+			Output: xmlMsgRef{Message: outMsg.Name},
+		})
+	}
+	doc.PortType = []xmlPortType{pt}
+	doc.Binding = []xmlBinding{{Name: d.Service + "SoapBinding", Type: pt.Name}}
+	doc.Service = []xmlService{{
+		Name: d.Service,
+		Ports: []xmlPort{{
+			Name:    d.Service + "Port",
+			Binding: d.Service + "SoapBinding",
+			Address: xmlAddress{Location: d.Endpoint},
+		}},
+	}}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, fmt.Errorf("wsdl: marshal %s: %w", d.Service, err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// Unmarshal parses a document produced by Marshal (or a hand-written one
+// of the same shape).
+func Unmarshal(data []byte) (*Definition, error) {
+	var doc xmlDefinitions
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("wsdl: unmarshal: %w", err)
+	}
+	d := &Definition{
+		Service:         doc.Name,
+		TargetNamespace: doc.TargetNS,
+	}
+	msgs := map[string][]Part{}
+	for _, m := range doc.Messages {
+		var parts []Part
+		for _, p := range m.Parts {
+			parts = append(parts, Part(p))
+		}
+		msgs[m.Name] = parts
+	}
+	for _, pt := range doc.PortType {
+		for _, op := range pt.Operations {
+			d.Operations = append(d.Operations, Operation{
+				Name:    op.Name,
+				Inputs:  msgs[op.Input.Message],
+				Outputs: msgs[op.Output.Message],
+			})
+		}
+	}
+	sort.Slice(d.Operations, func(i, j int) bool { return d.Operations[i].Name < d.Operations[j].Name })
+	for _, s := range doc.Service {
+		for _, port := range s.Ports {
+			if port.Address.Location != "" {
+				d.Endpoint = port.Address.Location
+			}
+		}
+		if s.Name != "" {
+			d.Service = s.Name
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Read parses a definition from r.
+func Read(r io.Reader) (*Definition, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: read: %w", err)
+	}
+	return Unmarshal(data)
+}

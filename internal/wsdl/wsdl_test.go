@@ -1,0 +1,135 @@
+package wsdl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"selfserv/internal/service"
+)
+
+func sampleDef() *Definition {
+	return &Definition{
+		Service:  "DomesticFlightBooking",
+		Endpoint: "http://provider.example:8080/soap/dfb",
+		Operations: []Operation{
+			{
+				Name: "book",
+				Inputs: []Part{
+					{Name: "customer", Type: "string"},
+					{Name: "dest", Type: "string"},
+				},
+				Outputs: []Part{{Name: "ref", Type: "string"}},
+			},
+			{
+				Name:    "cancel",
+				Inputs:  []Part{{Name: "ref", Type: "string"}},
+				Outputs: []Part{{Name: "ok", Type: "bool"}},
+			},
+		},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	d := sampleDef()
+	data, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, want := range []string{"definitions", "portType", "binding", "address", "bookRequest", "bookResponse"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("document missing %q:\n%s", want, data)
+		}
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	d.TargetNamespace = "urn:selfserv:DomesticFlightBooking" // defaulted in output
+	if !reflect.DeepEqual(d, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", d, back)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := map[string]func(*Definition){
+		"no service name":     func(d *Definition) { d.Service = "" },
+		"no endpoint":         func(d *Definition) { d.Endpoint = "" },
+		"no operations":       func(d *Definition) { d.Operations = nil },
+		"empty op name":       func(d *Definition) { d.Operations[0].Name = "" },
+		"duplicate operation": func(d *Definition) { d.Operations[1].Name = "book" },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			d := sampleDef()
+			mutate(d)
+			if err := d.Validate(); err == nil {
+				t.Fatal("Validate accepted invalid definition")
+			}
+			if _, err := Marshal(d); err == nil {
+				t.Fatal("Marshal accepted invalid definition")
+			}
+		})
+	}
+	if err := sampleDef().Validate(); err != nil {
+		t.Fatalf("valid definition rejected: %v", err)
+	}
+}
+
+func TestOperationLookup(t *testing.T) {
+	d := sampleDef()
+	if op := d.Operation("book"); op == nil || len(op.Inputs) != 2 {
+		t.Fatalf("Operation(book) = %+v", op)
+	}
+	if d.Operation("nope") != nil {
+		t.Fatal("Operation(nope) found something")
+	}
+}
+
+func TestFromProvider(t *testing.T) {
+	p := service.NewSimulated("Echoer", service.SimulatedOptions{}).Echo("ping").Echo("pong")
+	d := FromProvider(p, "http://x/soap")
+	if d.Service != "Echoer" || d.Endpoint != "http://x/soap" {
+		t.Fatalf("definition = %+v", d)
+	}
+	if len(d.Operations) != 2 || d.Operations[0].Name != "ping" || d.Operations[1].Name != "pong" {
+		t.Fatalf("operations = %+v", d.Operations)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, err := Marshal(d); err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":    "not xml at all",
+		"wrong root": "<unrelated/>",
+		"no endpoint": `<definitions name="S">
+			<portType name="p"><operation name="op"/></portType>
+		</definitions>`,
+	}
+	for name, doc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Unmarshal([]byte(doc)); err == nil {
+				t.Fatal("Unmarshal accepted bad document")
+			}
+		})
+	}
+}
+
+func TestReadFromReader(t *testing.T) {
+	data, err := Marshal(sampleDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Read(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Service != "DomesticFlightBooking" {
+		t.Fatalf("Service = %q", d.Service)
+	}
+}
