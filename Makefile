@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify
+verify: ## tier-1 gate: everything builds, all tests pass
+	$(GO) build ./...
+	$(GO) test ./...
+
+.PHONY: race
+race: ## tier-1 plus the race detector on the concurrent packages
+	$(GO) test -race ./internal/engine/ ./internal/transport/ ./internal/core/ ./internal/message/
+
+.PHONY: bench
+bench: ## full E1-E7 experiment harness (compare against BENCH_baseline.json)
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+.PHONY: bench-e3
+bench-e3: ## E3 only: P2P vs centralized orchestration latency
+	$(GO) test -bench=BenchmarkE3 -benchmem -run '^$$' .
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,3 @@
+module selfserv
+
+go 1.24

@@ -118,12 +118,15 @@ type Composite struct {
 	platform *Platform
 	wrapper  *engine.Wrapper
 	plan     *routing.Plan
+	compiled *routing.CompiledPlan
 }
 
 // Deploy validates, compiles, and deploys a composite service: routing
-// tables are generated and installed on the hosts of the component
-// services, and a wrapper is started. Redeploying an existing name
-// replaces its wrapper.
+// tables are generated, compiled (every guard parsed exactly once), and
+// installed on the hosts of the component services, and a wrapper is
+// started over the shared compiled plan. Parse errors surface here — a
+// successfully deployed composite can never hit one at runtime.
+// Redeploying an existing name replaces its wrapper.
 func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	p.mu.Lock()
 	placement := make(deployer.Placement, len(p.placement))
@@ -146,11 +149,11 @@ func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	if _, isTCP := p.net.(*transport.TCP); isTCP {
 		addr = "127.0.0.1:0"
 	}
-	w, err := engine.NewWrapper(p.net, addr, p.dir, dep.Plan, p.funcs)
+	w, err := engine.NewCompiledWrapper(p.net, addr, p.dir, dep.Compiled, p.funcs)
 	if err != nil {
 		return nil, err
 	}
-	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan}
+	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan, compiled: dep.Compiled}
 	p.mu.Lock()
 	p.composites[sc.Name] = comp
 	p.mu.Unlock()
@@ -206,16 +209,21 @@ func (c *Composite) ExecuteInstance(ctx context.Context, id string, inputs map[s
 // Name returns the composite service name.
 func (c *Composite) Name() string { return c.plan.Composite }
 
-// Plan exposes the compiled routing plan (for inspection and tooling).
+// Plan exposes the declarative routing plan (for inspection and tooling).
 func (c *Composite) Plan() *routing.Plan { return c.plan }
+
+// CompiledPlan exposes the compiled execution plan shared by the wrapper
+// and (when built) the centralized baseline.
+func (c *Composite) CompiledPlan() *routing.CompiledPlan { return c.compiled }
 
 // Wrapper exposes the underlying wrapper (e.g. for its address).
 func (c *Composite) Wrapper() *engine.Wrapper { return c.wrapper }
 
-// NewCentralBaseline builds the hub orchestrator for the same plan —
-// the comparator of experiments E3/E7.
+// NewCentralBaseline builds the hub orchestrator for the same compiled
+// plan — the comparator of experiments E3/E7. Sharing the compilation
+// keeps the comparison apples-to-apples: neither side parses at runtime.
 func (c *Composite) NewCentralBaseline(addr string) (*engine.Central, error) {
-	return engine.NewCentral(c.platform.net, addr, c.platform.dir, c.plan, c.platform.funcs)
+	return engine.NewCompiledCentral(c.platform.net, addr, c.platform.dir, c.compiled, c.platform.funcs)
 }
 
 // AsProvider exposes the composite as a service.Provider with a single

@@ -26,28 +26,47 @@ type Installer interface {
 	Addr() string
 }
 
+// CompiledInstaller is an Installer that can accept the deployer's
+// already-compiled table directly, skipping a second parse. engine.Host
+// implements it; remote installers (hostapi.Client) ship the declarative
+// XML and compile on the far side.
+type CompiledInstaller interface {
+	InstallCompiled(composite string, table *routing.CompiledTable) error
+}
+
 // Placement maps component-service names to the node hosting them. Every
 // service referenced by the statechart must be placed.
 type Placement map[string]Installer
 
 // Deployment is the result of a successful deploy.
 type Deployment struct {
-	// Plan is the compiled routing plan.
+	// Plan is the declarative routing plan.
 	Plan *routing.Plan
+	// Compiled is the plan's compiled execution form: every guard and
+	// action pre-parsed, precondition sources interned. Wrappers and the
+	// centralized baseline interpret this shared artifact directly.
+	Compiled *routing.CompiledPlan
 	// Hosts maps each state ID to the address it was installed on.
 	Hosts map[string]string
 }
 
 // Deploy validates and compiles the statechart, then uploads each state's
-// routing table to the host of its component service. It fails without
-// side effects if compilation fails or any service is unplaced; partial
-// installation only occurs if a host's Install itself errors.
+// routing table to the host of its component service. Compilation —
+// including parsing every guard, precondition, and action expression —
+// happens HERE, before any host is touched: deployment is the only place
+// a parse error can surface. Deploy fails without side effects if
+// compilation fails or any service is unplaced; partial installation only
+// occurs if a host's Install itself errors.
 func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error) {
 	plan, err := routing.Generate(sc)
 	if err != nil {
 		return nil, err
 	}
 	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	compiled, err := routing.CompilePlan(plan)
+	if err != nil {
 		return nil, err
 	}
 	// Check placement before touching any host.
@@ -62,11 +81,19 @@ func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error)
 			return nil, fmt.Errorf("deployer: composite %q: service %q (state %q) has no placement", sc.Name, tbl.Service, id)
 		}
 	}
-	dep := &Deployment{Plan: plan, Hosts: map[string]string{}}
+	dep := &Deployment{Plan: plan, Compiled: compiled, Hosts: map[string]string{}}
 	for _, id := range ids {
 		tbl := plan.Tables[id]
 		host := placement[tbl.Service]
-		if err := host.Install(sc.Name, tbl); err != nil {
+		var err error
+		if ci, ok := host.(CompiledInstaller); ok {
+			// Hand the host the table we already compiled: one parse per
+			// deployment, shared by every instance.
+			err = ci.InstallCompiled(sc.Name, compiled.Tables[id])
+		} else {
+			err = host.Install(sc.Name, tbl)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("deployer: install state %q on %s: %w", id, host.Addr(), err)
 		}
 		dep.Hosts[id] = host.Addr()

@@ -7,28 +7,31 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"selfserv/internal/expr"
 	"selfserv/internal/message"
 	"selfserv/internal/routing"
-	"selfserv/internal/statechart"
 	"selfserv/internal/transport"
 )
 
 // Central is the baseline the paper argues against: a hub orchestrator
-// that keeps ALL control flow on one node. It interprets the same routing
-// plan as the peer-to-peer fabric, but every state firing becomes a
-// remote invocation round trip (TypeInvoke/TypeResult) through the hub,
-// and every routing decision is taken centrally. Used as the comparator
-// in experiments E3 and E7.
+// that keeps ALL control flow on one node. It interprets the same
+// COMPILED routing plan as the peer-to-peer fabric (so E3/E7 comparisons
+// stay apples-to-apples: both sides pay zero runtime parsing), but every
+// state firing becomes a remote invocation round trip
+// (TypeInvoke/TypeResult) through the hub, and every routing decision is
+// taken centrally. Used as the comparator in experiments E3 and E7.
 //
 // Independent states still execute concurrently (the hub is an
 // orchestrator, not a serializer), so wall-clock comparisons against the
 // P2P engine isolate coordination cost, not artificial sequentialization.
 type Central struct {
-	net   transport.Network
-	ep    transport.Endpoint
-	dir   *Directory
-	plan  *routing.Plan
-	funcs Funcs
+	net      transport.Network
+	ep       transport.Endpoint
+	dir      *Directory
+	plan     *routing.Plan
+	compiled *routing.CompiledPlan
+	funcs    Funcs
+	funcEnv  expr.Env
 
 	seq atomic.Int64
 
@@ -37,18 +40,33 @@ type Central struct {
 }
 
 // NewCentral deploys a central orchestrator for plan, listening on addr
-// for invocation replies. The plan's states must already be installed on
-// hosts (so the directory knows where each component service lives).
+// for invocation replies. The plan is validated and compiled here, at
+// deploy time — ill-formed guards never reach an execution. The plan's
+// states must already be installed on hosts (so the directory knows where
+// each component service lives).
 func NewCentral(net transport.Network, addr string, dir *Directory, plan *routing.Plan, funcs Funcs) (*Central, error) {
+	compiled, err := routing.CompilePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return NewCompiledCentral(net, addr, dir, compiled, funcs)
+}
+
+// NewCompiledCentral is NewCentral for a plan the deployer already
+// compiled — the compilation is shared, not repeated.
+func NewCompiledCentral(net transport.Network, addr string, dir *Directory, compiled *routing.CompiledPlan, funcs Funcs) (*Central, error) {
+	plan := compiled.Plan
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
 	c := &Central{
-		net:     net,
-		dir:     dir,
-		plan:    plan,
-		funcs:   funcs,
-		pending: map[string]chan *message.Message{},
+		net:      net,
+		dir:      dir,
+		plan:     plan,
+		compiled: compiled,
+		funcs:    funcs,
+		funcEnv:  funcs.Env(),
+		pending:  map[string]chan *message.Message{},
 	}
 	ep, err := net.Listen(addr, c.handle)
 	if err != nil {
@@ -85,11 +103,21 @@ type stateResult struct {
 	err     error
 }
 
-// centralRun is the marking of one instance inside the hub.
+// centralMark is the hub-local notification bookkeeping for one state,
+// indexed by the state's compiled table interning (the hub equivalent of
+// coordInstance counts).
+type centralMark struct {
+	counts  []uint32
+	pending []uint64
+}
+
+// centralRun is the marking of one instance inside the hub. donePend is
+// the seen-source bitmask over the finish universe (finish clauses are
+// never consumed, so no counts are kept — mirroring wrapperInstance).
 type centralRun struct {
 	vars     map[string]string
-	received map[string]map[string]int // state -> source -> pending count
-	done     map[string]int            // wrapper-bound termination notices
+	received map[string]*centralMark // state -> interned notification counts
+	donePend []uint64
 	inflight int
 	results  chan stateResult
 }
@@ -99,8 +127,8 @@ type centralRun struct {
 func (c *Central) Execute(ctx context.Context, inputs map[string]string) (map[string]string, error) {
 	run := &centralRun{
 		vars:     map[string]string{},
-		received: map[string]map[string]int{},
-		done:     map[string]int{},
+		received: map[string]*centralMark{},
+		donePend: make([]uint64, c.compiled.FinishMaskWords()),
 		results:  make(chan stateResult, len(c.plan.Tables)+1),
 	}
 	for k, v := range inputs {
@@ -110,8 +138,8 @@ func (c *Central) Execute(ctx context.Context, inputs map[string]string) (map[st
 
 	// Start phase: hub evaluates entry guards (it is the wrapper here).
 	started := 0
-	for _, target := range c.plan.Start {
-		ok, err := c.funcs.evalCondition(target.Condition, run.vars)
+	for _, target := range c.compiled.Start {
+		ok, err := evalGuard(target.Condition, run.vars, c.funcEnv)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +149,9 @@ func (c *Central) Execute(ctx context.Context, inputs map[string]string) (map[st
 		if err := c.applyAssignments(run, target.Actions); err != nil {
 			return nil, err
 		}
-		c.notify(run, message.WrapperID, target.To)
+		if err := c.notify(run, message.WrapperID, target.To); err != nil {
+			return nil, err
+		}
 		started++
 	}
 	if started == 0 {
@@ -146,7 +176,7 @@ func (c *Central) Execute(ctx context.Context, inputs map[string]string) (map[st
 			if res.err != nil {
 				return nil, fmt.Errorf("%w: state %s: %v", ErrInstanceFault, res.state, res.err)
 			}
-			tbl := c.plan.Tables[res.state]
+			tbl := c.compiled.Tables[res.state]
 			bindOutputs(tbl.Outputs, res.outputs, run.vars)
 			if err := c.postprocess(run, tbl); err != nil {
 				return nil, err
@@ -163,24 +193,37 @@ func (c *Central) Execute(ctx context.Context, inputs map[string]string) (map[st
 // notify records a control notification in the hub's marking. (No network
 // message: this is exactly the centralization being measured — routing
 // decisions are local to the hub.)
-func (c *Central) notify(run *centralRun, from, to string) {
+func (c *Central) notify(run *centralRun, from, to string) error {
 	if to == message.WrapperID {
-		run.done[from]++
-		return
+		if idx, ok := c.compiled.FinishSourceIndex(from); ok {
+			run.donePend[idx>>6] |= 1 << (idx & 63)
+		}
+		return nil
 	}
-	bySrc, ok := run.received[to]
+	tbl := c.compiled.Tables[to]
+	if tbl == nil {
+		return fmt.Errorf("engine: notification for unknown state %q", to)
+	}
+	mark, ok := run.received[to]
 	if !ok {
-		bySrc = map[string]int{}
-		run.received[to] = bySrc
+		mark = &centralMark{
+			counts:  make([]uint32, tbl.NumSources()),
+			pending: make([]uint64, tbl.MaskWords()),
+		}
+		run.received[to] = mark
 	}
-	bySrc[from]++
+	if idx, ok := tbl.SourceIndex(from); ok {
+		mark.counts[idx]++
+		mark.pending[idx>>6] |= 1 << (idx & 63)
+	}
+	return nil
 }
 
 // postprocess evaluates a completed state's postprocessing targets on the
 // hub's global bag.
-func (c *Central) postprocess(run *centralRun, tbl *routing.Table) error {
+func (c *Central) postprocess(run *centralRun, tbl *routing.CompiledTable) error {
 	for _, target := range tbl.Postprocessings {
-		ok, err := c.funcs.evalCondition(target.Condition, run.vars)
+		ok, err := evalGuard(target.Condition, run.vars, c.funcEnv)
 		if err != nil {
 			return err
 		}
@@ -190,21 +233,19 @@ func (c *Central) postprocess(run *centralRun, tbl *routing.Table) error {
 		if err := c.applyAssignments(run, target.Actions); err != nil {
 			return err
 		}
-		c.notify(run, tbl.State, target.To)
+		if err := c.notify(run, tbl.State, target.To); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// applyAssignments applies ECA actions to the hub's global bag.
-func (c *Central) applyAssignments(run *centralRun, actions []statechart.Assignment) error {
+// applyAssignments applies precompiled ECA actions to the hub's global bag.
+func (c *Central) applyAssignments(run *centralRun, actions []routing.CompiledAssignment) error {
 	if len(actions) == 0 {
 		return nil
 	}
-	var al actionList
-	for _, a := range actions {
-		al = append(al, assignment{Var: a.Var, Expr: a.Expr})
-	}
-	merged, err := c.funcs.applyActions([]actionList{al}, run.vars)
+	merged, err := applyActions(actions, run.vars, c.funcEnv)
 	if err != nil {
 		return err
 	}
@@ -215,14 +256,14 @@ func (c *Central) applyAssignments(run *centralRun, actions []statechart.Assignm
 // fireEnabled launches remote invocations for every state whose
 // precondition now holds.
 func (c *Central) fireEnabled(ctx context.Context, instance string, run *centralRun) error {
-	for state, bySrc := range run.received {
-		tbl := c.plan.Tables[state]
-		if tbl == nil {
-			return fmt.Errorf("engine: notification for unknown state %q", state)
-		}
+	for state, mark := range run.received {
+		tbl := c.compiled.Tables[state]
 	clauses:
-		for _, clause := range tbl.Covered(bySrc) {
-			ok, err := c.funcs.evalCondition(clause.Condition, run.vars)
+		for _, clause := range tbl.Preconditions {
+			if !clause.Covered(mark.pending) {
+				continue
+			}
+			ok, err := evalGuard(clause.Condition, run.vars, c.funcEnv)
 			if err != nil {
 				if isUndefinedVar(err) {
 					continue clauses
@@ -232,16 +273,18 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 			if !ok {
 				continue
 			}
-			for _, src := range clause.Sources {
-				bySrc[src]--
-				if bySrc[src] <= 0 {
-					delete(bySrc, src)
+			for _, idx := range clause.SourceIndexes() {
+				if mark.counts[idx] > 0 {
+					mark.counts[idx]--
+				}
+				if mark.counts[idx] == 0 {
+					mark.pending[idx>>6] &^= 1 << (idx & 63)
 				}
 			}
 			if err := c.applyAssignments(run, clause.Actions); err != nil {
 				return err
 			}
-			params, err := bindInputs(c.funcs, tbl.Inputs, run.vars)
+			params, err := bindInputs(tbl.Inputs, run.vars, c.funcEnv)
 			if err != nil {
 				return err
 			}
@@ -255,7 +298,7 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 
 // invokeRemote performs one TypeInvoke/TypeResult round trip to the host
 // owning the state's service.
-func (c *Central) invokeRemote(ctx context.Context, instance string, tbl *routing.Table, params map[string]string, results chan<- stateResult) {
+func (c *Central) invokeRemote(ctx context.Context, instance string, tbl *routing.CompiledTable, params map[string]string, results chan<- stateResult) {
 	addr, found := c.dir.Lookup(c.plan.Composite, tbl.State)
 	if !found {
 		results <- stateResult{state: tbl.State, err: fmt.Errorf("state %q is not deployed", tbl.State)}
@@ -298,21 +341,14 @@ func (c *Central) invokeRemote(ctx context.Context, instance string, tbl *routin
 	}
 }
 
-// finishSatisfied checks the plan's finish clauses against collected
+// finishSatisfied checks the compiled finish clauses against collected
 // termination notices.
 func (c *Central) finishSatisfied(run *centralRun) bool {
-	for _, clause := range c.plan.Finish {
-		all := true
-		for _, src := range clause.Sources {
-			if run.done[src] <= 0 {
-				all = false
-				break
-			}
-		}
-		if !all {
+	for _, clause := range c.compiled.Finish {
+		if !clause.Covered(run.donePend) {
 			continue
 		}
-		ok, err := c.funcs.evalCondition(clause.Condition, run.vars)
+		ok, err := evalGuard(clause.Condition, run.vars, c.funcEnv)
 		if err != nil || !ok {
 			continue
 		}

@@ -17,15 +17,32 @@
 // All components speak the message vocabulary of package message over any
 // transport.Network, so the same code runs in-process (tests, benchmarks)
 // and over TCP (examples, cmd/hostd).
+//
+// # Compiled execution plans
+//
+// The engine never parses a guard expression at runtime. Host.Install,
+// NewWrapper, and NewCentral each compile their routing artifact
+// (routing.CompileTable / routing.CompilePlan) exactly once, at deploy
+// time, and every execution instance shares the resulting immutable
+// structures: pre-parsed *expr.Program guards and actions, interned
+// notification sources, bitmask precondition coverage, and a function
+// environment bound once per composite. The contract this buys is that an
+// ill-formed guard fails the DEPLOYMENT (Install/NewWrapper/NewCentral
+// return the parse error) and can never fault a running instance; the
+// notification hot path is pointer-chasing over prebuilt tables, exactly
+// the paper's "the coordinators do not need to implement any complex
+// scheduling algorithm" invariant.
 package engine
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"selfserv/internal/expr"
 	"selfserv/internal/message"
+	"selfserv/internal/routing"
 )
 
 // ErrInstanceFault reports that a composite execution failed; the cause
@@ -39,42 +56,57 @@ var ErrUnknownComposite = errors.New("engine: unknown composite")
 // that peer. Peer IDs are state IDs plus message.WrapperID. It is the
 // runtime equivalent of the "location" column the paper stores in routing
 // tables; the deployer fills it during deployment.
+//
+// Reads are lock-free: the directory keeps its entire contents in an
+// immutable copy-on-write snapshot swapped atomically on writes. Writes
+// happen a handful of times per composite (deploy, redeploy); lookups
+// happen on every notification send, so the coordinator hot path pays one
+// atomic load and two map reads — no RWMutex.
 type Directory struct {
-	mu    sync.RWMutex
-	addrs map[string]map[string]string
+	mu   sync.Mutex // serializes writers only
+	snap atomic.Pointer[map[string]map[string]string]
 }
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{addrs: map[string]map[string]string{}}
+	d := &Directory{}
+	empty := map[string]map[string]string{}
+	d.snap.Store(&empty)
+	return d
 }
 
-// Set records that peer id of composite lives at addr.
+// Set records that peer id of composite lives at addr. It rebuilds the
+// affected composite's map copy-on-write, so concurrent readers keep a
+// consistent snapshot.
 func (d *Directory) Set(composite, id, addr string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	byID, ok := d.addrs[composite]
-	if !ok {
-		byID = map[string]string{}
-		d.addrs[composite] = byID
+	old := *d.snap.Load()
+	next := make(map[string]map[string]string, len(old)+1)
+	for c, byID := range old {
+		next[c] = byID
+	}
+	byID := make(map[string]string, len(old[composite])+1)
+	for k, v := range old[composite] {
+		byID[k] = v
 	}
 	byID[id] = addr
+	next[composite] = byID
+	d.snap.Store(&next)
 }
 
-// Lookup resolves the address of peer id within composite.
+// Lookup resolves the address of peer id within composite without taking
+// any lock.
 func (d *Directory) Lookup(composite, id string) (string, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	addr, ok := d.addrs[composite][id]
+	addr, ok := (*d.snap.Load())[composite][id]
 	return addr, ok
 }
 
 // Peers returns a copy of the peer->address map for composite.
 func (d *Directory) Peers(composite string) map[string]string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make(map[string]string, len(d.addrs[composite]))
-	for id, addr := range d.addrs[composite] {
+	byID := (*d.snap.Load())[composite]
+	out := make(map[string]string, len(byID))
+	for id, addr := range byID {
 		out[id] = addr
 	}
 	return out
@@ -86,56 +118,48 @@ func (d *Directory) Peers(composite string) map[string]string {
 // conditions) use it.
 type Funcs map[string]expr.Func
 
-// env builds the evaluation environment for one instance's variable bag.
-func (f Funcs) env(vars map[string]string) expr.Env {
-	e := expr.NewMapEnv()
-	for k, v := range vars {
-		e.BindText(k, v)
-	}
-	for name, fn := range f {
-		e.BindFunc(name, fn)
-	}
-	return e
+// Env returns the function-resolution layer shared by every evaluation of
+// a composite. Built once (at deploy time) and chained under a
+// per-evaluation variable layer; see evalEnv.
+func (f Funcs) Env() expr.Env { return expr.FuncsEnv(f) }
+
+// evalEnv builds the two-layer evaluation environment for one variable
+// bag: a lazy text-variable layer over the composite's shared function
+// layer. The only per-evaluation work is one small slice allocation —
+// functions are never re-bound and variables are converted on lookup.
+func evalEnv(vars map[string]string, funcs expr.Env) expr.Env {
+	return expr.ChainEnv{expr.TextVars(vars), funcs}
 }
 
-// evalCondition evaluates a guard against vars; the empty guard is true.
-func (f Funcs) evalCondition(cond string, vars map[string]string) (bool, error) {
-	if cond == "" {
+// evalGuard evaluates a precompiled guard against vars; a nil guard
+// (statically true, e.g. the empty condition) is true without touching
+// the environment.
+func evalGuard(g *expr.Program, vars map[string]string, funcs expr.Env) (bool, error) {
+	if g == nil {
 		return true, nil
 	}
-	ok, err := expr.EvalBool(cond, f.env(vars))
+	ok, err := g.EvalBool(evalEnv(vars, funcs))
 	if err != nil {
-		return false, fmt.Errorf("engine: condition %q: %w", cond, err)
+		return false, fmt.Errorf("engine: condition %q: %w", g.Source(), err)
 	}
 	return ok, nil
 }
 
-// applyActions evaluates assignments against vars and returns a NEW bag
-// with the results merged (the input map is never mutated).
-func (f Funcs) applyActions(actions []actionList, vars map[string]string) (map[string]string, error) {
-	out := make(map[string]string, len(vars)+2)
+// applyActions evaluates precompiled assignments against vars and returns
+// a NEW bag with the results merged (the input map is never mutated).
+func applyActions(actions []routing.CompiledAssignment, vars map[string]string, funcs expr.Env) (map[string]string, error) {
+	out := make(map[string]string, len(vars)+len(actions))
 	for k, v := range vars {
 		out[k] = v
 	}
-	for _, as := range actions {
-		for _, a := range as {
-			v, err := expr.Eval(a.Expr, f.env(out))
-			if err != nil {
-				return nil, fmt.Errorf("engine: action %s := %s: %w", a.Var, a.Expr, err)
-			}
-			out[a.Var] = v.Text()
+	for _, a := range actions {
+		v, err := a.Expr.Eval(evalEnv(out, funcs))
+		if err != nil {
+			return nil, fmt.Errorf("engine: action %s := %s: %w", a.Var, a.Expr.Source(), err)
 		}
+		out[a.Var] = v.Text()
 	}
 	return out, nil
-}
-
-// actionList is a slice of assignments (routing.Target.Actions shape,
-// kept local to avoid importing routing here).
-type actionList []assignment
-
-type assignment struct {
-	Var  string
-	Expr string
 }
 
 // fault constructs a fault message for an instance.

@@ -36,6 +36,7 @@ type Host struct {
 	registry *service.Registry
 	dir      *Directory
 	opts     HostOptions
+	funcEnv  expr.Env // function layer shared by every evaluation
 
 	mu     sync.RWMutex
 	coords map[string]*coordinator // key: composite + "\x00" + stateID
@@ -52,6 +53,7 @@ func NewHost(net transport.Network, addr string, registry *service.Registry, dir
 		registry: registry,
 		dir:      dir,
 		opts:     opts,
+		funcEnv:  opts.Funcs.Env(),
 		coords:   map[string]*coordinator{},
 	}
 	ep, err := net.Listen(addr, h.handle)
@@ -70,9 +72,28 @@ func (h *Host) Close() error { return h.ep.Close() }
 
 // Install deploys one state's routing table onto this host — the moment
 // the paper describes as the deployer "uploading these tables into the
-// hosts of the corresponding component services". The host registers the
-// state's coordinator and records its own address in the directory.
+// hosts of the corresponding component services". The host compiles the
+// table (parsing every guard and action; see routing.CompileTable),
+// registers the state's coordinator, and records its own address in the
+// directory. An ill-formed guard fails HERE, at deploy time — never
+// during an execution. In-process deployers that already hold a compiled
+// table (deployer.Deploy) use InstallCompiled instead, so nothing is
+// parsed twice.
 func (h *Host) Install(composite string, table *routing.Table) error {
+	if table == nil {
+		return fmt.Errorf("engine: nil table")
+	}
+	compiled, err := routing.CompileTable(table)
+	if err != nil {
+		return fmt.Errorf("engine: install %s/%s: %w", composite, table.State, err)
+	}
+	return h.InstallCompiled(composite, compiled)
+}
+
+// InstallCompiled registers a coordinator for an already-compiled table.
+// The compiled artifact is shared, immutable state: one compilation at
+// deploy time serves every host and every execution instance.
+func (h *Host) InstallCompiled(composite string, table *routing.CompiledTable) error {
 	if table == nil {
 		return fmt.Errorf("engine: nil table")
 	}
@@ -171,13 +192,16 @@ func (h *Host) logf(format string, args ...any) {
 }
 
 // coordinator is the peer software component attached to one state of a
-// composite service (§2). It interprets its routing table: collect
-// notifications until a precondition clause is satisfied, invoke the
-// local component service, then run postprocessing.
+// composite service (§2). It interprets its COMPILED routing table:
+// collect notifications until a precondition clause is satisfied, invoke
+// the local component service, then run postprocessing. All guards and
+// actions were parsed at install time; per notification the coordinator
+// only bumps an interned counter, compares bitmasks, and walks prebuilt
+// expression trees.
 type coordinator struct {
 	host      *Host
 	composite string
-	table     *routing.Table
+	table     *routing.CompiledTable
 
 	mu        sync.Mutex
 	instances map[string]*coordInstance
@@ -185,16 +209,24 @@ type coordinator struct {
 }
 
 // coordInstance is the per-execution bookkeeping of one coordinator.
+// Notification counts are indexed by the table's interned source IDs;
+// pending mirrors "count > 0" as a bitmask so clause coverage is a
+// word-compare (routing.CompiledClause.Covered).
 type coordInstance struct {
-	received map[string]int // source -> pending notification count
-	vars     map[string]string
-	running  bool // an invocation is in flight; new clause checks wait
+	counts  []uint32
+	pending []uint64
+	vars    map[string]string
+	running bool // an invocation is in flight; new clause checks wait
 }
 
 func (c *coordinator) instance(id string) *coordInstance {
 	inst, ok := c.instances[id]
 	if !ok {
-		inst = &coordInstance{received: map[string]int{}, vars: map[string]string{}}
+		inst = &coordInstance{
+			counts:  make([]uint32, c.table.NumSources()),
+			pending: make([]uint64, c.table.MaskWords()),
+			vars:    map[string]string{},
+		}
 		c.instances[id] = inst
 		c.order = append(c.order, id)
 		if len(c.order) > c.host.opts.MaxInstancesPerState {
@@ -213,7 +245,13 @@ func (c *coordinator) onNotification(ctx context.Context, m *message.Message) {
 	for k, v := range m.Vars {
 		inst.vars[k] = v
 	}
-	inst.received[m.From]++
+	// Senders outside the interned universe appear in no precondition
+	// clause and can never contribute to coverage; their variables were
+	// merged above, the count is dropped.
+	if idx, ok := c.table.SourceIndex(m.From); ok {
+		inst.counts[idx]++
+		inst.pending[idx>>6] |= 1 << (idx & 63)
+	}
 	c.maybeFireLocked(ctx, m.Instance, inst)
 	c.mu.Unlock()
 }
@@ -228,9 +266,11 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 	if inst.running {
 		return
 	}
-	funcs := c.host.opts.Funcs
-	for _, clause := range c.table.Covered(inst.received) {
-		ok, err := funcs.evalCondition(clause.Condition, inst.vars)
+	for _, clause := range c.table.Preconditions {
+		if !clause.Covered(inst.pending) {
+			continue
+		}
+		ok, err := evalGuard(clause.Condition, inst.vars, c.host.funcEnv)
 		if err != nil {
 			// A receiver-side guard referencing still-missing variables is
 			// not an error: the bag may complete later. Anything else is.
@@ -244,19 +284,17 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 			continue
 		}
 		// Consume the notifications of the matched clause so loops re-arm.
-		for _, src := range clause.Sources {
-			inst.received[src]--
-			if inst.received[src] <= 0 {
-				delete(inst.received, src)
+		for _, idx := range clause.SourceIndexes() {
+			if inst.counts[idx] > 0 {
+				inst.counts[idx]--
+			}
+			if inst.counts[idx] == 0 {
+				inst.pending[idx>>6] &^= 1 << (idx & 63)
 			}
 		}
 		vars := inst.vars
 		if len(clause.Actions) > 0 {
-			var al actionList
-			for _, a := range clause.Actions {
-				al = append(al, assignment{Var: a.Var, Expr: a.Expr})
-			}
-			merged, err := funcs.applyActions([]actionList{al}, vars)
+			merged, err := applyActions(clause.Actions, vars, c.host.funcEnv)
 			if err != nil {
 				go c.sendFault(transport.WithSender(ctx, c.host.Addr()), instanceID, err)
 				return
@@ -284,7 +322,7 @@ func isUndefinedVar(err error) bool {
 func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[string]string) {
 	c.host.logf("coord %s/%s: firing instance %s", c.composite, c.table.State, instanceID)
 
-	params, err := bindInputs(c.host.opts.Funcs, c.table.Inputs, vars)
+	params, err := bindInputs(c.table.Inputs, vars, c.host.funcEnv)
 	if err == nil {
 		var resp service.Response
 		resp, err = c.host.registry.Invoke(ctx, service.Request{
@@ -305,8 +343,8 @@ func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[stri
 }
 
 // finish merges results, re-checks pending clauses (loops), and runs the
-// postprocessing phase: evaluating each target's condition on the local
-// variable bag and notifying the peers whose guard holds.
+// postprocessing phase: evaluating each target's precompiled condition on
+// the local variable bag and notifying the peers whose guard holds.
 func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, invokeErr error) {
 	c.mu.Lock()
 	inst := c.instances[instanceID]
@@ -326,10 +364,9 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		return
 	}
 
-	funcs := c.host.opts.Funcs
 	notified := 0
 	for _, target := range c.table.Postprocessings {
-		ok, err := funcs.evalCondition(target.Condition, vars)
+		ok, err := evalGuard(target.Condition, vars, c.host.funcEnv)
 		if err != nil {
 			c.sendFault(sendCtx, instanceID, err)
 			return
@@ -339,11 +376,7 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		}
 		outVars := vars
 		if len(target.Actions) > 0 {
-			var al actionList
-			for _, a := range target.Actions {
-				al = append(al, assignment{Var: a.Var, Expr: a.Expr})
-			}
-			outVars, err = funcs.applyActions([]actionList{al}, vars)
+			outVars, err = applyActions(target.Actions, vars, c.host.funcEnv)
 			if err != nil {
 				c.sendFault(sendCtx, instanceID, err)
 				return
@@ -396,10 +429,11 @@ func (c *coordinator) sendFault(ctx context.Context, instanceID string, cause er
 }
 
 // bindInputs computes the service call parameters from the instance
-// variables per the state's input bindings. A binding with Var copies the
-// variable (missing variables are an error: the precondition fired, so
-// dataflow should have delivered them); a binding with Expr evaluates it.
-func bindInputs(funcs Funcs, bindings []statechart.Binding, vars map[string]string) (map[string]string, error) {
+// variables per the state's compiled input bindings. A binding with Var
+// copies the variable (missing variables are an error: the precondition
+// fired, so dataflow should have delivered them); a binding with a
+// compiled Expr evaluates it.
+func bindInputs(bindings []routing.CompiledBinding, vars map[string]string, funcs expr.Env) (map[string]string, error) {
 	params := make(map[string]string, len(bindings))
 	for _, b := range bindings {
 		switch {
@@ -409,8 +443,8 @@ func bindInputs(funcs Funcs, bindings []statechart.Binding, vars map[string]stri
 				return nil, fmt.Errorf("engine: input %q needs undefined variable %q", b.Param, b.Var)
 			}
 			params[b.Param] = v
-		case b.Expr != "":
-			v, err := expr.Eval(b.Expr, funcs.env(vars))
+		case b.Expr != nil:
+			v, err := b.Expr.Eval(evalEnv(vars, funcs))
 			if err != nil {
 				return nil, fmt.Errorf("engine: input %q: %w", b.Param, err)
 			}

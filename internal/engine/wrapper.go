@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"selfserv/internal/expr"
 	"selfserv/internal/message"
 	"selfserv/internal/routing"
 	"selfserv/internal/transport"
@@ -16,13 +17,17 @@ import (
 // has providers "download and configure". It accepts execution requests,
 // notifies the coordinators of the states "which need to be entered in
 // the first place", then waits for the termination notices of the states
-// "which are exited in the last place".
+// "which are exited in the last place". The plan is compiled once at
+// construction (deploy time); start guards, finish clauses, and event
+// subscriptions are interpreted from the shared immutable compilation.
 type Wrapper struct {
-	net   transport.Network
-	ep    transport.Endpoint
-	dir   *Directory
-	plan  *routing.Plan
-	funcs Funcs
+	net      transport.Network
+	ep       transport.Endpoint
+	dir      *Directory
+	plan     *routing.Plan
+	compiled *routing.CompiledPlan
+	funcs    Funcs
+	funcEnv  expr.Env
 
 	seq atomic.Int64
 
@@ -30,18 +35,34 @@ type Wrapper struct {
 	instances map[string]*wrapperInstance
 }
 
-// wrapperInstance tracks one running execution at the wrapper.
+// wrapperInstance tracks one running execution at the wrapper. Finish
+// sources are interned against the compiled plan's finish universe;
+// unlike coordinator preconditions, finish clauses are never consumed
+// (the instance completes when one holds), so a seen-source bitmask is
+// the only bookkeeping needed — no counts.
 type wrapperInstance struct {
 	done     chan struct{}
-	received map[string]int
+	pending  []uint64
 	vars     map[string]string
 	err      error
 	finished bool
 }
 
-// NewWrapper deploys the wrapper side of plan: it listens on addr and
-// registers itself as the composite's WrapperID peer in dir.
+// NewWrapper deploys the wrapper side of plan: it validates and COMPILES
+// the plan (any ill-formed guard fails here, at deploy time), listens on
+// addr, and registers itself as the composite's WrapperID peer in dir.
 func NewWrapper(net transport.Network, addr string, dir *Directory, plan *routing.Plan, funcs Funcs) (*Wrapper, error) {
+	compiled, err := routing.CompilePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	return NewCompiledWrapper(net, addr, dir, compiled, funcs)
+}
+
+// NewCompiledWrapper is NewWrapper for a plan the deployer already
+// compiled — the compilation is shared, not repeated.
+func NewCompiledWrapper(net transport.Network, addr string, dir *Directory, compiled *routing.CompiledPlan, funcs Funcs) (*Wrapper, error) {
+	plan := compiled.Plan
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,7 +70,9 @@ func NewWrapper(net transport.Network, addr string, dir *Directory, plan *routin
 		net:       net,
 		dir:       dir,
 		plan:      plan,
+		compiled:  compiled,
 		funcs:     funcs,
+		funcEnv:   funcs.Env(),
 		instances: map[string]*wrapperInstance{},
 	}
 	ep, err := net.Listen(addr, w.handle)
@@ -84,9 +107,9 @@ func (w *Wrapper) Execute(ctx context.Context, inputs map[string]string) (map[st
 // be unique per wrapper).
 func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[string]string) (map[string]string, error) {
 	inst := &wrapperInstance{
-		done:     make(chan struct{}),
-		received: map[string]int{},
-		vars:     map[string]string{},
+		done:    make(chan struct{}),
+		pending: make([]uint64, w.compiled.FinishMaskWords()),
+		vars:    map[string]string{},
 	}
 	for k, v := range inputs {
 		inst.vars[k] = v
@@ -105,24 +128,28 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	}()
 
 	// Start phase: the wrapper is the "sender" for entry states, so it
-	// evaluates their guard conditions against the request's inputs.
+	// evaluates their (precompiled) guard conditions against the request's
+	// inputs. It works on a private copy of the bag: once the first start
+	// message is out, coordinators (and a concurrent RaiseEvent) may
+	// already be merging into inst.vars under w.mu, so the send path must
+	// never read the live instance map.
+	base := make(map[string]string, len(inputs))
+	for k, v := range inputs {
+		base[k] = v
+	}
 	sendCtx := transport.WithSender(ctx, w.Addr())
 	started := 0
-	for _, target := range w.plan.Start {
-		ok, err := w.funcs.evalCondition(target.Condition, inputs)
+	for _, target := range w.compiled.Start {
+		ok, err := evalGuard(target.Condition, inputs, w.funcEnv)
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			continue
 		}
-		vars := inst.vars
+		vars := base
 		if len(target.Actions) > 0 {
-			var al actionList
-			for _, a := range target.Actions {
-				al = append(al, assignment{Var: a.Var, Expr: a.Expr})
-			}
-			vars, err = w.funcs.applyActions([]actionList{al}, vars)
+			vars, err = applyActions(target.Actions, vars, w.funcEnv)
 			if err != nil {
 				return nil, err
 			}
@@ -183,13 +210,24 @@ func (w *Wrapper) projectOutputs(vars map[string]string) map[string]string {
 	return out
 }
 
+// record marks one received finish-relevant notification from src (a
+// state ID or event pseudo-source). Sources outside the compiled finish
+// universe are ignored — no finish clause can ever require them. Caller
+// holds w.mu.
+func (inst *wrapperInstance) record(w *Wrapper, src string) {
+	if idx, ok := w.compiled.FinishSourceIndex(src); ok {
+		inst.pending[idx>>6] |= 1 << (idx & 63)
+	}
+}
+
 // RaiseEvent delivers an ECA event to a running instance: every state
 // whose precondition subscribes to the event receives a notification from
 // the "$event:<name>" pseudo-source, carrying the event's payload
 // variables. Raising an event the plan never references is a no-op (the
-// paper's composite consumes only declared events).
+// paper's composite consumes only declared events). Subscriber sets are
+// precomputed at compile time.
 func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payload map[string]string) error {
-	subscribers := w.plan.EventSubscribers(event)
+	subscribers := w.compiled.EventSubscribers(event)
 	src := routing.EventSource(event)
 
 	// The wrapper's own finish clauses may reference the event too.
@@ -198,7 +236,7 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 		for k, v := range payload {
 			inst.vars[k] = v
 		}
-		inst.received[src]++
+		inst.record(w, src)
 		if w.finishSatisfied(inst) {
 			inst.finished = true
 			close(inst.done)
@@ -243,7 +281,7 @@ func (w *Wrapper) handle(_ context.Context, m *message.Message) {
 		for k, v := range m.Vars {
 			inst.vars[k] = v
 		}
-		inst.received[m.From]++
+		inst.record(w, m.From)
 		if w.finishSatisfied(inst) {
 			inst.finished = true
 			close(inst.done)
@@ -255,23 +293,17 @@ func (w *Wrapper) handle(_ context.Context, m *message.Message) {
 	}
 }
 
-// finishSatisfied checks the plan's finish clauses against received
-// termination notices: all sources present and the clause's receiver-side
-// condition (if any) true on the merged bag. Conditions that cannot be
-// evaluated yet (undefined variables) keep waiting.
+// finishSatisfied checks the compiled finish clauses against received
+// termination notices: all sources present (bitmask coverage) and the
+// clause's precompiled receiver-side condition (if any) true on the
+// merged bag. Conditions that cannot be evaluated yet (undefined
+// variables) keep waiting.
 func (w *Wrapper) finishSatisfied(inst *wrapperInstance) bool {
-	for _, clause := range w.plan.Finish {
-		all := true
-		for _, src := range clause.Sources {
-			if inst.received[src] <= 0 {
-				all = false
-				break
-			}
-		}
-		if !all {
+	for _, clause := range w.compiled.Finish {
+		if !clause.Covered(inst.pending) {
 			continue
 		}
-		ok, err := w.funcs.evalCondition(clause.Condition, inst.vars)
+		ok, err := evalGuard(clause.Condition, inst.vars, w.funcEnv)
 		if err != nil || !ok {
 			continue
 		}

@@ -80,6 +80,10 @@ func (e *MapEnv) VarNames() []string {
 }
 
 // ChainEnv resolves against a sequence of environments, first match wins.
+// It is the composition glue for the two-layer evaluation setup used by
+// the engine: a per-instance TextVars layer chained onto a per-composite
+// FuncsEnv layer, so host functions are bound exactly once per composite
+// instead of re-registered on every evaluation.
 type ChainEnv []Env
 
 // Lookup implements Env.
@@ -101,6 +105,42 @@ func (c ChainEnv) Func(name string) (Func, bool) {
 	}
 	return nil, false
 }
+
+// FuncsEnv is an Env layer that resolves only functions: the registered
+// ones first, then the built-ins. It holds no variables, so one FuncsEnv
+// can be built per composite at deploy time and shared immutably by every
+// evaluation of every instance.
+type FuncsEnv map[string]Func
+
+// Lookup implements Env; a FuncsEnv binds no variables.
+func (FuncsEnv) Lookup(string) (Value, bool) { return Value{}, false }
+
+// Func implements Env, falling back to the built-in functions.
+func (f FuncsEnv) Func(name string) (Func, bool) {
+	if fn, ok := f[name]; ok {
+		return fn, true
+	}
+	fn, ok := builtins[name]
+	return fn, ok
+}
+
+// TextVars is an Env layer over a raw text variable bag (the shape control
+// messages carry). Values are converted with FromText lazily, on lookup,
+// so an evaluation touching two of fifty variables converts two — the
+// eager alternative materializes the whole bag per evaluation.
+type TextVars map[string]string
+
+// Lookup implements Env.
+func (t TextVars) Lookup(name string) (Value, bool) {
+	raw, ok := t[name]
+	if !ok {
+		return Value{}, false
+	}
+	return FromText(raw), true
+}
+
+// Func implements Env; a TextVars layer provides no functions.
+func (TextVars) Func(string) (Func, bool) { return nil, false }
 
 // builtins are functions available in every MapEnv.
 var builtins = map[string]Func{

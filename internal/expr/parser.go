@@ -48,7 +48,9 @@ func MustParse(src string) Node {
 	return n
 }
 
-// Eval parses src and evaluates it against env in one step.
+// Eval parses src and evaluates it against env in one step. It is a
+// convenience wrapper over Compile + Program.Eval for one-shot callers;
+// hot paths should Compile once and reuse the Program.
 func Eval(src string, env Env) (Value, error) {
 	n, err := Parse(src)
 	if err != nil {
@@ -57,7 +59,8 @@ func Eval(src string, env Env) (Value, error) {
 	return n.Eval(env)
 }
 
-// EvalBool parses src and evaluates it, requiring a boolean result.
+// EvalBool parses src and evaluates it, requiring a boolean result. Like
+// Eval, it is the one-shot wrapper over Compile + Program.EvalBool.
 func EvalBool(src string, env Env) (bool, error) {
 	v, err := Eval(src, env)
 	if err != nil {

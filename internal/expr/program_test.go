@@ -1,0 +1,264 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// programCorpus is every expression source exercised by the package's
+// other tests (the table corpus of expr_test.go), plus guard shapes from
+// the travel workload. The compiled-plan contract is that Compile+Eval is
+// observationally identical to one-shot Eval over all of them.
+var programCorpus = []string{
+	// TestEvalBoolTable corpus.
+	"true", "false", "", "   ",
+	"not false", "!false", "not not true",
+	"true and true", "true && false", "false or true", "false || false",
+	"vip", "not vip or vip",
+	"price < 200", "price <= 120.5", "price > 120.5", "price >= 121",
+	"stars = 4", "stars == 4", "stars != 5", "stars <> 5",
+	"destination = 'sydney'", "destination == \"sydney\"",
+	"destination != 'tokyo'", "destination < 'tokyo'",
+	"domestic(destination)", "not domestic('tokyo')",
+	"near(trip.distance)", "not near(trip.distance + 100)",
+	"price * 2 > 240", "(price + 79.5) / 2 = 100", "10 % 3 = 1",
+	"-price < 0", "min(stars, 10) = 4", "max(1, 2, 3) = 3",
+	"abs(-3) = 3", "floor(1.9) = 1", "ceil(1.1) = 2", "round(1.5) = 2",
+	"sqrt(16) = 4", "len(destination) = 6",
+	"contains(destination, 'syd')", "prefix(destination, 'syd')",
+	"suffix(destination, 'ney')",
+	"lower('ABC') = 'abc'", "upper('abc') = 'ABC'", "trim('  x ') = 'x'",
+	"if(vip, 1, 2) = 1", "number('42') = 42", "string(42) = '42'",
+	"'a' + 'b' = 'ab'",
+	"price < 100 or stars >= 4 and vip",
+	"(price < 100 or stars >= 4) and vip",
+	// TestEvalNumbers corpus (numeric results).
+	"price + stars", "price - stars", "price * stars", "price / stars",
+	"stars % 3", "-price + stars", "price + stars * 3", "(price + stars) * 3",
+	"2 * -3", "1e3 + 1", "0.5 * 4",
+	// TestEvalErrors corpus (must error identically on both paths).
+	"missing", "nosuchfn(1)", "destination + stars", "destination < stars",
+	"not stars", "stars and vip", "stars or vip", "-destination",
+	"1 / 0", "1 % 0", "1.5 % 2", "abs('x')", "abs(1, 2)", "len(1)",
+	"if(1, 2, 3)", "number('not-a-num')", "min()", "contains('a')",
+}
+
+func programEnv() *MapEnv {
+	e := env(
+		"destination", "sydney",
+		"price", 120.5,
+		"stars", 4,
+		"vip", true,
+		"trip.distance", 35.0,
+	)
+	e.BindFunc("domestic", func(args []Value) (Value, error) {
+		s, err := args[0].AsString()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(s == "sydney" || s == "melbourne"), nil
+	})
+	e.BindFunc("near", func(args []Value) (Value, error) {
+		a, err := args[0].AsNumber()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(a < 50), nil
+	})
+	return e
+}
+
+// assertEquivalent checks Compile(src)+Program.Eval against one-shot
+// Eval(src): identical values, identical error texts.
+func assertEquivalent(t *testing.T, src string, e Env) {
+	t.Helper()
+	oneShot, oneErr := Eval(src, e)
+	prog, compErr := Compile(src)
+	if compErr != nil {
+		if oneErr == nil {
+			t.Errorf("Compile(%q) failed (%v) but Eval succeeded", src, compErr)
+		} else if compErr.Error() != oneErr.Error() {
+			t.Errorf("Compile(%q) error %q != Eval error %q", src, compErr, oneErr)
+		}
+		return
+	}
+	got, gotErr := prog.Eval(e)
+	switch {
+	case (gotErr == nil) != (oneErr == nil):
+		t.Errorf("Program(%q).Eval err = %v, Eval err = %v", src, gotErr, oneErr)
+	case gotErr != nil:
+		if gotErr.Error() != oneErr.Error() {
+			t.Errorf("Program(%q).Eval error %q != Eval error %q", src, gotErr, oneErr)
+		}
+	case !got.Equal(oneShot):
+		t.Errorf("Program(%q).Eval = %s, Eval = %s", src, got, oneShot)
+	}
+	// EvalBool must agree with the package-level helper too.
+	wantB, wantBErr := EvalBool(src, e)
+	gotB, gotBErr := prog.EvalBool(e)
+	if (gotBErr == nil) != (wantBErr == nil) || gotB != wantB {
+		t.Errorf("Program(%q).EvalBool = (%v, %v), EvalBool = (%v, %v)",
+			src, gotB, gotBErr, wantB, wantBErr)
+	}
+}
+
+// TestProgramEquivalenceCorpus: compiled evaluation is observationally
+// identical to parse-per-eval over the full corpus.
+func TestProgramEquivalenceCorpus(t *testing.T) {
+	e := programEnv()
+	for _, src := range programCorpus {
+		assertEquivalent(t, src, e)
+	}
+}
+
+// TestProgramEquivalenceTwoLayerEnv: the deploy-time two-layer environment
+// (lazy TextVars chained onto a shared FuncsEnv) computes the same results
+// as the eager per-eval MapEnv the engine used to rebuild.
+func TestProgramEquivalenceTwoLayerEnv(t *testing.T) {
+	vars := map[string]string{
+		"destination":   "sydney",
+		"price":         "120.5",
+		"stars":         "4",
+		"vip":           "true",
+		"trip.distance": "35",
+	}
+	funcs := FuncsEnv{
+		"domestic": func(args []Value) (Value, error) {
+			s, err := args[0].AsString()
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(s == "sydney" || s == "melbourne"), nil
+		},
+		"near": func(args []Value) (Value, error) {
+			a, err := args[0].AsNumber()
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(a < 50), nil
+		},
+	}
+	layered := ChainEnv{TextVars(vars), funcs}
+
+	eager := NewMapEnv()
+	for k, v := range vars {
+		eager.BindText(k, v)
+	}
+	for name, fn := range funcs {
+		eager.BindFunc(name, fn)
+	}
+
+	for _, src := range programCorpus {
+		prog, err := Compile(src)
+		if err != nil {
+			continue // parse errors covered by the corpus test
+		}
+		v1, err1 := prog.Eval(layered)
+		v2, err2 := prog.Eval(eager)
+		if (err1 == nil) != (err2 == nil) {
+			t.Errorf("%q: layered err = %v, eager err = %v", src, err1, err2)
+			continue
+		}
+		if err1 == nil && !v1.Equal(v2) {
+			t.Errorf("%q: layered = %s, eager = %s", src, v1, v2)
+		}
+	}
+}
+
+// randExpr generates a random expression source from the guard grammar.
+// Some generated expressions are type-incorrect on purpose: the property
+// under test is equivalence, including equivalence of failures.
+func randExpr(r *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return strconv.FormatFloat(float64(r.Intn(200))/2, 'g', -1, 64)
+		case 1:
+			return []string{"'sydney'", "'tokyo'", "'x'"}[r.Intn(3)]
+		case 2:
+			return []string{"true", "false"}[r.Intn(2)]
+		default:
+			return []string{"price", "stars", "vip", "destination"}[r.Intn(4)]
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		op := []string{"+", "-", "*", "/", "%"}[r.Intn(5)]
+		return fmt.Sprintf("(%s %s %s)", randExpr(r, depth-1), op, randExpr(r, depth-1))
+	case 1:
+		op := []string{"=", "!=", "<", "<=", ">", ">="}[r.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", randExpr(r, depth-1), op, randExpr(r, depth-1))
+	case 2:
+		op := []string{"and", "or"}[r.Intn(2)]
+		return fmt.Sprintf("(%s %s %s)", randExpr(r, depth-1), op, randExpr(r, depth-1))
+	case 3:
+		return "not " + randExpr(r, depth-1)
+	case 4:
+		return "-" + randExpr(r, depth-1)
+	case 5:
+		fn := []string{"abs", "min", "max", "len", "lower", "string"}[r.Intn(6)]
+		return fmt.Sprintf("%s(%s)", fn, randExpr(r, depth-1))
+	case 6:
+		return fmt.Sprintf("if(%s, %s, %s)", randExpr(r, depth-1), randExpr(r, depth-1), randExpr(r, depth-1))
+	default:
+		return randExpr(r, depth-1)
+	}
+}
+
+// TestProgramEquivalenceRandomized: 2000 randomly generated expressions
+// evaluate identically through both paths.
+func TestProgramEquivalenceRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(20260726))
+	e := programEnv()
+	for i := 0; i < 2000; i++ {
+		src := randExpr(r, 1+r.Intn(4))
+		assertEquivalent(t, src, e)
+	}
+}
+
+// TestProgramConstBool: empty and constant guards are recognized so
+// routing compilation can elide them.
+func TestProgramConstBool(t *testing.T) {
+	cases := []struct {
+		src     string
+		val, ok bool
+	}{
+		{"", true, true},
+		{"   ", true, true},
+		{"true", true, true},
+		{"false", false, true},
+		{"1 = 1", false, false}, // not folded; still a binNode
+		{"price > 0", false, false},
+	}
+	for _, tc := range cases {
+		p := MustCompile(tc.src)
+		v, ok := p.ConstBool()
+		if v != tc.val || ok != tc.ok {
+			t.Errorf("ConstBool(%q) = (%v, %v), want (%v, %v)", tc.src, v, ok, tc.val, tc.ok)
+		}
+	}
+}
+
+func BenchmarkCompiledEvalGuard(b *testing.B) {
+	p := MustCompile("not near(dist) and price < budget")
+	funcs := FuncsEnv{
+		"near": func(args []Value) (Value, error) {
+			d, err := args[0].AsNumber()
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(d < 50), nil
+		},
+	}
+	vars := TextVars{"dist": "120", "price": "80", "budget": "100"}
+	env := ChainEnv{vars, funcs}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := p.EvalBool(env)
+		if err != nil || !ok {
+			b.Fatalf("eval = %v, %v", ok, err)
+		}
+	}
+}

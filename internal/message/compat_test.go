@@ -1,0 +1,147 @@
+package message
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// The hand-rolled codec must be observationally identical to the
+// encoding/xml reference kept in marshalXML/unmarshalXML: every message
+// round-trips through all four codec combinations to the same value.
+
+func randMessage(r *rand.Rand) *Message {
+	randStr := func() string {
+		alphabet := []rune("abz09 <>&\"'\t\néß漢-_./:")
+		n := r.Intn(12)
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		return string(out)
+	}
+	types := []Type{TypeStart, TypeNotify, TypeDone, TypeFault, TypeInvoke, TypeResult}
+	m := &Message{
+		Type:      types[r.Intn(len(types))],
+		Composite: randStr(),
+		Instance:  randStr(),
+		From:      randStr(),
+		To:        randStr(),
+		Seq:       r.Intn(3),
+		ReplyTo:   randStr(),
+	}
+	if r.Intn(3) == 0 {
+		m.Error = randStr()
+	}
+	if n := r.Intn(5); n > 0 {
+		m.Vars = map[string]string{}
+		for i := 0; i < n; i++ {
+			m.Vars[fmt.Sprintf("k%d", i)] = randStr()
+		}
+	}
+	return m
+}
+
+// normalize maps empty-but-non-nil Vars to nil so decoded messages
+// compare with reflect.DeepEqual regardless of codec.
+func normalize(m *Message) *Message {
+	if len(m.Vars) == 0 {
+		m.Vars = nil
+	}
+	return m
+}
+
+func TestCodecDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		m := randMessage(r)
+
+		fast, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("#%d Marshal: %v (%+v)", i, err, m)
+		}
+		ref, err := marshalXML(m)
+		if err != nil {
+			t.Fatalf("#%d marshalXML: %v", i, err)
+		}
+
+		// Every (encoder, decoder) pair agrees on the decoded message.
+		for name, data := range map[string][]byte{"fast": fast, "ref": ref} {
+			viaFast, err := Unmarshal(data)
+			if err != nil {
+				t.Fatalf("#%d Unmarshal(%s): %v\n%s", i, name, err, data)
+			}
+			viaRef, err := unmarshalXML(data)
+			if err != nil {
+				t.Fatalf("#%d unmarshalXML(%s): %v\n%s", i, name, err, data)
+			}
+			if !reflect.DeepEqual(normalize(viaFast), normalize(viaRef)) {
+				t.Fatalf("#%d decoders disagree on %s bytes:\nfast: %+v\nref:  %+v\ndoc: %s",
+					i, name, viaFast, viaRef, data)
+			}
+			if !reflect.DeepEqual(normalize(viaFast), normalize(m.Clone())) {
+				t.Fatalf("#%d round trip via %s changed the message:\nin:  %+v\nout: %+v\ndoc: %s",
+					i, name, m, viaFast, data)
+			}
+		}
+	}
+}
+
+// TestFastPathDeclines: documents outside the fast vocabulary fall back
+// to the reference decoder rather than mis-parsing.
+func TestFastPathDeclines(t *testing.T) {
+	docs := []string{
+		`<?xml version="1.0"?><message type="notify"></message>`,
+		`<message type="notify"><!-- comment --></message>`,
+		`<message type="notify"><var name="k"><![CDATA[v]]></var></message>`,
+		"<message type=\"notify\">\n  <var name=\"k\">v</var>\n</message>",
+		`<message type="notify" extra="x"></message>`,
+	}
+	for _, doc := range docs {
+		m, err := Unmarshal([]byte(doc))
+		if err != nil {
+			t.Errorf("Unmarshal(%q): %v", doc, err)
+			continue
+		}
+		if m.Type != TypeNotify {
+			t.Errorf("Unmarshal(%q).Type = %q", doc, m.Type)
+		}
+	}
+}
+
+func TestFastPathRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{"not xml", "<message/>", "<message type='x'", "<other type='x'/>"} {
+		if m, ok := unmarshalFast([]byte(doc)); ok && m.Type != "" {
+			t.Errorf("unmarshalFast(%q) accepted: %+v", doc, m)
+		}
+	}
+}
+
+// TestInvalidCharRefsAgree: on character references XML forbids (NUL,
+// surrogates, beyond U+10FFFF) the fast path must DECLINE, so Unmarshal
+// behaves exactly like the encoding/xml reference — whatever that is
+// (it errors on NUL and out-of-range, but accepts surrogates as U+FFFD).
+func TestInvalidCharRefsAgree(t *testing.T) {
+	for _, ref := range []string{"&#0;", "&#55296;", "&#x110000;", "&#xD800;", "&bogus;"} {
+		doc := []byte(`<message type="notify"><var name="k">` + ref + `</var></message>`)
+		if _, ok := unmarshalFast(doc); ok {
+			t.Errorf("unmarshalFast accepted suspect reference %s instead of declining", ref)
+		}
+		got, gotErr := Unmarshal(doc)
+		want, wantErr := unmarshalXML(doc)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Errorf("%s: Unmarshal err = %v, reference err = %v", ref, gotErr, wantErr)
+			continue
+		}
+		if gotErr == nil && got.Vars["k"] != want.Vars["k"] {
+			t.Errorf("%s: Unmarshal = %q, reference = %q", ref, got.Vars["k"], want.Vars["k"])
+		}
+	}
+	// Valid references still work on the fast path.
+	doc := []byte(`<message type="notify"><var name="k">&#65;&#x1F600;&#x9;</var></message>`)
+	m, ok := unmarshalFast(doc)
+	if !ok || m.Vars["k"] != "A\U0001F600\t" {
+		t.Fatalf("unmarshalFast(valid refs) = %+v, %v", m, ok)
+	}
+}

@@ -1,0 +1,291 @@
+package message
+
+import (
+	"strconv"
+	"strings"
+)
+
+// This file implements the fast path of Unmarshal: a non-reflective
+// parser for exactly the documents Marshal produces —
+//
+//	<message attr="..." ...>
+//	  <error>text</error>?
+//	  <var name="...">text</var>*
+//	</message>
+//
+// plus insignificant whitespace between elements. Anything else (XML
+// declarations, comments, CDATA, namespaces, unknown children) makes the
+// parser decline, and Unmarshal falls back to encoding/xml. Declining is
+// always safe; accepting is only done when the document parses fully.
+
+// unmarshalFast parses data; ok=false means "not handled, use fallback".
+func unmarshalFast(data []byte) (*Message, bool) {
+	p := &fastParser{s: data}
+	p.space()
+	if !p.lit("<message") {
+		return nil, false
+	}
+	m := &Message{}
+	// Attributes.
+	for {
+		p.space()
+		if p.lit("/>") {
+			p.space()
+			if p.pos != len(p.s) {
+				return nil, false
+			}
+			return m, true
+		}
+		if p.lit(">") {
+			break
+		}
+		name, ok := p.attrName()
+		if !ok {
+			return nil, false
+		}
+		val, ok := p.attrValue()
+		if !ok {
+			return nil, false
+		}
+		switch name {
+		case "type":
+			m.Type = Type(val)
+		case "composite":
+			m.Composite = val
+		case "instance":
+			m.Instance = val
+		case "from":
+			m.From = val
+		case "to":
+			m.To = val
+		case "seq":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, false
+			}
+			m.Seq = n
+		case "replyTo":
+			m.ReplyTo = val
+		default:
+			return nil, false // unknown attribute: let encoding/xml decide
+		}
+	}
+	// Children.
+	for {
+		p.space()
+		if p.lit("</message>") {
+			p.space()
+			if p.pos != len(p.s) {
+				return nil, false
+			}
+			return m, true
+		}
+		switch {
+		case p.lit("<error>"):
+			text, ok := p.textUntil("</error>")
+			if !ok {
+				return nil, false
+			}
+			m.Error = text
+		case p.lit("<error/>"):
+			// empty error element: nothing to record
+		case p.lit("<var"):
+			p.space()
+			name, ok := p.attrName()
+			if !ok || name != "name" {
+				return nil, false
+			}
+			key, ok := p.attrValue()
+			if !ok {
+				return nil, false
+			}
+			p.space()
+			var val string
+			switch {
+			case p.lit("/>"):
+				val = ""
+			case p.lit(">"):
+				val, ok = p.textUntil("</var>")
+				if !ok {
+					return nil, false
+				}
+			default:
+				return nil, false
+			}
+			if m.Vars == nil {
+				m.Vars = map[string]string{}
+			}
+			m.Vars[key] = val
+		default:
+			return nil, false
+		}
+	}
+}
+
+type fastParser struct {
+	s   []byte
+	pos int
+}
+
+// space skips XML whitespace.
+func (p *fastParser) space() {
+	for p.pos < len(p.s) {
+		switch p.s[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// lit consumes the literal if it is next.
+func (p *fastParser) lit(l string) bool {
+	if len(p.s)-p.pos < len(l) || string(p.s[p.pos:p.pos+len(l)]) != l {
+		return false
+	}
+	p.pos += len(l)
+	return true
+}
+
+// attrName reads an attribute name followed by '='.
+func (p *fastParser) attrName() (string, bool) {
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == '=' {
+			name := string(p.s[start:p.pos])
+			p.pos++
+			return name, name != ""
+		}
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.' {
+			p.pos++
+			continue
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// attrValue reads a double- or single-quoted attribute value, unescaped.
+func (p *fastParser) attrValue() (string, bool) {
+	if p.pos >= len(p.s) {
+		return "", false
+	}
+	quote := p.s[p.pos]
+	if quote != '"' && quote != '\'' {
+		return "", false
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == quote {
+			raw := p.s[start:p.pos]
+			p.pos++
+			return xmlUnescape(raw)
+		}
+		if c == '<' {
+			return "", false
+		}
+		p.pos++
+	}
+	return "", false
+}
+
+// textUntil reads character data up to the closing tag, unescaped. Any
+// markup other than entities ('<' that is not the closing tag) makes the
+// fast path decline.
+func (p *fastParser) textUntil(closing string) (string, bool) {
+	start := p.pos
+	for p.pos < len(p.s) {
+		if p.s[p.pos] == '<' {
+			raw := p.s[start:p.pos]
+			if !p.lit(closing) {
+				return "", false
+			}
+			return xmlUnescape(raw)
+		}
+		p.pos++
+	}
+	return "", false
+}
+
+// validXMLChar reports whether r is a character XML 1.0 allows (the
+// same set encoding/xml accepts in character references).
+func validXMLChar(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}
+
+// xmlUnescape resolves the predefined and numeric character references.
+// Unknown entities decline the fast path rather than guessing.
+func xmlUnescape(raw []byte) (string, bool) {
+	amp := -1
+	for i, c := range raw {
+		if c == '&' {
+			amp = i
+			break
+		}
+	}
+	if amp < 0 {
+		return string(raw), true
+	}
+	var sb strings.Builder
+	sb.Grow(len(raw))
+	sb.Write(raw[:amp])
+	for i := amp; i < len(raw); {
+		if raw[i] != '&' {
+			sb.WriteByte(raw[i])
+			i++
+			continue
+		}
+		semi := -1
+		for j := i + 1; j < len(raw) && j-i <= 12; j++ {
+			if raw[j] == ';' {
+				semi = j
+				break
+			}
+		}
+		if semi < 0 {
+			return "", false
+		}
+		ent := string(raw[i+1 : semi])
+		switch ent {
+		case "amp":
+			sb.WriteByte('&')
+		case "lt":
+			sb.WriteByte('<')
+		case "gt":
+			sb.WriteByte('>')
+		case "quot":
+			sb.WriteByte('"')
+		case "apos":
+			sb.WriteByte('\'')
+		default:
+			if len(ent) < 2 || ent[0] != '#' {
+				return "", false
+			}
+			var (
+				n   uint64
+				err error
+			)
+			if ent[1] == 'x' || ent[1] == 'X' {
+				n, err = strconv.ParseUint(ent[2:], 16, 32)
+			} else {
+				n, err = strconv.ParseUint(ent[1:], 10, 32)
+			}
+			if err != nil || !validXMLChar(rune(n)) {
+				// Invalid XML character reference (NUL, surrogate,
+				// out-of-range): decline so the encoding/xml fallback
+				// rejects the document instead of us guessing.
+				return "", false
+			}
+			sb.WriteRune(rune(n))
+		}
+		i = semi + 1
+	}
+	return sb.String(), true
+}

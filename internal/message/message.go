@@ -10,6 +10,8 @@ import (
 	"encoding/xml"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 )
 
 // Type discriminates control documents.
@@ -115,10 +117,113 @@ type xmlVar struct {
 	Value string `xml:",chardata"`
 }
 
+// marshalBufPool recycles encode buffers across Marshal calls: every
+// notification on every transport serializes through here, so the buffer
+// (and its grown backing array) is the dominant per-message allocation.
+var marshalBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Marshal encodes m as an XML document. Variables are emitted in sorted
 // order so the encoding is deterministic (stable tests, stable byte
 // counts in benchmarks).
+//
+// The encoder is hand-rolled for this package's small fixed vocabulary —
+// the reflection-based encoding/xml encoder accounted for most of the
+// per-notification allocation cost. The wire format is unchanged;
+// marshalXML remains in the package as the differential-test reference.
 func Marshal(m *Message) ([]byte, error) {
+	buf := marshalBufPool.Get().(*bytes.Buffer)
+	defer marshalBufPool.Put(buf)
+	buf.Reset()
+
+	buf.WriteString(`<message type="`)
+	xmlEscape(buf, string(m.Type))
+	buf.WriteByte('"')
+	writeAttr(buf, ` composite="`, m.Composite)
+	writeAttr(buf, ` instance="`, m.Instance)
+	writeAttr(buf, ` from="`, m.From)
+	writeAttr(buf, ` to="`, m.To)
+	if m.Seq != 0 {
+		buf.WriteString(` seq="`)
+		buf.WriteString(strconv.Itoa(m.Seq))
+		buf.WriteByte('"')
+	}
+	writeAttr(buf, ` replyTo="`, m.ReplyTo)
+	buf.WriteByte('>')
+	if m.Error != "" {
+		buf.WriteString("<error>")
+		xmlEscape(buf, m.Error)
+		buf.WriteString("</error>")
+	}
+	if len(m.Vars) > 0 {
+		names := make([]string, 0, len(m.Vars))
+		for k := range m.Vars {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			buf.WriteString(`<var name="`)
+			xmlEscape(buf, k)
+			buf.WriteString(`">`)
+			xmlEscape(buf, m.Vars[k])
+			buf.WriteString("</var>")
+		}
+	}
+	buf.WriteString("</message>")
+
+	// Copy out: the buffer returns to the pool, so its bytes can't escape.
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// writeAttr emits ` name="value"` (prefix carries name and opening quote),
+// omitting empty values like encoding/xml's omitempty.
+func writeAttr(buf *bytes.Buffer, prefix, value string) {
+	if value == "" {
+		return
+	}
+	buf.WriteString(prefix)
+	xmlEscape(buf, value)
+	buf.WriteByte('"')
+}
+
+// xmlEscape writes s with the same byte-level escaping xml.EscapeText
+// applies, so hand-encoded documents stay readable by any XML parser.
+func xmlEscape(buf *bytes.Buffer, s string) {
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '"':
+			esc = "&#34;"
+		case '\'':
+			esc = "&#39;"
+		case '\t':
+			esc = "&#x9;"
+		case '\n':
+			esc = "&#xA;"
+		case '\r':
+			esc = "&#xD;"
+		default:
+			continue
+		}
+		buf.WriteString(s[last:i])
+		buf.WriteString(esc)
+		last = i + 1
+	}
+	buf.WriteString(s[last:])
+}
+
+// marshalXML is the reflection-based reference encoder (the original
+// implementation). Kept for differential tests: Marshal's output must
+// decode to the same Message as marshalXML's.
+func marshalXML(m *Message) ([]byte, error) {
 	doc := xmlMessage{
 		Type:      string(m.Type),
 		Composite: m.Composite,
@@ -129,13 +234,16 @@ func Marshal(m *Message) ([]byte, error) {
 		ReplyTo:   m.ReplyTo,
 		Error:     m.Error,
 	}
-	names := make([]string, 0, len(m.Vars))
-	for k := range m.Vars {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, k := range names {
-		doc.Vars = append(doc.Vars, xmlVar{Name: k, Value: m.Vars[k]})
+	if len(m.Vars) > 0 {
+		names := make([]string, 0, len(m.Vars))
+		for k := range m.Vars {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		doc.Vars = make([]xmlVar, 0, len(names))
+		for _, k := range names {
+			doc.Vars = append(doc.Vars, xmlVar{Name: k, Value: m.Vars[k]})
+		}
 	}
 	var buf bytes.Buffer
 	enc := xml.NewEncoder(&buf)
@@ -145,8 +253,24 @@ func Marshal(m *Message) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Unmarshal decodes an XML document produced by Marshal.
+// Unmarshal decodes an XML document produced by Marshal. It first runs a
+// hand-rolled parser specialized to the message vocabulary (the common
+// case: every control message on every transport); documents it cannot
+// handle — processing instructions, comments, CDATA, foreign elements —
+// fall back to the general encoding/xml decoder.
 func Unmarshal(data []byte) (*Message, error) {
+	if m, ok := unmarshalFast(data); ok {
+		if m.Type == "" {
+			return nil, fmt.Errorf("message: document has no type attribute")
+		}
+		return m, nil
+	}
+	return unmarshalXML(data)
+}
+
+// unmarshalXML is the reflection-based reference decoder (the original
+// implementation and the fallback for documents the fast path declines).
+func unmarshalXML(data []byte) (*Message, error) {
 	var doc xmlMessage
 	if err := xml.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("message: unmarshal: %w", err)

@@ -1,0 +1,137 @@
+package routing
+
+import (
+	"testing"
+
+	"selfserv/internal/message"
+	"selfserv/internal/statechart"
+)
+
+// TestCompiledCoveredMatchesDeclarative: the bitmask coverage of a
+// compiled clause agrees with Clause.covers for every subset of sources.
+func TestCompiledCoveredMatchesDeclarative(t *testing.T) {
+	tbl := &Table{
+		State:   "s",
+		Service: "svc", Operation: "op",
+		Preconditions: []Clause{
+			{Sources: []string{"a", "b"}},
+			{Sources: []string{"c"}, Condition: "x > 0"},
+			{Sources: []string{"a", "c", "d"}},
+		},
+		Postprocessings: []Target{{To: message.WrapperID}},
+	}
+	ct, err := CompileTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	universe := []string{"a", "b", "c", "d"}
+	if got := ct.NumSources(); got != len(universe) {
+		t.Fatalf("NumSources = %d, want %d", got, len(universe))
+	}
+	for subset := 0; subset < 1<<len(universe); subset++ {
+		received := map[string]int{}
+		pending := make([]uint64, ct.MaskWords())
+		for bit, src := range universe {
+			if subset&(1<<bit) == 0 {
+				continue
+			}
+			received[src] = 1
+			idx, ok := ct.SourceIndex(src)
+			if !ok {
+				t.Fatalf("SourceIndex(%q) missing", src)
+			}
+			pending[idx>>6] |= 1 << (idx & 63)
+		}
+		declarative := tbl.Covered(received)
+		var compiled []*CompiledClause
+		for _, c := range ct.Preconditions {
+			if c.Covered(pending) {
+				compiled = append(compiled, c)
+			}
+		}
+		if len(declarative) != len(compiled) {
+			t.Fatalf("subset %04b: declarative covered %d clauses, compiled %d", subset, len(declarative), len(compiled))
+		}
+		for i := range declarative {
+			if len(declarative[i].Sources) != len(compiled[i].Sources) {
+				t.Fatalf("subset %04b: clause %d mismatch", subset, i)
+			}
+		}
+	}
+}
+
+// TestCompileElidesConstantTrueGuards: empty and "true" guards compile to
+// nil so the runtime skips evaluation.
+func TestCompileElidesConstantTrueGuards(t *testing.T) {
+	p := &Plan{
+		Composite: "C",
+		Tables: map[string]*Table{
+			"s": {
+				State: "s", Service: "svc", Operation: "op",
+				Preconditions:   []Clause{{Sources: []string{message.WrapperID}, Condition: "true"}},
+				Postprocessings: []Target{{To: message.WrapperID, Condition: ""}},
+			},
+		},
+		Start:  []Target{{To: "s", Condition: "   "}},
+		Finish: []Clause{{Sources: []string{"s"}, Condition: "x > 1"}},
+	}
+	cp, err := CompilePlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Tables["s"].Preconditions[0].Condition != nil {
+		t.Error("constant-true precondition guard not elided")
+	}
+	if cp.Tables["s"].Postprocessings[0].Condition != nil {
+		t.Error("empty postprocessing guard not elided")
+	}
+	if cp.Start[0].Condition != nil {
+		t.Error("whitespace start guard not elided")
+	}
+	if cp.Finish[0].Condition == nil {
+		t.Error("real finish guard was elided")
+	}
+}
+
+// TestCompilePlanErrors: a broken expression anywhere in the plan fails
+// compilation with a message naming the location.
+func TestCompilePlanErrors(t *testing.T) {
+	base := func() *Plan {
+		return &Plan{
+			Composite: "C",
+			Tables: map[string]*Table{
+				"s": {
+					State: "s", Service: "svc", Operation: "op",
+					Preconditions:   []Clause{{Sources: []string{message.WrapperID}}},
+					Postprocessings: []Target{{To: message.WrapperID}},
+				},
+			},
+			Start:  []Target{{To: "s"}},
+			Finish: []Clause{{Sources: []string{"s"}}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"clause-condition", func(p *Plan) { p.Tables["s"].Preconditions[0].Condition = "((" }},
+		{"clause-action", func(p *Plan) {
+			p.Tables["s"].Preconditions[0].Actions = []statechart.Assignment{{Var: "v", Expr: "1 +"}}
+		}},
+		{"target-condition", func(p *Plan) { p.Tables["s"].Postprocessings[0].Condition = "or or" }},
+		{"start-condition", func(p *Plan) { p.Start[0].Condition = "x <" }},
+		{"finish-condition", func(p *Plan) { p.Finish[0].Condition = "))" }},
+		{"input-binding", func(p *Plan) {
+			p.Tables["s"].Inputs = []statechart.Binding{{Param: "p", Expr: "* 3"}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			tc.mutate(p)
+			if _, err := CompilePlan(p); err == nil {
+				t.Fatal("CompilePlan accepted a broken expression")
+			}
+		})
+	}
+}

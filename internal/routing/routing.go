@@ -25,6 +25,18 @@
 // and the successor's precondition clause carries the guard, evaluated on
 // the merged bag once all notifications have arrived. The same rule
 // applies to the wrapper's finish clauses.
+//
+// The package has two artifact layers. Plan/Table (this file) is the
+// declarative, serializable form: guards and actions are source strings,
+// sources are peer-ID strings. CompiledPlan/CompiledTable (compiled.go)
+// is the runtime form the engine interprets: every expression pre-parsed
+// to a shared *expr.Program, sources interned to small integers, clause
+// coverage a bitmask compare. Compilation runs exactly once per
+// composite, at deploy time, which makes deployment the ONLY place a
+// guard parse error can surface — a deployed composite never parses at
+// runtime (statechart.Validate already enforces the same contract for
+// charts; CompileTable/CompilePlan enforce it for plans loaded from
+// files or built by hand).
 package routing
 
 import (

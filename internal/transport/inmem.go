@@ -83,9 +83,16 @@ func (n *InMem) Send(ctx context.Context, to string, m *message.Message) error {
 	if err != nil {
 		return err
 	}
+	async := !n.opts.Synchronous
 	n.mu.RLock()
 	h, ok := n.handlers[to]
 	closed := n.closed
+	if !closed && ok && async {
+		// Register the delivery while holding the lock that Close takes
+		// before it Waits: an Add racing a started Wait is undefined, so the
+		// counter must be bumped strictly before Close can observe it.
+		n.deliverWG.Add(1)
+	}
 	n.mu.RUnlock()
 	if closed {
 		return ErrClosed
@@ -95,6 +102,9 @@ func (n *InMem) Send(ctx context.Context, to string, m *message.Message) error {
 	}
 	sender := SenderFrom(ctx)
 	if n.dropped() {
+		if async {
+			n.deliverWG.Done() // no delivery will happen
+		}
 		// The sender paid the cost of sending; the receiver never sees it.
 		n.stats.mu.Lock()
 		if sender != "" {
@@ -125,11 +135,10 @@ func (n *InMem) Send(ctx context.Context, to string, m *message.Message) error {
 		}
 		h(ctx, decoded)
 	}
-	if n.opts.Synchronous {
+	if !async {
 		deliver()
 		return nil
 	}
-	n.deliverWG.Add(1)
 	go func() {
 		defer n.deliverWG.Done()
 		deliver()
