@@ -182,7 +182,7 @@ func BenchmarkE3P2PvsCentral(b *testing.B) {
 				}
 			}
 			b.Run(fmt.Sprintf("%s-%d/p2p", shape, k), func(b *testing.B) {
-				_, comp := deployP2P(b, sc, register)
+				p, comp := deployP2P(b, sc, register)
 				ctx := context.Background()
 				in := map[string]string{"x": "0"}
 				b.ResetTimer()
@@ -191,6 +191,10 @@ func BenchmarkE3P2PvsCentral(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
+				b.StopTimer()
+				total := p.Network().Stats().Total()
+				b.ReportMetric(float64(total.MsgsOut)/float64(b.N), "msgs/exec")
+				b.ReportMetric(float64(total.FramesOut)/float64(b.N), "frames/exec")
 			})
 			b.Run(fmt.Sprintf("%s-%d/central", shape, k), func(b *testing.B) {
 				_, comp := deployP2P(b, sc, register)
@@ -209,6 +213,49 @@ func BenchmarkE3P2PvsCentral(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkE3ParallelFanColocated measures the Network v2 coalescing win
+// in isolation: Parallel(k) with every branch service on ONE host, so the
+// wrapper's start fan is k notifications to a single destination. With
+// per-round outbox coalescing the whole fan is one wire frame
+// (frames/exec ≈ rounds, not messages); before v2 it was k frames.
+func BenchmarkE3ParallelFanColocated(b *testing.B) {
+	for _, k := range []int{8, 32} {
+		k := k
+		b.Run(fmt.Sprintf("parallel-%d/p2p-one-host", k), func(b *testing.B) {
+			p := core.New(core.Options{Funcs: workload.TravelGuards()})
+			b.Cleanup(func() { p.Close() })
+			workload.RegisterParallelProviders(p.Registry(), k, service.SimulatedOptions{})
+			h, err := p.AddHost("colo-host")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 1; i <= k; i++ {
+				prov, err := p.Registry().Lookup(fmt.Sprintf("svc%d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.RegisterService(h, prov)
+			}
+			comp, err := p.Deploy(workload.Parallel(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			in := map[string]string{"x": "0"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.Execute(ctx, in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			wrapper := p.Network().Stats().Nodes[comp.Wrapper().Addr()]
+			b.ReportMetric(float64(wrapper.MsgsOut)/float64(b.N), "fan-msgs/exec")
+			b.ReportMetric(float64(wrapper.FramesOut)/float64(b.N), "fan-frames/exec")
+		})
 	}
 }
 
@@ -371,6 +418,8 @@ func BenchmarkE7NodeLoad(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(worstCoord)/float64(b.N), "busiest-msgs/exec")
+			total := stats.Total()
+			b.ReportMetric(float64(total.FramesOut)/float64(b.N), "frames/exec")
 		})
 		b.Run(fmt.Sprintf("parallel-%d/central", k), func(b *testing.B) {
 			p, comp := deployP2P(b, sc, register)

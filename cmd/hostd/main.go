@@ -37,6 +37,7 @@ func main() {
 	adminAddr := flag.String("admin", "127.0.0.1:0", "admin HTTP listen address")
 	services := flag.String("services", "", "comma-separated services to host (see doc)")
 	latency := flag.Duration("latency", 5*time.Millisecond, "simulated service latency")
+	statsEvery := flag.Duration("stats", 0, "log transport traffic (messages vs wire frames) at this interval; 0 disables")
 	verbose := flag.Bool("v", false, "log coordinator activity")
 	flag.Parse()
 
@@ -63,9 +64,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *statsEvery > 0 {
+		go logStats(tcp, host.Addr(), *statsEvery)
+	}
 	log.Printf("hostd: coordination on %s, admin on http://%s, services %v",
 		host.Addr(), ln.Addr(), reg.Names())
 	log.Fatal(http.Serve(ln, admin))
+}
+
+// logStats periodically reports this host's transport counters. The
+// msgs-out/frames-out gap is the Network v2 coalescing win: a coordinator
+// round that notifies several peers on one node pays a single frame.
+func logStats(tcp *transport.TCP, coordAddr string, every time.Duration) {
+	for range time.Tick(every) {
+		ns := tcp.Stats().Nodes[coordAddr]
+		log.Printf("hostd: traffic in=%d out=%d frames-out=%d bytes-in=%d bytes-out=%d",
+			ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn, ns.BytesOut)
+	}
 }
 
 // registerServices parses the -services flag.

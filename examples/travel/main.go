@@ -103,6 +103,9 @@ func main() {
 	sort.Strings(addrs)
 	for _, a := range addrs {
 		ns := stats.Nodes[a]
-		fmt.Printf("  %-22s in=%-3d out=%-3d bytes=%d\n", a, ns.MsgsIn, ns.MsgsOut, ns.BytesIn+ns.BytesOut)
+		fmt.Printf("  %-22s in=%-3d out=%-3d frames-out=%-3d bytes=%d\n",
+			a, ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn+ns.BytesOut)
 	}
+	total := stats.Total()
+	fmt.Printf("total: %d messages in %d wire frames\n", total.MsgsOut, total.FramesOut)
 }

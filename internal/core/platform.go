@@ -145,10 +145,10 @@ func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	if prev != nil {
 		prev.wrapper.Close()
 	}
-	addr := fmt.Sprintf("wrapper/%s/%d", sc.Name, seq)
-	if _, isTCP := p.net.(*transport.TCP); isTCP {
-		addr = "127.0.0.1:0"
-	}
+	// MintAddr turns the logical wrapper name into whatever this
+	// transport listens on (the name itself in-memory, an ephemeral
+	// loopback bind on TCP) — no type-switching on the implementation.
+	addr := p.net.MintAddr(fmt.Sprintf("wrapper/%s/%d", sc.Name, seq))
 	w, err := engine.NewCompiledWrapper(p.net, addr, p.dir, dep.Compiled, p.funcs)
 	if err != nil {
 		return nil, err

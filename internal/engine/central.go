@@ -25,8 +25,8 @@ import (
 // orchestrator, not a serializer), so wall-clock comparisons against the
 // P2P engine isolate coordination cost, not artificial sequentialization.
 type Central struct {
-	net      transport.Network
 	ep       transport.Endpoint
+	sender   transport.Sender // outbound handle attributed to the hub
 	dir      *Directory
 	plan     *routing.Plan
 	compiled *routing.CompiledPlan
@@ -60,7 +60,6 @@ func NewCompiledCentral(net transport.Network, addr string, dir *Directory, comp
 		return nil, err
 	}
 	c := &Central{
-		net:      net,
 		dir:      dir,
 		plan:     plan,
 		compiled: compiled,
@@ -73,6 +72,7 @@ func NewCompiledCentral(net transport.Network, addr string, dir *Directory, comp
 		return nil, fmt.Errorf("engine: central listen: %w", err)
 	}
 	c.ep = ep
+	c.sender = net.Open(ep.Addr())
 	return c, nil
 }
 
@@ -253,9 +253,30 @@ func (c *Central) applyAssignments(run *centralRun, actions []routing.CompiledAs
 	return nil
 }
 
+// launch is one enabled invocation of a firing round: the request
+// message plus the reply channel its waiter consumes.
+type launch struct {
+	state string
+	token string
+	msg   *message.Message
+	ch    chan *message.Message
+}
+
+// launchGroup collects one destination host's launches of a firing
+// round (the Central equivalent of an outbox entry: one frame per
+// group, first-use order).
+type launchGroup struct {
+	addr     string
+	launches []*launch
+}
+
 // fireEnabled launches remote invocations for every state whose
-// precondition now holds.
+// precondition now holds. The round's TypeInvoke messages are grouped
+// per destination and flushed as one frame per host — states co-hosted
+// on one node cost the hub one syscall per round, not one per state.
+// Replies still arrive (and are awaited) independently.
 func (c *Central) fireEnabled(ctx context.Context, instance string, run *centralRun) error {
+	var groups []*launchGroup
 	for state, mark := range run.received {
 		tbl := c.compiled.Tables[state]
 	clauses:
@@ -288,56 +309,95 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 			if err != nil {
 				return err
 			}
+			addr, found := c.dir.Lookup(c.plan.Composite, tbl.State)
+			if !found {
+				return fmt.Errorf("engine: state %q is not deployed", tbl.State)
+			}
+			l := &launch{
+				state: tbl.State,
+				token: instance + "/" + tbl.State + "/" + strconv.FormatInt(c.seq.Add(1), 10),
+				ch:    make(chan *message.Message, 1),
+			}
+			l.msg = &message.Message{
+				Type:      message.TypeInvoke,
+				Composite: c.plan.Composite,
+				Instance:  l.token,
+				From:      "central",
+				To:        tbl.Service + "/" + tbl.Operation,
+				ReplyTo:   c.Addr(),
+				Vars:      params,
+			}
+			// Same first-use-order linear grouping as outbox.add, but over
+			// launches (the reply bookkeeping must travel with the message).
+			grp := (*launchGroup)(nil)
+			for _, g := range groups {
+				if g.addr == addr {
+					grp = g
+					break
+				}
+			}
+			if grp == nil {
+				grp = &launchGroup{addr: addr}
+				groups = append(groups, grp)
+			}
+			grp.launches = append(grp.launches, l)
 			run.inflight++
-			go c.invokeRemote(ctx, instance, tbl, params, run.results)
 			break // one firing per state per round; loop re-checks later
+		}
+	}
+
+	// Register every reply route before anything is sent: a fast host
+	// must never answer an unregistered token.
+	c.mu.Lock()
+	for _, g := range groups {
+		for _, l := range g.launches {
+			c.pending[l.token] = l.ch
+		}
+	}
+	c.mu.Unlock()
+
+	for _, g := range groups {
+		g := g
+		ms := make([]*message.Message, len(g.launches))
+		for i, l := range g.launches {
+			ms[i] = l.msg
+		}
+		// One goroutine per destination: dial latency stays off the event
+		// loop, and the whole round for that host is one frame.
+		go func() {
+			if err := c.sender.SendBatch(ctx, g.addr, ms); err != nil {
+				// Fail every invocation of the lost frame through its reply
+				// channel, wire-shaped, so the waiters below stay the only
+				// writers of run.results.
+				for _, l := range g.launches {
+					l.ch <- &message.Message{Type: message.TypeResult, Error: err.Error()}
+				}
+			}
+		}()
+		for _, l := range g.launches {
+			go c.awaitReply(ctx, l, run.results)
 		}
 	}
 	return nil
 }
 
-// invokeRemote performs one TypeInvoke/TypeResult round trip to the host
-// owning the state's service.
-func (c *Central) invokeRemote(ctx context.Context, instance string, tbl *routing.CompiledTable, params map[string]string, results chan<- stateResult) {
-	addr, found := c.dir.Lookup(c.plan.Composite, tbl.State)
-	if !found {
-		results <- stateResult{state: tbl.State, err: fmt.Errorf("state %q is not deployed", tbl.State)}
-		return
-	}
-	token := instance + "/" + tbl.State + "/" + strconv.FormatInt(c.seq.Add(1), 10)
-	ch := make(chan *message.Message, 1)
-	c.mu.Lock()
-	c.pending[token] = ch
-	c.mu.Unlock()
+// awaitReply blocks until l's TypeResult arrives (or ctx ends) and
+// reports it to the event loop.
+func (c *Central) awaitReply(ctx context.Context, l *launch, results chan<- stateResult) {
 	defer func() {
 		c.mu.Lock()
-		delete(c.pending, token)
+		delete(c.pending, l.token)
 		c.mu.Unlock()
 	}()
-
-	m := &message.Message{
-		Type:      message.TypeInvoke,
-		Composite: c.plan.Composite,
-		Instance:  token,
-		From:      "central",
-		To:        tbl.Service + "/" + tbl.Operation,
-		ReplyTo:   c.Addr(),
-		Vars:      params,
-	}
-	sendCtx := transport.WithSender(ctx, c.Addr())
-	if err := c.net.Send(sendCtx, addr, m); err != nil {
-		results <- stateResult{state: tbl.State, err: err}
-		return
-	}
 	select {
-	case reply := <-ch:
+	case reply := <-l.ch:
 		if reply.Error != "" {
-			results <- stateResult{state: tbl.State, err: fmt.Errorf("%s", reply.Error)}
+			results <- stateResult{state: l.state, err: fmt.Errorf("%s", reply.Error)}
 			return
 		}
-		results <- stateResult{state: tbl.State, outputs: reply.Vars}
+		results <- stateResult{state: l.state, outputs: reply.Vars}
 	case <-ctx.Done():
-		results <- stateResult{state: tbl.State, err: ctx.Err()}
+		results <- stateResult{state: l.state, err: ctx.Err()}
 	}
 }
 

@@ -1,0 +1,159 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"selfserv/internal/core"
+	"selfserv/internal/service"
+	"selfserv/internal/transport"
+	"selfserv/internal/workload"
+)
+
+// TestStartFanCoalescesPerDestination pins the Network v2 acceptance
+// criterion: when a wide parallel fan's branches are co-hosted, the
+// wrapper's start round costs ONE wire frame per destination host, not
+// one per notification — FramesOut stays at ~1 per (destination,
+// instance) per round while MsgsOut still counts every notification.
+func TestStartFanCoalescesPerDestination(t *testing.T) {
+	const k = 8
+	net := transport.NewInMem(transport.InMemOptions{})
+	p := core.New(core.Options{Network: net})
+	defer p.Close()
+	workload.RegisterParallelProviders(p.Registry(), k, service.SimulatedOptions{})
+
+	// ALL k branch services on one host: the worst case for an unbatched
+	// transport (k frames per start round) and the best case for v2 (1).
+	h, err := p.AddHost("the-one-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		prov, err := p.Registry().Lookup(fmt.Sprintf("svc%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RegisterService(h, prov)
+	}
+	comp, err := p.Deploy(workload.Parallel(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const execs = 5
+	for i := 0; i < execs; i++ {
+		if _, err := comp.Execute(ctxWithTimeout(t), map[string]string{"x": "0"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wrapper := net.Stats().Nodes[comp.Wrapper().Addr()]
+	if wrapper.MsgsOut != k*execs {
+		t.Fatalf("wrapper MsgsOut = %d, want %d (k notifications per execution)", wrapper.MsgsOut, k*execs)
+	}
+	if wrapper.FramesOut != execs {
+		t.Fatalf("wrapper FramesOut = %d, want %d (ONE frame per start round)", wrapper.FramesOut, execs)
+	}
+
+	// The branches complete independently (k separate firing rounds), so
+	// the host's Done notices stay k frames — coalescing only merges
+	// messages of one round, never across rounds.
+	host := net.Stats().Nodes["the-one-host"]
+	if host.MsgsOut != k*execs || host.FramesOut != k*execs {
+		t.Fatalf("host stats = %+v, want %d msgs in %d frames", host, k*execs, k*execs)
+	}
+}
+
+// TestCentralInvokeRoundCoalesces: the hub's firing round batches its
+// TypeInvoke messages per destination host the same way.
+func TestCentralInvokeRoundCoalesces(t *testing.T) {
+	const k = 6
+	net := transport.NewInMem(transport.InMemOptions{})
+	p := core.New(core.Options{Network: net})
+	defer p.Close()
+	workload.RegisterParallelProviders(p.Registry(), k, service.SimulatedOptions{})
+	h, err := p.AddHost("hub-worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		prov, err := p.Registry().Lookup(fmt.Sprintf("svc%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RegisterService(h, prov)
+	}
+	comp, err := p.Deploy(workload.Parallel(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := comp.NewCentralBaseline("the-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+
+	if _, err := central.Execute(ctxWithTimeout(t), map[string]string{"x": "0"}); err != nil {
+		t.Fatal(err)
+	}
+	hub := net.Stats().Nodes["the-hub"]
+	if hub.MsgsOut != k {
+		t.Fatalf("hub MsgsOut = %d, want %d invokes", hub.MsgsOut, k)
+	}
+	if hub.FramesOut != 1 {
+		t.Fatalf("hub FramesOut = %d, want 1 (the whole parallel round in one frame)", hub.FramesOut)
+	}
+}
+
+// TestBatchedInvokesStayConcurrent guards the "hub is an orchestrator,
+// not a serializer" contract against the frame-delivery semantics: a
+// coalesced invoke frame is handed to the host's handler sequentially,
+// so serveInvoke must dispatch executions onto their own goroutines or
+// co-hosted states would serialize. Every branch handler blocks until
+// all k have entered; if executions were serialized the barrier would
+// never fill and the run would fault.
+func TestBatchedInvokesStayConcurrent(t *testing.T) {
+	const k = 4
+	net := transport.NewInMem(transport.InMemOptions{})
+	p := core.New(core.Options{Network: net})
+	defer p.Close()
+
+	var entered atomic.Int32
+	release := make(chan struct{})
+	h, err := p.AddHost("barrier-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= k; i++ {
+		s := service.NewSimulated(fmt.Sprintf("svc%d", i), service.SimulatedOptions{})
+		s.Handle("run", func(ctx context.Context, _ map[string]string) (map[string]string, error) {
+			if entered.Add(1) == k {
+				close(release)
+			}
+			select {
+			case <-release:
+			case <-time.After(5 * time.Second):
+				return nil, fmt.Errorf("co-hosted invocations serialized: only %d of %d entered", entered.Load(), k)
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return map[string]string{"y": "1"}, nil
+		})
+		p.RegisterService(h, s)
+	}
+	comp, err := p.Deploy(workload.Parallel(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := comp.NewCentralBaseline("barrier-hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer central.Close()
+	if _, err := central.Execute(ctxWithTimeout(t), map[string]string{"x": "0"}); err != nil {
+		t.Fatalf("central execution with barrier handlers: %v", err)
+	}
+}

@@ -31,8 +31,8 @@ type HostOptions struct {
 // service lives on this node) and answers remote TypeInvoke requests
 // (used by the centralized baseline and by remote wrappers).
 type Host struct {
-	net      transport.Network
 	ep       transport.Endpoint
+	sender   transport.Sender // outbound handle attributed to this host
 	registry *service.Registry
 	dir      *Directory
 	opts     HostOptions
@@ -49,7 +49,6 @@ func NewHost(net transport.Network, addr string, registry *service.Registry, dir
 		opts.MaxInstancesPerState = 16384
 	}
 	h := &Host{
-		net:      net,
 		registry: registry,
 		dir:      dir,
 		opts:     opts,
@@ -61,6 +60,7 @@ func NewHost(net transport.Network, addr string, registry *service.Registry, dir
 		return nil, fmt.Errorf("engine: host listen: %w", err)
 	}
 	h.ep = ep
+	h.sender = net.Open(ep.Addr())
 	return h, nil
 }
 
@@ -149,7 +149,12 @@ func (h *Host) handle(ctx context.Context, m *message.Message) {
 		}
 		c.onNotification(ctx, m)
 	case message.TypeInvoke:
-		h.serveInvoke(ctx, m)
+		// Own goroutine: serveInvoke executes the service inline, and the
+		// messages of one frame are delivered sequentially — a coalesced
+		// invoke round (Central batches per host) must not serialize
+		// co-hosted executions. Invokes are order-independent (replies
+		// correlate by token), so frame FIFO is not needed here.
+		go h.serveInvoke(ctx, m)
 	default:
 		h.logf("host %s: unexpected message %s", h.Addr(), m)
 	}
@@ -179,8 +184,7 @@ func (h *Host) serveInvoke(ctx context.Context, m *message.Message) {
 		h.logf("host %s: invoke without replyTo", h.Addr())
 		return
 	}
-	sendCtx := transport.WithSender(ctx, h.Addr())
-	if err := h.net.Send(sendCtx, m.ReplyTo, reply); err != nil {
+	if err := h.sender.Send(ctx, m.ReplyTo, reply); err != nil {
 		h.logf("host %s: reply to %s failed: %v", h.Addr(), m.ReplyTo, err)
 	}
 }
@@ -277,7 +281,7 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 			if isUndefinedVar(err) {
 				continue
 			}
-			go c.sendFault(transport.WithSender(ctx, c.host.Addr()), instanceID, err)
+			go c.sendFault(ctx, instanceID, err)
 			return
 		}
 		if !ok {
@@ -296,7 +300,7 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 		if len(clause.Actions) > 0 {
 			merged, err := applyActions(clause.Actions, vars, c.host.funcEnv)
 			if err != nil {
-				go c.sendFault(transport.WithSender(ctx, c.host.Addr()), instanceID, err)
+				go c.sendFault(ctx, instanceID, err)
 				return
 			}
 			inst.vars = merged
@@ -344,7 +348,10 @@ func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[stri
 
 // finish merges results, re-checks pending clauses (loops), and runs the
 // postprocessing phase: evaluating each target's precompiled condition on
-// the local variable bag and notifying the peers whose guard holds.
+// the local variable bag and collecting the notifications of the peers
+// whose guard holds into a per-destination outbox, flushed once at the
+// end of the round — peers co-hosted at one address share a single wire
+// frame (per-destination FIFO order preserved).
 func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, invokeErr error) {
 	c.mu.Lock()
 	inst := c.instances[instanceID]
@@ -358,17 +365,16 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 	}
 	c.mu.Unlock()
 
-	sendCtx := transport.WithSender(ctx, c.host.Addr())
 	if invokeErr != nil {
-		c.sendFault(sendCtx, instanceID, invokeErr)
+		c.sendFault(ctx, instanceID, invokeErr)
 		return
 	}
 
-	notified := 0
+	var box outbox
 	for _, target := range c.table.Postprocessings {
 		ok, err := evalGuard(target.Condition, vars, c.host.funcEnv)
 		if err != nil {
-			c.sendFault(sendCtx, instanceID, err)
+			c.sendFault(ctx, instanceID, err)
 			return
 		}
 		if !ok {
@@ -378,7 +384,7 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		if len(target.Actions) > 0 {
 			outVars, err = applyActions(target.Actions, vars, c.host.funcEnv)
 			if err != nil {
-				c.sendFault(sendCtx, instanceID, err)
+				c.sendFault(ctx, instanceID, err)
 				return
 			}
 		}
@@ -386,26 +392,26 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		if target.To == message.WrapperID {
 			typ = message.TypeDone
 		}
-		out := &message.Message{
+		addr, found := c.host.dir.Lookup(c.composite, target.To)
+		if !found {
+			c.sendFault(ctx, instanceID, fmt.Errorf("engine: no address for peer %q of %s", target.To, c.composite))
+			return
+		}
+		box.add(addr, &message.Message{
 			Type:      typ,
 			Composite: c.composite,
 			Instance:  instanceID,
 			From:      c.table.State,
 			To:        target.To,
 			Vars:      outVars,
-		}
-		addr, found := c.host.dir.Lookup(c.composite, target.To)
-		if !found {
-			c.sendFault(sendCtx, instanceID, fmt.Errorf("engine: no address for peer %q of %s", target.To, c.composite))
-			return
-		}
-		if err := c.host.net.Send(sendCtx, addr, out); err != nil {
-			c.sendFault(sendCtx, instanceID, fmt.Errorf("engine: notify %s: %w", target.To, err))
-			return
-		}
-		notified++
+		})
 	}
-	c.host.logf("coord %s/%s: instance %s notified %d peer(s)", c.composite, c.table.State, instanceID, notified)
+	if err := box.flush(ctx, c.host.sender); err != nil {
+		c.sendFault(ctx, instanceID, fmt.Errorf("engine: notify peers of %s: %w", c.table.State, err))
+		return
+	}
+	c.host.logf("coord %s/%s: instance %s notified %d peer(s) in %d frame(s)",
+		c.composite, c.table.State, instanceID, box.msgs(), len(box.addrs))
 
 	// Loops: the consumed clause may already be re-satisfiable.
 	c.mu.Lock()
@@ -423,7 +429,7 @@ func (c *coordinator) sendFault(ctx context.Context, instanceID string, cause er
 		return
 	}
 	m := fault(c.composite, instanceID, c.table.State, cause)
-	if err := c.host.net.Send(ctx, addr, m); err != nil {
+	if err := c.host.sender.Send(ctx, addr, m); err != nil {
 		c.host.logf("coord %s/%s: fault delivery failed: %v (original: %v)", c.composite, c.table.State, err, cause)
 	}
 }

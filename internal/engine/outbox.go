@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"context"
+
+	"selfserv/internal/message"
+	"selfserv/internal/transport"
+)
+
+// outbox collects one firing round's outbound notifications keyed by
+// destination address, so a round that notifies several peers hosted at
+// the same address pays ONE wire frame for them instead of one per
+// notification (the coalescing the ROADMAP's batching item asks for).
+// Messages stay in enqueue order per destination and destinations flush
+// in first-use order, so per-(destination, instance) FIFO is preserved:
+// the receiver's handler sees a round's messages exactly as a sequential
+// sender would have emitted them.
+//
+// An outbox is single-round, single-goroutine state: build, flush, drop.
+// Rounds address at most a handful of peers, so destinations live in a
+// linearly-scanned slice — no per-round map allocation on the hot path.
+type outbox struct {
+	addrs   []string
+	batches [][]*message.Message
+}
+
+// add enqueues m for addr.
+func (o *outbox) add(addr string, m *message.Message) {
+	for i, a := range o.addrs {
+		if a == addr {
+			o.batches[i] = append(o.batches[i], m)
+			return
+		}
+	}
+	o.addrs = append(o.addrs, addr)
+	o.batches = append(o.batches, []*message.Message{m})
+}
+
+// empty reports whether nothing was enqueued.
+func (o *outbox) empty() bool { return len(o.addrs) == 0 }
+
+// msgs returns the total number of enqueued messages.
+func (o *outbox) msgs() int {
+	n := 0
+	for _, ms := range o.batches {
+		n += len(ms)
+	}
+	return n
+}
+
+// flush sends every destination's batch through s, one frame per
+// destination, and stops at the first transport error (matching the
+// pre-batching behaviour of a sequential send loop).
+func (o *outbox) flush(ctx context.Context, s transport.Sender) error {
+	for i, addr := range o.addrs {
+		ms := o.batches[i]
+		if len(ms) == 1 {
+			if err := s.Send(ctx, addr, ms[0]); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.SendBatch(ctx, addr, ms); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -21,8 +21,8 @@ import (
 // construction (deploy time); start guards, finish clauses, and event
 // subscriptions are interpreted from the shared immutable compilation.
 type Wrapper struct {
-	net      transport.Network
 	ep       transport.Endpoint
+	sender   transport.Sender // outbound handle attributed to this wrapper
 	dir      *Directory
 	plan     *routing.Plan
 	compiled *routing.CompiledPlan
@@ -67,7 +67,6 @@ func NewCompiledWrapper(net transport.Network, addr string, dir *Directory, comp
 		return nil, err
 	}
 	w := &Wrapper{
-		net:       net,
 		dir:       dir,
 		plan:      plan,
 		compiled:  compiled,
@@ -80,6 +79,7 @@ func NewCompiledWrapper(net transport.Network, addr string, dir *Directory, comp
 		return nil, fmt.Errorf("engine: wrapper listen: %w", err)
 	}
 	w.ep = ep
+	w.sender = net.Open(ep.Addr())
 	dir.Set(plan.Composite, message.WrapperID, ep.Addr())
 	return w, nil
 }
@@ -132,13 +132,14 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	// inputs. It works on a private copy of the bag: once the first start
 	// message is out, coordinators (and a concurrent RaiseEvent) may
 	// already be merging into inst.vars under w.mu, so the send path must
-	// never read the live instance map.
+	// never read the live instance map. Start notifications for states
+	// sharing a host coalesce into one frame per destination: the outbox
+	// is built fully before anything is sent.
 	base := make(map[string]string, len(inputs))
 	for k, v := range inputs {
 		base[k] = v
 	}
-	sendCtx := transport.WithSender(ctx, w.Addr())
-	started := 0
+	var box outbox
 	for _, target := range w.compiled.Start {
 		ok, err := evalGuard(target.Condition, inputs, w.funcEnv)
 		if err != nil {
@@ -158,21 +159,20 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 		if !found {
 			return nil, fmt.Errorf("engine: composite %q: state %q is not deployed", w.plan.Composite, target.To)
 		}
-		m := &message.Message{
+		box.add(addr, &message.Message{
 			Type:      message.TypeStart,
 			Composite: w.plan.Composite,
 			Instance:  id,
 			From:      message.WrapperID,
 			To:        target.To,
 			Vars:      vars,
-		}
-		if err := w.net.Send(sendCtx, addr, m); err != nil {
-			return nil, fmt.Errorf("engine: start %s: %w", target.To, err)
-		}
-		started++
+		})
 	}
-	if started == 0 {
+	if box.empty() {
 		return nil, fmt.Errorf("engine: composite %q: no start condition matched the request", w.plan.Composite)
+	}
+	if err := box.flush(ctx, w.sender); err != nil {
+		return nil, fmt.Errorf("engine: start %s: %w", w.plan.Composite, err)
 	}
 
 	select {
@@ -244,23 +244,25 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 	}
 	w.mu.Unlock()
 
-	sendCtx := transport.WithSender(ctx, w.Addr())
+	// Subscribers co-hosted at one address share a frame (same coalescing
+	// as the start phase).
+	var box outbox
 	for _, state := range subscribers {
 		addr, found := w.dir.Lookup(w.plan.Composite, state)
 		if !found {
 			return fmt.Errorf("engine: event %q: subscriber %q is not deployed", event, state)
 		}
-		m := &message.Message{
+		box.add(addr, &message.Message{
 			Type:      message.TypeNotify,
 			Composite: w.plan.Composite,
 			Instance:  instanceID,
 			From:      src,
 			To:        state,
 			Vars:      payload,
-		}
-		if err := w.net.Send(sendCtx, addr, m); err != nil {
-			return fmt.Errorf("engine: event %q to %s: %w", event, state, err)
-		}
+		})
+	}
+	if err := box.flush(ctx, w.sender); err != nil {
+		return fmt.Errorf("engine: event %q: %w", event, err)
 	}
 	return nil
 }

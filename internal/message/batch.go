@@ -1,0 +1,116 @@
+package message
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the batch wire encoding used by Network v2's
+// SendBatch: several control documents coalesced into one transport
+// frame. The format is
+//
+//	0x00 | uvarint count | (uvarint len | document bytes) * count
+//
+// The leading NUL byte discriminates batches from legacy payloads: an
+// XML document can never start with 0x00, so UnmarshalBatch decodes both
+// new batch frames and old single-document frames, and a batch of one is
+// emitted in the legacy encoding (byte-identical to Marshal), keeping
+// unbatched senders readable by pre-batch receivers.
+
+// batchMagic is the first byte of a batch payload. XML documents start
+// with '<' or whitespace, never NUL, so the discriminator is unambiguous.
+const batchMagic = 0x00
+
+// ErrEmptyBatch reports a MarshalBatch of zero messages.
+var ErrEmptyBatch = fmt.Errorf("message: empty batch")
+
+// MarshalBatch encodes ms as one payload using the pooled fast-path
+// encoder. A batch of one is encoded exactly as Marshal would encode it
+// (legacy single-document payload); larger batches use the count-prefixed
+// batch format documented above. Message order is preserved.
+func MarshalBatch(ms []*Message) ([]byte, error) {
+	switch len(ms) {
+	case 0:
+		return nil, ErrEmptyBatch
+	case 1:
+		return Marshal(ms[0])
+	}
+
+	buf := marshalBufPool.Get().(*bytes.Buffer)
+	defer marshalBufPool.Put(buf)
+	buf.Reset()
+	scratch := marshalBufPool.Get().(*bytes.Buffer)
+	defer marshalBufPool.Put(scratch)
+
+	var varint [binary.MaxVarintLen64]byte
+	buf.WriteByte(batchMagic)
+	buf.Write(varint[:binary.PutUvarint(varint[:], uint64(len(ms)))])
+	for _, m := range ms {
+		scratch.Reset()
+		encodeInto(scratch, m)
+		buf.Write(varint[:binary.PutUvarint(varint[:], uint64(scratch.Len()))])
+		buf.Write(scratch.Bytes())
+	}
+
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// UnmarshalBatch decodes a payload produced by MarshalBatch — or by the
+// legacy single-document Marshal, which it returns as a batch of one.
+// This is the only decode entry point a transport needs: old and new
+// frames are distinguished by the leading byte.
+func UnmarshalBatch(data []byte) ([]*Message, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("message: empty payload")
+	}
+	if data[0] != batchMagic {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return nil, err
+		}
+		return []*Message{m}, nil
+	}
+
+	rest := data[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("message: batch: malformed count")
+	}
+	rest = rest[n:]
+	if count == 0 {
+		return nil, fmt.Errorf("message: batch: zero messages")
+	}
+	// Every document needs at least its length prefix, so count can never
+	// exceed the remaining bytes: reject early rather than over-allocating
+	// on a corrupt header. The capacity hint is additionally capped so a
+	// corrupt count that passes the check cannot amplify a small frame
+	// into a huge pointer-slice allocation before the first parse fails.
+	if count > uint64(len(rest)) {
+		return nil, fmt.Errorf("message: batch: count %d exceeds payload", count)
+	}
+	capHint := count
+	if capHint > 1024 {
+		capHint = 1024
+	}
+	ms := make([]*Message, 0, capHint)
+	for i := uint64(0); i < count; i++ {
+		size, n := binary.Uvarint(rest)
+		if n <= 0 || size > uint64(len(rest)-n) {
+			return nil, fmt.Errorf("message: batch: malformed length for document %d", i)
+		}
+		rest = rest[n:]
+		m, err := Unmarshal(rest[:size])
+		if err != nil {
+			return nil, fmt.Errorf("message: batch: document %d: %w", i, err)
+		}
+		ms = append(ms, m)
+		rest = rest[size:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("message: batch: %d trailing bytes", len(rest))
+	}
+	return ms, nil
+}

@@ -1,0 +1,195 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func sampleMessages() []*Message {
+	return []*Message{
+		{Type: TypeStart, Composite: "C", Instance: "i1", From: WrapperID, To: "s1",
+			Vars: map[string]string{"x": "0", "name": `q"uo<te>`}},
+		{Type: TypeNotify, Composite: "C", Instance: "i1", From: "s1", To: "s2", Seq: 7},
+		{Type: TypeDone, Composite: "C", Instance: "i1", From: "s2", To: WrapperID,
+			Vars: map[string]string{"y": "42 & counting"}},
+		{Type: TypeFault, Composite: "C", Instance: "i1", From: "s2", Error: "late\nfailure"},
+		{Type: TypeInvoke, Composite: "C", Instance: "tok/1", To: "Svc/op", ReplyTo: "127.0.0.1:9"},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	ms := sampleMessages()
+	for width := 1; width <= len(ms); width++ {
+		data, err := MarshalBatch(ms[:width])
+		if err != nil {
+			t.Fatalf("MarshalBatch(%d): %v", width, err)
+		}
+		got, err := UnmarshalBatch(data)
+		if err != nil {
+			t.Fatalf("UnmarshalBatch(%d): %v", width, err)
+		}
+		if len(got) != width {
+			t.Fatalf("round trip width %d returned %d messages", width, len(got))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(normalize(got[i]), normalize(ms[i])) {
+				t.Fatalf("width %d message %d = %+v, want %+v", width, i, got[i], ms[i])
+			}
+		}
+	}
+}
+
+func TestBatchOfOneIsLegacyEncoding(t *testing.T) {
+	m := sampleMessages()[0]
+	single, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := MarshalBatch([]*Message{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(single, batched) {
+		t.Fatalf("batch of one is not byte-identical to Marshal:\n%q\n%q", single, batched)
+	}
+}
+
+func TestUnmarshalBatchDecodesLegacyPayload(t *testing.T) {
+	// A pre-batch sender's frame payload (plain XML document) must decode
+	// as a batch of one.
+	m := sampleMessages()[2]
+	legacy, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBatch(legacy)
+	if err != nil {
+		t.Fatalf("UnmarshalBatch(legacy): %v", err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(normalize(got[0]), normalize(m)) {
+		t.Fatalf("legacy decode = %+v", got)
+	}
+	// And the reference reflection encoder's output too.
+	ref, err := marshalXML(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = UnmarshalBatch(ref)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("UnmarshalBatch(reference encoder) = %v, %v", got, err)
+	}
+}
+
+func TestMarshalBatchEmpty(t *testing.T) {
+	if _, err := MarshalBatch(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("MarshalBatch(nil) = %v, want ErrEmptyBatch", err)
+	}
+}
+
+func TestUnmarshalBatchCorrupt(t *testing.T) {
+	good, err := MarshalBatch(sampleMessages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"bare magic":       {batchMagic},
+		"zero count":       {batchMagic, 0x00},
+		"huge count":       {batchMagic, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"length overruns":  {batchMagic, 0x01, 0x7f, '<'},
+		"truncated":        good[:len(good)-3],
+		"trailing":         append(append([]byte{}, good...), 'x'),
+		"non-xml document": {batchMagic, 0x01, 0x03, 'a', 'b', 'c'},
+	}
+	for name, data := range cases {
+		if ms, err := UnmarshalBatch(data); err == nil {
+			t.Fatalf("%s: decoded %d messages from corrupt payload", name, len(ms))
+		}
+	}
+}
+
+// TestBatchPropertyRandom cross-checks MarshalBatch/UnmarshalBatch
+// against the single-message codec on random message slices: batching is
+// a transparent container, so element-wise decode must agree with
+// Marshal/Unmarshal of each element.
+func TestBatchPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	randStr := func() string {
+		alphabet := []rune("abz<>&\"' \n\té ")
+		n := rng.Intn(8)
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(out)
+	}
+	for iter := 0; iter < 200; iter++ {
+		width := 1 + rng.Intn(6)
+		ms := make([]*Message, width)
+		for i := range ms {
+			m := &Message{
+				Type:      Type([]string{"start", "notify", "done", "fault", "invoke", "result"}[rng.Intn(6)]),
+				Composite: randStr(),
+				Instance:  fmt.Sprintf("i%d", rng.Intn(10)),
+				From:      randStr(),
+				To:        randStr(),
+				Seq:       rng.Intn(100),
+				Error:     randStr(),
+				ReplyTo:   randStr(),
+			}
+			for v := rng.Intn(4); v > 0; v-- {
+				if m.Vars == nil {
+					m.Vars = map[string]string{}
+				}
+				m.Vars["v"+randStr()] = randStr()
+			}
+			ms[i] = m
+		}
+		data, err := MarshalBatch(ms)
+		if err != nil {
+			t.Fatalf("iter %d: MarshalBatch: %v", iter, err)
+		}
+		got, err := UnmarshalBatch(data)
+		if err != nil {
+			t.Fatalf("iter %d: UnmarshalBatch: %v", iter, err)
+		}
+		if len(got) != width {
+			t.Fatalf("iter %d: %d messages out of %d in", iter, len(got), width)
+		}
+		for i := range got {
+			single, err := Marshal(ms[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Unmarshal(single)
+			if err != nil {
+				t.Fatalf("iter %d: single round trip: %v", iter, err)
+			}
+			if !reflect.DeepEqual(normalize(got[i]), normalize(want)) {
+				t.Fatalf("iter %d message %d: batch decode %+v != single decode %+v", iter, i, got[i], want)
+			}
+		}
+	}
+}
+
+func BenchmarkMarshalBatch(b *testing.B) {
+	for _, width := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("width-%d", width), func(b *testing.B) {
+			ms := make([]*Message, width)
+			for i := range ms {
+				ms[i] = &Message{Type: TypeNotify, Composite: "C", Instance: "i1",
+					From: "s", To: fmt.Sprintf("t%d", i), Vars: map[string]string{"x": "1"}}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := MarshalBatch(ms); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -134,7 +134,17 @@ func Marshal(m *Message) ([]byte, error) {
 	buf := marshalBufPool.Get().(*bytes.Buffer)
 	defer marshalBufPool.Put(buf)
 	buf.Reset()
+	encodeInto(buf, m)
 
+	// Copy out: the buffer returns to the pool, so its bytes can't escape.
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// encodeInto appends m's XML document to buf (the shared body of Marshal
+// and MarshalBatch).
+func encodeInto(buf *bytes.Buffer, m *Message) {
 	buf.WriteString(`<message type="`)
 	xmlEscape(buf, string(m.Type))
 	buf.WriteByte('"')
@@ -169,11 +179,6 @@ func Marshal(m *Message) ([]byte, error) {
 		}
 	}
 	buf.WriteString("</message>")
-
-	// Copy out: the buffer returns to the pool, so its bytes can't escape.
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	return out, nil
 }
 
 // writeAttr emits ` name="value"` (prefix carries name and opening quote),

@@ -13,12 +13,19 @@ import (
 // InMemOptions configures fault and latency injection on an in-memory
 // network.
 type InMemOptions struct {
-	// Latency delays every delivery by a fixed duration (simulated wire
-	// time). Zero means immediate.
+	// Latency delays every frame delivery by a fixed duration (simulated
+	// wire time). Zero means immediate.
 	Latency time.Duration
-	// DropRate in [0,1) silently drops that fraction of messages. A
-	// dropped message still counts as sent by the sender but never counts
-	// as received. Used for availability experiments.
+	// DropRate in [0,1) silently drops that fraction of messages. Drop
+	// decisions are per message, in send order, even inside a batch —
+	// one RNG draw per message — so a batched round drops exactly the
+	// messages the equivalent sequential sends would drop under the same
+	// seed. A dropped message still counts as sent by the sender but
+	// never counts in the receiver's MsgsIn. Byte accounting is per
+	// frame: BytesIn records the whole frame when at least one of its
+	// messages survives (a partially-dropped batch still delivers the
+	// full frame's bytes), and nothing when the entire frame is lost.
+	// Used for availability experiments.
 	DropRate float64
 	// Seed makes drop decisions reproducible. Zero uses a fixed default.
 	Seed int64
@@ -28,9 +35,9 @@ type InMemOptions struct {
 	Synchronous bool
 }
 
-// InMem is a process-local Network. Every message is marshalled and
-// unmarshalled exactly as on the TCP path, so serialization bugs and costs
-// are identical; only the socket is elided.
+// InMem is a process-local Network. Every frame is marshalled and
+// unmarshalled exactly as on the TCP path — batches included — so
+// serialization bugs and costs are identical; only the socket is elided.
 type InMem struct {
 	opts  InMemOptions
 	stats *statsBook
@@ -57,6 +64,15 @@ func NewInMem(opts InMemOptions) *InMem {
 	}
 }
 
+// MintAddr implements Network: any non-empty name is a valid in-memory
+// address, so the logical hint is used as-is.
+func (n *InMem) MintAddr(hint string) string {
+	if hint == "" {
+		return "node"
+	}
+	return hint
+}
+
 // Listen implements Network.
 func (n *InMem) Listen(addr string, h Handler) (Endpoint, error) {
 	if addr == "" {
@@ -77,12 +93,63 @@ func (n *InMem) Listen(addr string, h Handler) (Endpoint, error) {
 	return &inmemEndpoint{net: n, addr: addr}, nil
 }
 
-// Send implements Network.
+// Open implements Opener.
+func (n *InMem) Open(from string) Sender {
+	return &inmemSender{net: n, from: from, out: n.stats.node(from)}
+}
+
+// inmemSender is the in-memory Sender handle.
+type inmemSender struct {
+	net  *InMem
+	from string
+	out  *nodeCounters
+}
+
+func (s *inmemSender) From() string { return s.from }
+
+func (s *inmemSender) Send(ctx context.Context, to string, m *message.Message) error {
+	return s.net.sendOne(ctx, s.out, to, m)
+}
+
+func (s *inmemSender) SendBatch(ctx context.Context, to string, ms []*message.Message) error {
+	return s.net.sendBatch(ctx, s.out, to, ms)
+}
+
+// Send implements Network (unattributed batch of one).
 func (n *InMem) Send(ctx context.Context, to string, m *message.Message) error {
-	data, err := encode(m)
+	return n.sendOne(ctx, nil, to, m)
+}
+
+// SendBatch implements Network (unattributed).
+func (n *InMem) SendBatch(ctx context.Context, to string, ms []*message.Message) error {
+	return n.sendBatch(ctx, nil, to, ms)
+}
+
+// sendOne is the batch of one without the slice detour.
+func (n *InMem) sendOne(ctx context.Context, out *nodeCounters, to string, m *message.Message) error {
+	data, err := encodeOne(m)
 	if err != nil {
 		return err
 	}
+	return n.deliverFrame(ctx, out, to, data, 1)
+}
+
+// sendBatch is deliver-many: one simulated frame, per-message drop
+// decisions, surviving messages handed to the handler sequentially in
+// batch order.
+func (n *InMem) sendBatch(ctx context.Context, out *nodeCounters, to string, ms []*message.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	data, err := encodeBatch(ms)
+	if err != nil {
+		return err
+	}
+	return n.deliverFrame(ctx, out, to, data, len(ms))
+}
+
+// deliverFrame simulates one wire frame carrying msgs messages.
+func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
 	async := !n.opts.Synchronous
 	n.mu.RLock()
 	h, ok := n.handlers[to]
@@ -100,22 +167,33 @@ func (n *InMem) Send(ctx context.Context, to string, m *message.Message) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
 	}
-	sender := SenderFrom(ctx)
-	if n.dropped() {
+
+	// The sender pays for the whole frame regardless of drops.
+	n.stats.recordOut(out, msgs, len(data))
+
+	// The drop coin is tossed at send time, one draw per message in send
+	// order — stable RNG consumption, so a batch loses exactly what the
+	// equivalent sequential sends would lose under the same seed. The
+	// decode itself happens on the delivery goroutine (as on the TCP
+	// read side), keeping the sender's critical path free of it.
+	var drops []bool
+	keptCount := msgs
+	if n.opts.DropRate > 0 {
+		drops = make([]bool, msgs)
+		for i := range drops {
+			if n.dropped() {
+				drops[i] = true
+				keptCount--
+			}
+		}
+	}
+	if keptCount == 0 {
 		if async {
 			n.deliverWG.Done() // no delivery will happen
 		}
-		// The sender paid the cost of sending; the receiver never sees it.
-		n.stats.mu.Lock()
-		if sender != "" {
-			s := n.stats.node(sender)
-			s.MsgsOut++
-			s.BytesOut += int64(len(data))
-		}
-		n.stats.mu.Unlock()
 		return nil
 	}
-	n.stats.recordSend(sender, to, len(data))
+	n.stats.recordIn(to, keptCount, len(data))
 
 	deliver := func() {
 		if n.opts.Latency > 0 {
@@ -127,13 +205,26 @@ func (n *InMem) Send(ctx context.Context, to string, m *message.Message) error {
 				return
 			}
 		}
-		decoded, err := message.Unmarshal(data)
-		if err != nil {
-			// encode/decode are inverses; this is unreachable unless the
-			// message vocabulary itself is broken, which tests catch.
+		// encode/decode are inverses; decode failure is unreachable
+		// unless the message vocabulary itself is broken, which tests
+		// catch.
+		if msgs == 1 {
+			m, err := message.Unmarshal(data)
+			if err == nil {
+				h(ctx, m)
+			}
 			return
 		}
-		h(ctx, decoded)
+		decoded, err := message.UnmarshalBatch(data)
+		if err != nil {
+			return
+		}
+		for i, m := range decoded {
+			if drops != nil && drops[i] {
+				continue
+			}
+			h(ctx, m)
+		}
 	}
 	if !async {
 		deliver()

@@ -12,14 +12,17 @@ import (
 	"selfserv/internal/message"
 )
 
-// maxFrame bounds a single control document on the wire; SELF-SERV
-// messages are small (variable bags), so 16 MiB is generous and protects
-// listeners from corrupt length prefixes.
+// maxFrame bounds a single wire frame; SELF-SERV control messages are
+// small (variable bags), so even a generous batch fits in 16 MiB, and
+// the bound protects listeners from corrupt length prefixes.
 const maxFrame = 16 << 20
 
-// TCP is a Network transmitting length-prefixed XML frames over TCP
+// TCP is a Network transmitting length-prefixed frames over TCP
 // connections, the Go equivalent of the paper's "XML documents exchanged
-// through Java sockets". Outbound connections are cached per destination.
+// through Java sockets". A frame's payload is either one XML document
+// (legacy encoding, still what Send emits) or a count-prefixed batch
+// (message.MarshalBatch); the read side decodes both. Outbound
+// connections are cached per destination and shared by all Senders.
 type TCP struct {
 	stats *statsBook
 
@@ -50,6 +53,10 @@ type tcpConn struct {
 	c  net.Conn
 }
 
+// MintAddr implements Network: TCP listen addresses are loopback
+// ephemeral binds; the logical hint has no wire meaning.
+func (t *TCP) MintAddr(string) string { return "127.0.0.1:0" }
+
 // Listen implements Network. addr is "host:port"; "127.0.0.1:0" binds an
 // ephemeral port, reported by the endpoint's Addr.
 func (t *TCP) Listen(addr string, h Handler) (Endpoint, error) {
@@ -74,13 +81,66 @@ func (t *TCP) Listen(addr string, h Handler) (Endpoint, error) {
 	return ep, nil
 }
 
-// Send implements Network. The first Send to a destination dials it; the
-// connection is cached and re-dialed once if it has gone stale.
+// Open implements Opener. The handle pins the sender's stats counters;
+// connections stay cached per destination on the network and are shared
+// across handles.
+func (t *TCP) Open(from string) Sender {
+	return &tcpSender{net: t, from: from, out: t.stats.node(from)}
+}
+
+// tcpSender is the TCP Sender handle.
+type tcpSender struct {
+	net  *TCP
+	from string
+	out  *nodeCounters
+}
+
+func (s *tcpSender) From() string { return s.from }
+
+func (s *tcpSender) Send(ctx context.Context, to string, m *message.Message) error {
+	return s.net.sendOne(ctx, s.out, to, m)
+}
+
+func (s *tcpSender) SendBatch(ctx context.Context, to string, ms []*message.Message) error {
+	return s.net.sendBatch(ctx, s.out, to, ms)
+}
+
+// Send implements Network (unattributed batch of one).
 func (t *TCP) Send(ctx context.Context, to string, m *message.Message) error {
-	data, err := encode(m)
+	return t.sendOne(ctx, nil, to, m)
+}
+
+// SendBatch implements Network (unattributed).
+func (t *TCP) SendBatch(ctx context.Context, to string, ms []*message.Message) error {
+	return t.sendBatch(ctx, nil, to, ms)
+}
+
+// sendOne is the batch of one without the slice detour (legacy
+// single-document payload; see docs/transport.md).
+func (t *TCP) sendOne(ctx context.Context, out *nodeCounters, to string, m *message.Message) error {
+	data, err := encodeOne(m)
 	if err != nil {
 		return err
 	}
+	return t.sendFrame(ctx, out, to, data, 1)
+}
+
+// sendBatch frames ms as one wire frame.
+func (t *TCP) sendBatch(ctx context.Context, out *nodeCounters, to string, ms []*message.Message) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	data, err := encodeBatch(ms)
+	if err != nil {
+		return err
+	}
+	return t.sendFrame(ctx, out, to, data, len(ms))
+}
+
+// sendFrame writes one length-prefixed frame carrying msgs messages with
+// one syscall. The first send to a destination dials it; the connection
+// is cached and re-dialed once if it has gone stale.
+func (t *TCP) sendFrame(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
@@ -92,7 +152,7 @@ func (t *TCP) Send(ctx context.Context, to string, m *message.Message) error {
 			return err
 		}
 	}
-	t.stats.recordSend(SenderFrom(ctx), to, len(frame))
+	t.stats.recordOut(out, msgs, len(frame))
 	return nil
 }
 
@@ -263,10 +323,18 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		m, err := message.Unmarshal(payload)
+		ms, err := message.UnmarshalBatch(payload)
 		if err != nil {
-			continue // skip malformed document, keep the connection
+			continue // skip malformed frame, keep the connection
 		}
-		go e.handler(context.Background(), m)
+		e.net.stats.recordIn(e.Addr(), len(ms), len(payload)+4)
+		// One goroutine per frame: the messages of a batch reach the
+		// handler sequentially, in batch order (per-destination FIFO
+		// within a frame); distinct frames deliver concurrently.
+		go func() {
+			for _, m := range ms {
+				e.handler(context.Background(), m)
+			}
+		}()
 	}
 }

@@ -1,12 +1,27 @@
 // Package transport moves SELF-SERV control documents between peers.
 //
 // The paper exchanges XML documents over Java sockets. This package
-// provides two interchangeable implementations of the same Network
-// contract: a TCP implementation (length-prefixed XML frames over
-// net.Conn, the production path) and an in-memory implementation (for
-// tests and benchmarks, with configurable latency and fault injection).
-// Both serialize every message with package message, so costs and
-// observable behaviour match across implementations.
+// provides two interchangeable implementations of the same Network v2
+// contract: a TCP implementation (length-prefixed frames over net.Conn,
+// the production path) and an in-memory implementation (for tests and
+// benchmarks, with configurable latency and fault injection). Both
+// serialize every message with package message, so costs and observable
+// behaviour match across implementations.
+//
+// The contract is sender-oriented and batched:
+//
+//   - Listen registers an inbound Handler under an address the Network
+//     understands; MintAddr produces such addresses from logical hints,
+//     so callers never branch on the concrete implementation.
+//   - Open mints a Sender — a first-class outbound handle bound to one
+//     logical source address. Per-sender state (stats counters, and for
+//     TCP the shared connection cache it writes through) lives behind the
+//     handle; nothing travels through context values.
+//   - SendBatch is the primitive delivery operation: all messages of a
+//     batch travel in ONE wire frame and are handed to the receiving
+//     Handler sequentially, in slice order. Send is the batch of one.
+//
+// See docs/transport.md for the frame format and migration notes.
 package transport
 
 import (
@@ -15,12 +30,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"selfserv/internal/message"
 )
 
-// Handler consumes an inbound message. Handlers are invoked on their own
-// goroutine per message and must be safe for concurrent use.
+// Handler consumes inbound messages. The messages of one frame are
+// delivered sequentially on one goroutine (preserving batch order);
+// distinct frames may be delivered concurrently, so handlers must be
+// safe for concurrent use.
 type Handler func(ctx context.Context, m *message.Message)
 
 // ErrUnknownAddress reports a Send to an address nobody listens on.
@@ -34,16 +52,53 @@ type Network interface {
 	// Listen registers a handler under addr. For the TCP network the
 	// address is "host:port" ("host:0" picks a free port; the returned
 	// endpoint reports the bound address). For the in-memory network it
-	// is an arbitrary non-empty name.
+	// is an arbitrary non-empty name. MintAddr produces a valid addr for
+	// either.
 	Listen(addr string, h Handler) (Endpoint, error)
-	// Send delivers m to the endpoint listening on to. Delivery is
-	// asynchronous: a nil error means the message was accepted for
-	// delivery, not yet handled.
+	// MintAddr turns a logical name hint into a listen address this
+	// network accepts: the in-memory network uses the hint itself, the
+	// TCP network ignores it and mints a loopback ephemeral bind. It
+	// exists so deployment code never type-switches on the transport.
+	MintAddr(hint string) string
+	// Opener mints first-class Senders (see Open).
+	Opener
+	// Send delivers m to the endpoint listening on to, unattributed to
+	// any sender (tooling and tests; coordinators use a Sender).
+	// Delivery is asynchronous: a nil error means the message was
+	// accepted for delivery, not yet handled.
 	Send(ctx context.Context, to string, m *message.Message) error
+	// SendBatch delivers ms to the endpoint listening on to as ONE wire
+	// frame, atomically: either the whole batch is accepted or none of
+	// it. The receiver's handler sees the messages sequentially in slice
+	// order (per-destination FIFO within the batch). An empty batch is a
+	// no-op.
+	SendBatch(ctx context.Context, to string, ms []*message.Message) error
 	// Stats returns a snapshot of per-address traffic counters.
 	Stats() Stats
 	// Close shuts down all endpoints.
 	Close() error
+}
+
+// Opener mints Senders. Every Network is an Opener; the split lets code
+// that only sends (coordinators, wrappers) hold the narrow capability.
+type Opener interface {
+	// Open returns a Sender whose outbound traffic is attributed to the
+	// logical source address from. Handles are cheap and long-lived: a
+	// coordinator opens one at start-up and reuses it for every round.
+	Open(from string) Sender
+}
+
+// Sender is a first-class outbound handle bound to one source address —
+// the Network v2 replacement for tagging contexts with a sender name.
+// Implementations pin the sender's stats counters at Open time, so the
+// hot send path never takes the stats map lock.
+type Sender interface {
+	// From returns the logical source address the handle was opened with.
+	From() string
+	// Send delivers one message (the batch of one).
+	Send(ctx context.Context, to string, m *message.Message) error
+	// SendBatch delivers ms as one frame; see Network.SendBatch.
+	SendBatch(ctx context.Context, to string, ms []*message.Message) error
 }
 
 // Endpoint is a registered listener.
@@ -54,12 +109,15 @@ type Endpoint interface {
 	Close() error
 }
 
-// NodeStats counts traffic seen by one address.
+// NodeStats counts traffic seen by one address. FramesOut counts wire
+// frames (one per Send or SendBatch); MsgsOut counts the messages inside
+// them — the gap between the two is the coalescing win.
 type NodeStats struct {
-	MsgsIn   int64
-	MsgsOut  int64
-	BytesIn  int64
-	BytesOut int64
+	MsgsIn    int64
+	MsgsOut   int64
+	BytesIn   int64
+	BytesOut  int64
+	FramesOut int64
 }
 
 // Stats is a snapshot of traffic by address.
@@ -75,6 +133,7 @@ func (s Stats) Total() NodeStats {
 		t.MsgsOut += n.MsgsOut
 		t.BytesIn += n.BytesIn
 		t.BytesOut += n.BytesOut
+		t.FramesOut += n.FramesOut
 	}
 	return t
 }
@@ -97,66 +156,99 @@ func (s Stats) Busiest() (string, NodeStats) {
 	return bestName, best
 }
 
-// statsBook is the shared mutable counter set behind Stats snapshots.
+// nodeCounters is the live, lock-free counter set behind one address's
+// NodeStats. Counters are atomic so concurrent senders never serialize
+// on a shared stats lock (the pre-v2 design funnelled every send through
+// one mutex).
+type nodeCounters struct {
+	msgsIn    atomic.Int64
+	msgsOut   atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	framesOut atomic.Int64
+}
+
+func (c *nodeCounters) snapshot() NodeStats {
+	return NodeStats{
+		MsgsIn:    c.msgsIn.Load(),
+		MsgsOut:   c.msgsOut.Load(),
+		BytesIn:   c.bytesIn.Load(),
+		BytesOut:  c.bytesOut.Load(),
+		FramesOut: c.framesOut.Load(),
+	}
+}
+
+// statsBook maps addresses to their counters. The RWMutex guards only
+// the map shape; all counting is atomic. Senders resolve their own
+// counters once at Open time and bypass even the read lock.
 type statsBook struct {
-	mu    sync.Mutex
-	nodes map[string]*NodeStats
+	mu    sync.RWMutex
+	nodes map[string]*nodeCounters
 }
 
 func newStatsBook() *statsBook {
-	return &statsBook{nodes: map[string]*NodeStats{}}
+	return &statsBook{nodes: map[string]*nodeCounters{}}
 }
 
-func (b *statsBook) node(addr string) *NodeStats {
+// node returns the counter set for addr, creating it on first use.
+func (b *statsBook) node(addr string) *nodeCounters {
+	b.mu.RLock()
 	n, ok := b.nodes[addr]
-	if !ok {
-		n = &NodeStats{}
-		b.nodes[addr] = n
+	b.mu.RUnlock()
+	if ok {
+		return n
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n, ok := b.nodes[addr]; ok {
+		return n
+	}
+	n = &nodeCounters{}
+	b.nodes[addr] = n
 	return n
 }
 
-func (b *statsBook) recordSend(from, to string, bytes int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if from != "" {
-		n := b.node(from)
-		n.MsgsOut++
-		n.BytesOut += int64(bytes)
+// recordOut counts one outbound frame carrying msgs messages on out
+// (nil for unattributed sends).
+func (b *statsBook) recordOut(out *nodeCounters, msgs, bytes int) {
+	if out == nil {
+		return
 	}
+	out.msgsOut.Add(int64(msgs))
+	out.bytesOut.Add(int64(bytes))
+	out.framesOut.Add(1)
+}
+
+// recordIn counts msgs delivered messages in one frame of bytes bytes
+// for the receiver to.
+func (b *statsBook) recordIn(to string, msgs, bytes int) {
 	n := b.node(to)
-	n.MsgsIn++
-	n.BytesIn += int64(bytes)
+	n.msgsIn.Add(int64(msgs))
+	n.bytesIn.Add(int64(bytes))
 }
 
 func (b *statsBook) snapshot() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	out := Stats{Nodes: make(map[string]NodeStats, len(b.nodes))}
 	for k, v := range b.nodes {
-		out.Nodes[k] = *v
+		out.Nodes[k] = v.snapshot()
 	}
 	return out
 }
 
-// senderKey carries the logical sender address through context so that
-// Stats can attribute outbound traffic. Coordinators set it via WithSender.
-type senderKey struct{}
-
-// WithSender tags ctx with the logical sender address for Stats
-// attribution.
-func WithSender(ctx context.Context, addr string) context.Context {
-	return context.WithValue(ctx, senderKey{}, addr)
+// encodeBatch serializes a batch for the wire.
+func encodeBatch(ms []*message.Message) ([]byte, error) {
+	data, err := message.MarshalBatch(ms)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return data, nil
 }
 
-// SenderFrom extracts the sender tag, or "".
-func SenderFrom(ctx context.Context) string {
-	s, _ := ctx.Value(senderKey{}).(string)
-	return s
-}
-
-// encode serializes m for the wire.
-func encode(m *message.Message) ([]byte, error) {
+// encodeOne serializes a single message for the wire (the hot path:
+// Send skips the batch wrapper entirely).
+func encodeOne(m *message.Message) ([]byte, error) {
 	data, err := message.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("transport: encode: %w", err)

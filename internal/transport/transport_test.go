@@ -169,9 +169,13 @@ func TestContractStats(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ctx := WithSender(context.Background(), "sender-A")
+			s := n.Open("sender-A")
+			if s.From() != "sender-A" {
+				t.Fatalf("Open attributed to %q", s.From())
+			}
+			ctx := context.Background()
 			for i := 0; i < 3; i++ {
-				if err := n.Send(ctx, ep.Addr(), &message.Message{Type: message.TypeNotify}); err != nil {
+				if err := s.Send(ctx, ep.Addr(), &message.Message{Type: message.TypeNotify}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -184,6 +188,9 @@ func TestContractStats(t *testing.T) {
 			out := st.Nodes["sender-A"]
 			if out.MsgsOut != 3 || out.BytesOut != in.BytesIn {
 				t.Fatalf("sender stats = %+v (receiver %+v)", out, in)
+			}
+			if out.FramesOut != 3 {
+				t.Fatalf("FramesOut = %d, want 3 (one frame per single send)", out.FramesOut)
 			}
 			total := st.Total()
 			if total.MsgsIn != 3 || total.MsgsOut != 3 {
@@ -330,14 +337,21 @@ func TestTCPReconnectAfterReceiverRestart(t *testing.T) {
 	recv.Close()
 }
 
-func TestSenderContextHelpers(t *testing.T) {
-	ctx := context.Background()
-	if SenderFrom(ctx) != "" {
-		t.Fatal("empty context has a sender")
+func TestAnonymousSendHasNoSenderAttribution(t *testing.T) {
+	// Network.Send (no handle) counts receiver traffic but attributes no
+	// sender — only Senders opened via the Opener carry attribution.
+	n := NewInMem(InMemOptions{Synchronous: true})
+	defer n.Close()
+	ep, _ := n.Listen("sink", func(context.Context, *message.Message) {})
+	if err := n.Send(context.Background(), ep.Addr(), &message.Message{Type: message.TypeNotify}); err != nil {
+		t.Fatal(err)
 	}
-	ctx = WithSender(ctx, "me")
-	if SenderFrom(ctx) != "me" {
-		t.Fatal("sender not propagated")
+	st := n.Stats()
+	if got := st.Nodes[ep.Addr()]; got.MsgsIn != 1 {
+		t.Fatalf("receiver stats = %+v", got)
+	}
+	if total := st.Total(); total.MsgsOut != 0 || total.FramesOut != 0 {
+		t.Fatalf("anonymous send attributed outbound traffic: %+v", total)
 	}
 }
 
