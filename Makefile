@@ -17,6 +17,23 @@ bench: ## full E1-E7 experiment harness (compare against BENCH_baseline.json)
 bench-e3: ## E3 only: P2P vs centralized orchestration latency
 	$(GO) test -bench=BenchmarkE3 -benchmem -run '^$$' .
 
+COVER_FLOOR ?= 80
+
+.PHONY: cover
+cover: ## coverage floor on the concurrency-critical packages
+	$(GO) test -coverprofile=cover.out ./internal/transport/ ./internal/engine/
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "transport+engine coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+FUZZTIME ?= 30s
+
+.PHONY: fuzz
+fuzz: ## short fuzz pass over the wire decoders
+	$(GO) test ./internal/message -run '^$$' -fuzz 'FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/message -run '^$$' -fuzz 'FuzzUnmarshalBatch$$' -fuzztime $(FUZZTIME)
+
 .PHONY: vet
 vet:
 	$(GO) vet ./...

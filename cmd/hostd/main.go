@@ -12,15 +12,23 @@
 // (AccommodationBooking is a three-member community), plus
 // "echo:<Name>:<op>" for generic wiring tests and "inc:<Name>" for a
 // service that increments its numeric "x" parameter.
+//
+// Transport flow control and connection lifecycle are tunable: see the
+// -send-queue, -queue-policy, -send-deadline, -conn-idle-timeout,
+// -max-conns and -reconnect-backoff flags (and docs/transport.md for
+// the contract behind them).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -33,53 +41,111 @@ import (
 )
 
 func main() {
-	coordAddr := flag.String("coord", "127.0.0.1:0", "coordination (TCP) listen address")
-	adminAddr := flag.String("admin", "127.0.0.1:0", "admin HTTP listen address")
-	services := flag.String("services", "", "comma-separated services to host (see doc)")
-	latency := flag.Duration("latency", 5*time.Millisecond, "simulated service latency")
-	statsEvery := flag.Duration("stats", 0, "log transport traffic (messages vs wire frames) at this interval; 0 disables")
-	verbose := flag.Bool("v", false, "log coordinator activity")
-	flag.Parse()
-
-	reg := service.NewRegistry()
-	if err := registerServices(reg, *services, *latency); err != nil {
+	err := run(context.Background(), os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h printed usage; exit 0 like ExitOnError would
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
 
-	tcp := transport.NewTCP()
+// run is the whole daemon, factored so tests can start it with chosen
+// flags, watch its log output on out, and stop it through ctx.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hostd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	coordAddr := fs.String("coord", "127.0.0.1:0", "coordination (TCP) listen address")
+	adminAddr := fs.String("admin", "127.0.0.1:0", "admin HTTP listen address")
+	services := fs.String("services", "", "comma-separated services to host (see doc)")
+	latency := fs.Duration("latency", 5*time.Millisecond, "simulated service latency")
+	statsEvery := fs.Duration("stats", 0, "log transport traffic (messages vs wire frames, queue depth, reconnects) at this interval; 0 disables")
+	verbose := fs.Bool("v", false, "log coordinator activity")
+
+	sendQueue := fs.Int("send-queue", 0, "per-connection write queue capacity, in frames (0 = 256); a full queue applies -queue-policy")
+	queuePolicy := fs.String("queue-policy", "block", "full-queue policy: \"block\" waits up to -send-deadline for space, \"shed\" fails the send immediately")
+	sendDeadline := fs.Duration("send-deadline", 0, "how long a blocked send may wait for queue space (0 = 5s)")
+	idleTimeout := fs.Duration("conn-idle-timeout", 0, "evict cached peer connections idle this long (0 = never)")
+	maxConns := fs.Int("max-conns", 0, "cap on cached outbound peer connections, evicting the least-recently-used idle one (0 = unlimited)")
+	backoffBase := fs.Duration("reconnect-backoff", 0, "first reconnect delay after a failed peer connection; doubles per attempt, jittered (0 = 25ms)")
+	backoffMax := fs.Duration("reconnect-backoff-max", 0, "cap on the reconnect delay (0 = 2s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := transport.ParseQueuePolicy(*queuePolicy)
+	if err != nil {
+		return err
+	}
+
+	lg := log.New(out, "", log.LstdFlags)
+	reg := service.NewRegistry()
+	if err := registerServices(reg, *services, *latency); err != nil {
+		return err
+	}
+
+	tcp := transport.NewTCP(transport.FlowOptions{
+		QueueLen:     *sendQueue,
+		Policy:       policy,
+		SendDeadline: *sendDeadline,
+		IdleTimeout:  *idleTimeout,
+		MaxConns:     *maxConns,
+		BackoffBase:  *backoffBase,
+		BackoffMax:   *backoffMax,
+	})
 	defer tcp.Close()
 	dir := engine.NewDirectory()
 	opts := engine.HostOptions{Funcs: engine.Funcs(workload.TravelGuards())}
 	if *verbose {
-		opts.Logf = log.Printf
+		opts.Logf = lg.Printf
 	}
 	host, err := engine.NewHost(tcp, *coordAddr, reg, dir, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer host.Close()
 
 	admin := hostapi.NewServer(host, dir, reg.Names)
 	ln, err := net.Listen("tcp", *adminAddr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *statsEvery > 0 {
-		go logStats(tcp, host.Addr(), *statsEvery)
+		go logStats(ctx, lg, tcp, host.Addr(), *statsEvery)
 	}
-	log.Printf("hostd: coordination on %s, admin on http://%s, services %v",
+	lg.Printf("hostd: coordination on %s, admin on http://%s, services %v",
 		host.Addr(), ln.Addr(), reg.Names())
-	log.Fatal(http.Serve(ln, admin))
+
+	srv := &http.Server{Handler: admin}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }
 
 // logStats periodically reports this host's transport counters. The
-// msgs-out/frames-out gap is the Network v2 coalescing win: a coordinator
-// round that notifies several peers on one node pays a single frame.
-func logStats(tcp *transport.TCP, coordAddr string, every time.Duration) {
-	for range time.Tick(every) {
-		ns := tcp.Stats().Nodes[coordAddr]
-		log.Printf("hostd: traffic in=%d out=%d frames-out=%d bytes-in=%d bytes-out=%d",
-			ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn, ns.BytesOut)
+// msgs-out/frames-out gap is the Network v2 coalescing win; queue depth,
+// blocked sends, and reconnects are the flow-control observables (the
+// totals aggregate the per-destination counters).
+func logStats(ctx context.Context, lg *log.Logger, tcp *transport.TCP, coordAddr string, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			st := tcp.Stats()
+			ns := st.Nodes[coordAddr]
+			total := st.Total()
+			lg.Printf("hostd: traffic in=%d out=%d frames-out=%d bytes-in=%d bytes-out=%d"+
+				" queue-depth=%d send-blocked=%d reconnects=%d conns=%d",
+				ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn, ns.BytesOut,
+				total.QueueDepth, total.SendBlocked, total.Reconnects, tcp.ConnCount())
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package main
+
+// Startup smoke tests: flag parsing rejects bad specs, and the daemon
+// binds its coordination + admin endpoints, answers the admin health
+// check, and shuts down cleanly when its context is cancelled.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logBuffer is a goroutine-safe io.Writer capturing the daemon's log.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	ctx := context.Background()
+	var out logBuffer
+	cases := [][]string{
+		{},                                   // no -services
+		{"-services", "NoSuchService"},       // unknown service
+		{"-services", "echo:only-two-parts"}, // malformed echo spec
+		{"-services", "inc:X", "-queue-policy", "banana"}, // bad policy
+		{"-no-such-flag"}, // unknown flag
+	}
+	for _, args := range cases {
+		if err := run(ctx, args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+var adminRe = regexp.MustCompile(`admin on http://([0-9.:]+)`)
+
+func TestRunBindsServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out logBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-coord", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+			"-services", "inc:Inc,echo:Echo:ping",
+			"-send-queue", "64", "-queue-policy", "shed",
+			"-conn-idle-timeout", "1s", "-max-conns", "8",
+			"-stats", "10ms",
+		}, &out)
+	}()
+
+	// The daemon logs its bound admin address; wait for it.
+	var admin string
+	deadline := time.Now().Add(5 * time.Second)
+	for admin == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never logged its admin address; log:\n%s", out.String())
+		}
+		if m := adminRe.FindStringSubmatch(out.String()); m != nil {
+			admin = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", admin))
+	if err != nil {
+		t.Fatalf("admin health check: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down within 5s of cancel")
+	}
+	if !strings.Contains(out.String(), "services") {
+		t.Fatalf("startup log missing the services line:\n%s", out.String())
+	}
+}

@@ -8,18 +8,39 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"os"
 
 	"selfserv/internal/uddi"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8600", "listen address")
-	flag.Parse()
+	err := run(context.Background(), os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h printed usage; exit 0 like ExitOnError would
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole server, factored so tests can start it with chosen
+// flags, learn the bound address from its log output, and stop it
+// through ctx.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("registry", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "127.0.0.1:8600", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	registry := uddi.NewRegistry()
 	mux := uddi.Serve(registry, nil)
@@ -33,8 +54,18 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("listen %s: %v", *addr, err)
+		return fmt.Errorf("listen %s: %w", *addr, err)
 	}
-	log.Printf("UDDI registry listening on http://%s/uddi", ln.Addr())
-	log.Fatal(http.Serve(ln, mux))
+	lg := log.New(out, "", log.LstdFlags)
+	lg.Printf("UDDI registry listening on http://%s/uddi", ln.Addr())
+
+	srv := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+// Startup smoke test: the registry parses its flags, binds, answers
+// /healthz and the UDDI endpoint, and shuts down cleanly on cancel.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+)
+
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out logBuffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("run with an unknown flag succeeded, want error")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bogus"}, &out); err == nil {
+		t.Fatal("run with an unbindable address succeeded, want error")
+	}
+}
+
+var listenRe = regexp.MustCompile(`listening on http://([0-9.:]+)/uddi`)
+
+func TestRunBindsServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out logBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("registry never logged its address; log:\n%s", out.String())
+		}
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatalf("health check: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("ok")) {
+		t.Fatalf("healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+	resp, err = http.Get(fmt.Sprintf("http://%s/stats", addr))
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats = %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("registry did not shut down within 5s of cancel")
+	}
+}

@@ -14,7 +14,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"selfserv/internal/composer"
@@ -25,7 +27,16 @@ import (
 func main() {
 	limit := flag.String("limit", "200", "approval limit carried by the confirm event")
 	flag.Parse()
+	if err := Run(os.Stdout, *limit, 3*time.Second); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// Run executes the approval scenario with the given limit, narrating to
+// w. timeout bounds how long the instance may wait for completion after
+// the confirm event; a guard-rejected approval is narrated, not an
+// error (it is the scenario's documented outcome for a low limit).
+func Run(w io.Writer, limit string, timeout time.Duration) error {
 	platform := core.New(core.Options{})
 	defer platform.Close()
 
@@ -39,7 +50,7 @@ func main() {
 	})
 	host, err := platform.AddHost("host-1")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	platform.RegisterService(host, quoter)
 	platform.RegisterService(host, purchaser)
@@ -58,12 +69,12 @@ func main() {
 
 	comp, err := platform.Deploy(b.MustBuild())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("deployed %q; events: %v, confirm subscribers: %v\n\n",
+	fmt.Fprintf(w, "deployed %q; events: %v, confirm subscribers: %v\n\n",
 		comp.Name(), comp.Plan().Events(), comp.Plan().EventSubscribers("confirm"))
 
-	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
 	done := make(chan struct{})
@@ -74,21 +85,22 @@ func main() {
 		out, execErr = comp.ExecuteInstance(ctx, "po-1001", map[string]string{"item": "standing-desk"})
 	}()
 
-	fmt.Println("instance po-1001 started; quoting...")
+	fmt.Fprintln(w, "instance po-1001 started; quoting...")
 	time.Sleep(100 * time.Millisecond)
-	fmt.Printf("raising confirm event with limit=%s (quoted price is 120)\n", *limit)
+	fmt.Fprintf(w, "raising confirm event with limit=%s (quoted price is 120)\n", limit)
 	if err := comp.RaiseEvent(ctx, "po-1001", "confirm", map[string]string{
-		"limit":    *limit,
+		"limit":    limit,
 		"approver": "cfo",
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	<-done
 	if execErr != nil {
-		fmt.Printf("execution did not complete: %v\n", execErr)
-		fmt.Println("(the guard price <= limit rejected the approval; the instance waited until timeout)")
-		return
+		fmt.Fprintf(w, "execution did not complete: %v\n", execErr)
+		fmt.Fprintln(w, "(the guard price <= limit rejected the approval; the instance waited until timeout)")
+		return nil
 	}
-	fmt.Printf("\napproved and purchased: order=%s\n", out["order"])
+	fmt.Fprintf(w, "\napproved and purchased: order=%s\n", out["order"])
+	return nil
 }

@@ -1,0 +1,34 @@
+package main
+
+// End-to-end smoke tests for the ECA-event scenario: a sufficient limit
+// approves and purchases; an insufficient one leaves the instance
+// waiting until its (shortened) timeout, narrated as a rejection.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunApproved(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run(&out, "200", 5*time.Second); err != nil {
+		t.Fatalf("Run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "approved and purchased: order=ORD-standing-desk") {
+		t.Errorf("output missing the approval:\n%s", out.String())
+	}
+}
+
+func TestRunRejectedByGuard(t *testing.T) {
+	var out bytes.Buffer
+	// limit 50 < price 120: the guard rejects, the instance waits out
+	// its deadline, and Run narrates the rejection without failing.
+	if err := Run(&out, "50", 500*time.Millisecond); err != nil {
+		t.Fatalf("Run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "execution did not complete") {
+		t.Errorf("output missing the rejection narration:\n%s", out.String())
+	}
+}

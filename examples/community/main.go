@@ -10,7 +10,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -22,10 +24,17 @@ func main() {
 	policyName := flag.String("policy", "qos", "delegation policy")
 	requests := flag.Int("requests", 200, "number of booking requests")
 	flag.Parse()
-
-	policy, err := community.PolicyByName(*policyName, 42)
-	if err != nil {
+	if err := Run(os.Stdout, *policyName, *requests); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// Run executes the community scenario under the named delegation
+// policy, narrating to w.
+func Run(w io.Writer, policyName string, requests int) error {
+	policy, err := community.PolicyByName(policyName, 42)
+	if err != nil {
+		return err
 	}
 	comm := community.New("AccommodationBooking", community.Options{
 		Policy:   policy,
@@ -57,17 +66,17 @@ func main() {
 			Predicate: m.predicate,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
-	fmt.Printf("community %q with members %v, policy %s\n\n",
+	fmt.Fprintf(w, "community %q with members %v, policy %s\n\n",
 		comm.Name(), comm.Members(), policy.Name())
 
 	ctx := context.Background()
 	counts := map[string]int{}
 	failures := 0
 	var totalLatency time.Duration
-	for i := 0; i < *requests; i++ {
+	for i := 0; i < requests; i++ {
 		dest := "sydney"
 		if i%3 == 0 {
 			dest = "melbourne"
@@ -86,15 +95,15 @@ func main() {
 		counts[strings.Fields(resp.Outputs["addr"])[0]]++
 	}
 
-	fmt.Println("delegation distribution:")
+	fmt.Fprintln(w, "delegation distribution:")
 	for _, m := range comm.Members() {
-		fmt.Printf("  %-12s %4d bookings   [%s]\n", m, counts[m], comm.History().Snapshot(m))
+		fmt.Fprintf(w, "  %-12s %4d bookings   [%s]\n", m, counts[m], comm.History().Snapshot(m))
 	}
-	fmt.Printf("\nfailures: %d / %d\n", failures, *requests)
-	fmt.Printf("mean latency: %v\n", (totalLatency / time.Duration(*requests)).Round(time.Microsecond))
+	fmt.Fprintf(w, "\nfailures: %d / %d\n", failures, requests)
+	fmt.Fprintf(w, "mean latency: %v\n", (totalLatency / time.Duration(requests)).Round(time.Microsecond))
 
 	// Dynamic membership: the fast member leaves, traffic shifts.
-	fmt.Println("\nFastCheap leaves the community; 50 more requests:")
+	fmt.Fprintln(w, "\nFastCheap leaves the community; 50 more requests:")
 	comm.Leave("FastCheap")
 	counts2 := map[string]int{}
 	for i := 0; i < 50; i++ {
@@ -108,6 +117,7 @@ func main() {
 		counts2[strings.Fields(resp.Outputs["addr"])[0]]++
 	}
 	for _, m := range comm.Members() {
-		fmt.Printf("  %-12s %4d bookings\n", m, counts2[m])
+		fmt.Fprintf(w, "  %-12s %4d bookings\n", m, counts2[m])
 	}
+	return nil
 }

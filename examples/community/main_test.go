@@ -1,0 +1,38 @@
+package main
+
+// End-to-end smoke tests for the community scenario across delegation
+// policies: requests distribute over the members, the fast member's
+// departure shifts traffic, and an unknown policy is rejected.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"qos", "random", "round-robin", "least-loaded", "cheapest"} {
+		t.Run(policy, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := Run(&out, policy, 60); err != nil {
+				t.Fatalf("Run(%s): %v\noutput:\n%s", policy, err, out.String())
+			}
+			got := out.String()
+			for _, want := range []string{
+				"delegation distribution:",
+				"FastCheap leaves the community",
+			} {
+				if !strings.Contains(got, want) {
+					t.Errorf("output missing %q:\n%s", want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownPolicy(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run(&out, "no-such-policy", 10); err == nil {
+		t.Fatal("Run with an unknown policy succeeded, want error")
+	}
+}

@@ -9,9 +9,11 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"os"
 
 	"selfserv/internal/discovery"
 	"selfserv/internal/service"
@@ -19,6 +21,14 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run executes the publish/search/execute flow over a loopback HTTP
+// server, narrating to w.
+func Run(w io.Writer) error {
 	// 1. The UDDI registry plus provider endpoints, all on one HTTP server
 	//    (in production each provider hosts its own).
 	mux := http.NewServeMux()
@@ -36,20 +46,20 @@ func main() {
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	base := "http://" + ln.Addr().String()
 	server := &http.Server{Handler: mux}
 	go server.Serve(ln)
 	defer server.Close()
-	fmt.Printf("UDDI registry at %s/uddi\n\n", base)
+	fmt.Fprintf(w, "UDDI registry at %s/uddi\n\n", base)
 
 	// WSDL descriptions need the final URLs ("placing the WSDL
 	// descriptions so that they can be retrieved using public URLs").
 	for _, p := range providers {
 		h, err := discovery.WSDLEndpoint(p, base+"/soap/"+p.Name())
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mux.Handle("/wsdl/"+p.Name(), h)
 	}
@@ -71,22 +81,22 @@ func main() {
 			InterfaceTModel: p.Name() + "-interface",
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("published %-22s business=%s service=%s\n", p.Name(), reg.BusinessKey, reg.ServiceKey)
+		fmt.Fprintf(w, "published %-22s business=%s service=%s\n", p.Name(), reg.BusinessKey, reg.ServiceKey)
 	}
 
 	// 3. Search: the end user's Search panel — by name fragment.
-	fmt.Println("\nsearch 'Flight' (contains):")
+	fmt.Fprintln(w, "\nsearch 'Flight' (contains):")
 	hits, err := engine.Locate(uddi.ServiceQuery{NamePattern: "Flight", Qualifier: uddi.MatchContains})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, h := range hits {
-		fmt.Printf("  %-22s by %-14s endpoint=%s\n", h.Service.Name, h.Provider.Name, h.Endpoint)
+		fmt.Fprintf(w, "  %-22s by %-14s endpoint=%s\n", h.Service.Name, h.Provider.Name, h.Endpoint)
 		if h.Definition != nil {
 			for _, op := range h.Definition.Operations {
-				fmt.Printf("      operation: %s\n", op.Name)
+				fmt.Fprintf(w, "      operation: %s\n", op.Name)
 			}
 		}
 	}
@@ -94,7 +104,7 @@ func main() {
 	// 4. Execute: the Execute button — supply parameter values and run.
 	loc, err := engine.LocateOne("DomesticFlightBooking")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	out, err := engine.Invoke(context.Background(), loc, "book", map[string]string{
 		"customer": "alice",
@@ -103,14 +113,15 @@ func main() {
 		"return":   "2026-07-14",
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nexecuted DomesticFlightBooking.book -> ref=%s\n", out["ref"])
+	fmt.Fprintf(w, "\nexecuted DomesticFlightBooking.book -> ref=%s\n", out["ref"])
 
 	// A failed execution surfaces as a SOAP fault.
 	if _, err := engine.Invoke(context.Background(), loc, "book", map[string]string{
 		"customer": "alice", "dest": "tokyo",
 	}); err != nil {
-		fmt.Printf("expected fault for tokyo via domestic booking: %v\n", err)
+		fmt.Fprintf(w, "expected fault for tokyo via domestic booking: %v\n", err)
 	}
+	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+// End-to-end smoke test: publish three providers to the loopback UDDI
+// registry, search it, and execute an operation of a located service —
+// the paper's Figure 3 flow over real HTTP.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run(&out); err != nil {
+		t.Fatalf("Run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"published DomesticFlightBooking",
+		"published InternationalTravel",
+		"published AttractionsSearch",
+		"search 'Flight' (contains):",
+		"executed DomesticFlightBooking.book -> ref=",
+		"expected fault for tokyo",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

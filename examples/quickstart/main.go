@@ -10,7 +10,9 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"selfserv/internal/composer"
@@ -19,6 +21,14 @@ import (
 )
 
 func main() {
+	if err := Run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run executes the whole scenario, writing its narration to w. It
+// returns the first error instead of exiting, so tests can drive it.
+func Run(w io.Writer) error {
 	// 1. A platform with an in-memory network (single process).
 	platform := core.New(core.Options{})
 	defer platform.Close()
@@ -44,11 +54,11 @@ func main() {
 
 	host1, err := platform.AddHost("host-1")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	host2, err := platform.AddHost("host-2")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	platform.RegisterService(host1, geocoder)
 	platform.RegisterService(host2, weather)
@@ -66,16 +76,16 @@ func main() {
 
 	chart, err := b.Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 4. Deploy: routing tables are compiled and installed on the hosts.
 	comp, err := platform.Deploy(chart)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("deployed routing plan:")
-	fmt.Println(comp.Plan())
+	fmt.Fprintln(w, "deployed routing plan:")
+	fmt.Fprintln(w, comp.Plan())
 
 	// 5. Execute instances.
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -83,8 +93,9 @@ func main() {
 	for _, city := range []string{"sydney", "tokyo"} {
 		out, err := comp.Execute(ctx, map[string]string{"city": city})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%s -> %s\n", city, out["forecast"])
+		fmt.Fprintf(w, "%s -> %s\n", city, out["forecast"])
 	}
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+// End-to-end smoke test: the quickstart scenario deploys and executes
+// on the in-memory network and produces the narrated results.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run(&out); err != nil {
+		t.Fatalf("Run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"deployed routing plan:",
+		"sydney -> sunny at -33.87,151.21",
+		"tokyo -> sunny at 35.68,139.69",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 	"time"
 
@@ -27,25 +29,32 @@ func main() {
 	customer := flag.String("customer", "alice", "customer name")
 	trace := flag.Bool("trace", false, "log coordinator activity")
 	flag.Parse()
+	if err := Run(os.Stdout, *dest, *customer, *trace); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// Run executes the travel scenario over loopback TCP, narrating to w.
+func Run(w io.Writer, dest, customer string, trace bool) error {
 	net := transport.NewTCP()
 	opts := core.Options{
 		Network: net,
 		Funcs:   workload.TravelGuards(),
 	}
-	if *trace {
+	if trace {
 		opts.HostOptions.Logf = log.Printf
 		opts.HostOptions.Funcs = opts.Funcs
 	}
 	platform := core.New(opts)
 	defer platform.Close()
+	defer net.Close()
 
 	// The pool of services: four elementary + the accommodation community.
 	if _, err := workload.RegisterTravelProviders(platform.Registry(), service.SimulatedOptions{
 		BaseLatency: 5 * time.Millisecond,
 		Jitter:      3 * time.Millisecond,
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// One host (TCP listener) per component service — the paper's
@@ -54,48 +63,48 @@ func main() {
 	for _, svc := range sc.Services() {
 		h, err := platform.AddHost("127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		prov, err := platform.Registry().Lookup(svc)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		platform.RegisterService(h, prov)
-		fmt.Printf("host %-22s serves %s\n", h.Addr(), svc)
+		fmt.Fprintf(w, "host %-22s serves %s\n", h.Addr(), svc)
 	}
 
 	comp, err := platform.Deploy(sc)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ndeployed %q; wrapper at %s\n\n", comp.Name(), comp.Wrapper().Addr())
+	fmt.Fprintf(w, "\ndeployed %q; wrapper at %s\n\n", comp.Name(), comp.Wrapper().Addr())
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	start := time.Now()
-	out, err := comp.Execute(ctx, workload.TravelRequest(*customer, *dest, true))
+	out, err := comp.Execute(ctx, workload.TravelRequest(customer, dest, true))
 	if err != nil {
-		log.Fatalf("execution failed: %v", err)
+		return fmt.Errorf("execution failed: %w", err)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Println("execution result:")
+	fmt.Fprintln(w, "execution result:")
 	keys := make([]string, 0, len(out))
 	for k := range out {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("  %-18s %s\n", k, out[k])
+		fmt.Fprintf(w, "  %-18s %s\n", k, out[k])
 	}
 	if out["carRef"] == "" {
-		fmt.Println("  (no car rental: the major attraction is near the accommodation)")
+		fmt.Fprintln(w, "  (no car rental: the major attraction is near the accommodation)")
 	}
-	fmt.Printf("\ncompleted in %v\n", elapsed)
+	fmt.Fprintf(w, "\ncompleted in %v\n", elapsed)
 
 	// Show the peer-to-peer traffic distribution.
 	stats := net.Stats()
-	fmt.Println("\nper-node message traffic (peer-to-peer coordination):")
+	fmt.Fprintln(w, "\nper-node message traffic (peer-to-peer coordination):")
 	addrs := make([]string, 0, len(stats.Nodes))
 	for a := range stats.Nodes {
 		addrs = append(addrs, a)
@@ -103,9 +112,11 @@ func main() {
 	sort.Strings(addrs)
 	for _, a := range addrs {
 		ns := stats.Nodes[a]
-		fmt.Printf("  %-22s in=%-3d out=%-3d frames-out=%-3d bytes=%d\n",
+		fmt.Fprintf(w, "  %-22s in=%-3d out=%-3d frames-out=%-3d bytes=%d\n",
 			a, ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn+ns.BytesOut)
 	}
 	total := stats.Total()
-	fmt.Printf("total: %d messages in %d wire frames\n", total.MsgsOut, total.FramesOut)
+	fmt.Fprintf(w, "total: %d messages in %d wire frames (queue-depth=%d send-blocked=%d reconnects=%d)\n",
+		total.MsgsOut, total.FramesOut, total.QueueDepth, total.SendBlocked, total.Reconnects)
+	return nil
 }

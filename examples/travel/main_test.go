@@ -1,0 +1,36 @@
+package main
+
+// End-to-end smoke test: the paper's §4 travel scenario over real
+// loopback TCP sockets, peer-to-peer, must complete and report its
+// booking references and traffic distribution.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run(&out, "melbourne", "alice", false); err != nil {
+		t.Fatalf("Run: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"deployed \"TravelPlanner\"",
+		"execution result:",
+		"completed in",
+		"per-node message traffic",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunSydney(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run(&out, "sydney", "bob", false); err != nil {
+		t.Fatalf("Run(sydney): %v\noutput:\n%s", err, out.String())
+	}
+}

@@ -34,6 +34,11 @@ type Options struct {
 	// network (single-process deployments, tests, benchmarks); pass
 	// transport.NewTCP() for a distributed deployment.
 	Network transport.Network
+	// Flow tunes transport flow control (bounded per-destination write
+	// queues, full-queue policy, send deadline) for the DEFAULT network
+	// built when Network is nil. A caller-supplied Network carries its
+	// own flow configuration and ignores this field.
+	Flow transport.FlowOptions
 	// Funcs are guard functions available to every condition evaluation
 	// (e.g. the travel scenario's domestic/near).
 	Funcs map[string]expr.Func
@@ -62,7 +67,7 @@ func New(opts Options) *Platform {
 	net := opts.Network
 	owns := false
 	if net == nil {
-		net = transport.NewInMem(transport.InMemOptions{})
+		net = transport.NewInMem(transport.InMemOptions{Flow: opts.Flow})
 		owns = true
 	}
 	hostOpts := opts.HostOptions

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 
 	"selfserv/internal/message"
 	"selfserv/internal/transport"
@@ -49,20 +50,26 @@ func (o *outbox) msgs() int {
 }
 
 // flush sends every destination's batch through s, one frame per
-// destination, and stops at the first transport error (matching the
-// pre-batching behaviour of a sequential send loop).
+// destination. A destination that refuses its frame — a full bounded
+// queue (transport.ErrQueueFull), an expired send deadline
+// (transport.ErrSendDeadline), or any other transport error — does NOT
+// stop the round: the remaining destinations still get their frames, so
+// one slow peer stalls only its own traffic. All failures are joined
+// into the returned error, which callers surface to the coordinator's
+// fault path instead of silently dropping the round.
 func (o *outbox) flush(ctx context.Context, s transport.Sender) error {
+	var errs []error
 	for i, addr := range o.addrs {
 		ms := o.batches[i]
+		var err error
 		if len(ms) == 1 {
-			if err := s.Send(ctx, addr, ms[0]); err != nil {
-				return err
-			}
-			continue
+			err = s.Send(ctx, addr, ms[0])
+		} else {
+			err = s.SendBatch(ctx, addr, ms)
 		}
-		if err := s.SendBatch(ctx, addr, ms); err != nil {
-			return err
+		if err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file defines the flow-control and connection-lifecycle contract
+// shared by both Network implementations. The pre-flow-control transport
+// was fire-and-forget: under heavy fan-in a slow peer's frames piled up
+// in kernel buffers (or, in memory, in unbounded goroutines) and the
+// only failure handling was a single blind TCP retry. Flow control makes
+// the sender's cost bounded and observable:
+//
+//   - every destination has a BOUNDED write queue of frames;
+//   - a full queue either blocks the sender (up to SendDeadline) or
+//     sheds the send with ErrQueueFull, per QueuePolicy;
+//   - queue depth, blocked sends, and reconnects are visible in Stats,
+//     keyed by the DESTINATION address (the slow peer is the one you
+//     want to identify);
+//   - cached connections age out (IdleTimeout), are capped (MaxConns),
+//     and are re-established with jittered exponential backoff instead
+//     of one blind retry.
+//
+// The executable version of this contract is faults_test.go, which runs
+// identically against TCP and InMem.
+
+// ErrQueueFull reports a send shed because the destination's bounded
+// write queue was full (QueueShed policy).
+var ErrQueueFull = errors.New("transport: send queue full")
+
+// ErrSendDeadline reports a send abandoned because the destination's
+// write queue stayed full for the whole send deadline (QueueBlock
+// policy). The frame was NOT accepted: it will never be delivered.
+var ErrSendDeadline = errors.New("transport: send deadline exceeded")
+
+// QueuePolicy selects what a send does when the destination's write
+// queue is full.
+type QueuePolicy int
+
+const (
+	// QueueBlock waits for queue space up to FlowOptions.SendDeadline,
+	// then fails with ErrSendDeadline. Backpressure propagates to the
+	// sender — the default, matching the engine's expectation that a
+	// returned nil means "accepted for delivery".
+	QueueBlock QueuePolicy = iota
+	// QueueShed fails immediately with ErrQueueFull. Latency-sensitive
+	// callers that prefer losing a notification over stalling a round
+	// use this and handle the error.
+	QueueShed
+)
+
+// String returns the flag spelling of the policy ("block" / "shed").
+func (p QueuePolicy) String() string {
+	if p == QueueShed {
+		return "shed"
+	}
+	return "block"
+}
+
+// ParseQueuePolicy parses the flag spelling produced by String.
+func ParseQueuePolicy(s string) (QueuePolicy, error) {
+	switch s {
+	case "block", "":
+		return QueueBlock, nil
+	case "shed":
+		return QueueShed, nil
+	}
+	return 0, errors.New("transport: queue policy must be \"block\" or \"shed\"")
+}
+
+// Default flow-control parameters (see FlowOptions).
+const (
+	DefaultQueueLen     = 256
+	DefaultSendDeadline = 5 * time.Second
+	DefaultBackoffBase  = 25 * time.Millisecond
+	DefaultBackoffMax   = 2 * time.Second
+)
+
+// FlowOptions tune per-destination flow control and connection
+// lifecycle. The zero value means: 256-frame queues, block policy with a
+// 5s send deadline, no idle eviction, no connection cap, 25ms..2s
+// jittered reconnect backoff.
+type FlowOptions struct {
+	// QueueLen caps the per-destination write queue, in frames. A send
+	// finding the queue full blocks or sheds per Policy. 0 means 256.
+	QueueLen int
+	// Policy selects the full-queue behaviour (block by default).
+	Policy QueuePolicy
+	// SendDeadline bounds how long a QueueBlock send may wait for queue
+	// space. 0 means 5s. A context deadline earlier than this wins.
+	SendDeadline time.Duration
+	// IdleTimeout evicts cached outbound connections that have been idle
+	// (no enqueue, no queued frames) this long. 0 disables eviction.
+	IdleTimeout time.Duration
+	// MaxConns caps the outbound connection cache. When a dial would
+	// exceed it, the least-recently-used idle connection is evicted
+	// first. Connections with queued frames are never evicted, so the
+	// cap is a soft bound under pathological fan-out. 0 means unlimited.
+	MaxConns int
+	// BackoffBase is the first reconnect delay; each further attempt
+	// doubles it up to BackoffMax, jittered to 50-100% of the nominal
+	// value. 0 means 25ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the reconnect delay. 0 means 2s.
+	BackoffMax time.Duration
+	// BackoffSeed seeds the jitter RNG so reconnect schedules are
+	// reproducible in tests. 0 means a fixed default seed.
+	BackoffSeed int64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (o FlowOptions) withDefaults() FlowOptions {
+	if o.QueueLen <= 0 {
+		o.QueueLen = DefaultQueueLen
+	}
+	if o.SendDeadline <= 0 {
+		o.SendDeadline = DefaultSendDeadline
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.BackoffSeed == 0 {
+		o.BackoffSeed = 1
+	}
+	return o
+}
+
+// sendWait returns how long a QueueBlock send may wait for queue space:
+// the configured SendDeadline, shortened by an earlier context deadline.
+func (o FlowOptions) sendWait(ctx context.Context) time.Duration {
+	wait := o.SendDeadline
+	if dl, ok := ctx.Deadline(); ok {
+		if until := time.Until(dl); until < wait {
+			wait = until
+		}
+	}
+	return wait
+}
+
+// errQueueFull and errSendDeadline build the shared policy errors, so
+// both Network implementations refuse sends with identical wording (the
+// contract suite runs against both).
+func (o FlowOptions) errQueueFull(to string) error {
+	return fmt.Errorf("%w: %d frames queued to %s", ErrQueueFull, o.QueueLen, to)
+}
+
+func (o FlowOptions) errSendDeadline(to string, wait time.Duration) error {
+	return fmt.Errorf("%w: %s still full after %v (%d frames queued)",
+		ErrSendDeadline, to, wait, o.QueueLen)
+}
+
+// backoff computes jittered exponential reconnect delays. It is shared
+// by every connection of one network so the jitter stream is a single
+// seeded sequence — reproducible under a fixed seed.
+type backoff struct {
+	base, max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(o FlowOptions) *backoff {
+	return &backoff{base: o.BackoffBase, max: o.BackoffMax, rng: rand.New(rand.NewSource(o.BackoffSeed))}
+}
+
+// delay returns the sleep before reconnect attempt n (n >= 1):
+// min(base<<(n-1), max), jittered to 50-100% so reconnect storms from
+// many peers decorrelate.
+func (b *backoff) delay(attempt int) time.Duration {
+	d := b.base
+	for i := 1; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.mu.Lock()
+	f := 0.5 + 0.5*b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}

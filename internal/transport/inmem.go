@@ -33,18 +33,37 @@ type InMemOptions struct {
 	// Latency). Deterministic ordering for tests; production-shaped runs
 	// should leave it false.
 	Synchronous bool
+	// Flow tunes the bounded per-destination queue that materializes
+	// while a destination is stalled by Hold or Cut (queue capacity,
+	// full-queue policy, send deadline). The lifecycle knobs
+	// (IdleTimeout, MaxConns, backoff) have no in-memory equivalent and
+	// are ignored.
+	Flow FlowOptions
 }
 
 // InMem is a process-local Network. Every frame is marshalled and
 // unmarshalled exactly as on the TCP path — batches included — so
 // serialization bugs and costs are identical; only the socket is elided.
+//
+// InMem doubles as the deterministic fault harness for the flow-control
+// contract: Hold stalls a destination (the slow-peer injection — frames
+// queue in a bounded per-destination queue exactly as TCP frames queue
+// behind a non-reading peer), Cut severs it (the disconnect injection),
+// and Release/Restore drain the queued frames in acceptance order, so
+// per-sender FIFO across an outage is testable without clocks or real
+// sockets. Drop draws stay per message in send order even for queued
+// frames, so batched ≡ sequential holds under one seed with faults
+// active.
 type InMem struct {
 	opts  InMemOptions
+	flow  FlowOptions
 	stats *statsBook
 
 	mu        sync.RWMutex
 	handlers  map[string]Handler
+	peers     map[string]*inmemPeer
 	closed    bool
+	stop      chan struct{} // closed by Close; wakes senders blocked on a full queue
 	rng       *rand.Rand
 	rngMu     sync.Mutex
 	deliverWG sync.WaitGroup
@@ -58,10 +77,39 @@ func NewInMem(opts InMemOptions) *InMem {
 	}
 	return &InMem{
 		opts:     opts,
+		flow:     opts.Flow.withDefaults(),
 		stats:    newStatsBook(),
 		handlers: map[string]Handler{},
+		peers:    map[string]*inmemPeer{},
+		stop:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(seed)),
 	}
+}
+
+// inmemPeer is the fault state of one destination: while stalled, frames
+// are accepted into a bounded FIFO queue (or refused per the flow
+// policy) instead of being delivered.
+type inmemPeer struct {
+	slots   chan struct{} // queue capacity semaphore
+	drainMu sync.Mutex    // serializes Release/Restore drains
+
+	mu      sync.Mutex
+	stalled bool
+	cut     bool
+	queue   []inmemFrame
+}
+
+// inmemFrame is one accepted-but-undelivered frame. kept counts the
+// messages that survived their send-time drop draws; the receiver's
+// stats record it at DELIVERY time (the drain), matching TCP's
+// read-side accounting — a frame dropped at Close never counts as
+// received.
+type inmemFrame struct {
+	data  []byte
+	msgs  int
+	kept  int
+	drops []bool
+	h     Handler
 }
 
 // MintAddr implements Network: any non-empty name is a valid in-memory
@@ -125,6 +173,110 @@ func (n *InMem) SendBatch(ctx context.Context, to string, ms []*message.Message)
 	return n.sendBatch(ctx, nil, to, ms)
 }
 
+// Hold stalls deliveries to addr: the slow-peer injection. Subsequent
+// frames to addr are accepted into its bounded queue (blocking or
+// shedding per InMemOptions.Flow when full) until Release. Deterministic
+// and clock-free: a test decides exactly when the peer is slow and when
+// it drains.
+func (n *InMem) Hold(addr string) { n.stall(addr, false) }
+
+// Cut severs the link to addr: the disconnect injection. Semantics of
+// queueing are identical to Hold (frames queue as they would queue in a
+// reconnecting TCP sender); Restore re-links, counts one reconnect in
+// the destination's stats, and drains in order.
+func (n *InMem) Cut(addr string) { n.stall(addr, true) }
+
+func (n *InMem) stall(addr string, cut bool) {
+	n.mu.Lock()
+	p, ok := n.peers[addr]
+	if !ok {
+		p = &inmemPeer{slots: make(chan struct{}, n.flow.QueueLen)}
+		n.peers[addr] = p
+	}
+	n.mu.Unlock()
+	p.mu.Lock()
+	p.stalled = true
+	p.cut = p.cut || cut
+	p.mu.Unlock()
+}
+
+// Release ends a Hold: queued frames are delivered synchronously on the
+// caller's goroutine, in acceptance order (per-sender FIFO), then direct
+// delivery resumes. Sends racing the drain keep queueing behind it, so
+// nothing ever overtakes a queued frame. Simulated Latency is not
+// re-applied to drained frames. A no-op if addr was never stalled.
+func (n *InMem) Release(addr string) { n.unstall(addr, false) }
+
+// Restore ends a Cut: like Release, plus one reconnect recorded in the
+// destination's stats (the TCP equivalent re-dials once and resumes the
+// queue).
+func (n *InMem) Restore(addr string) { n.unstall(addr, true) }
+
+func (n *InMem) unstall(addr string, reconnect bool) {
+	n.mu.RLock()
+	p := n.peers[addr]
+	n.mu.RUnlock()
+	if p == nil {
+		return
+	}
+	p.drainMu.Lock()
+	defer p.drainMu.Unlock()
+
+	p.mu.Lock()
+	if !p.stalled {
+		p.mu.Unlock()
+		return
+	}
+	wasCut := p.cut
+	p.mu.Unlock()
+	if reconnect && wasCut {
+		n.stats.node(addr).reconnects.Add(1)
+	}
+	dst := n.stats.node(addr)
+	// Drain with stalled still set: a handler reached during the drain
+	// (or a concurrent sender) that sends to addr again enqueues BEHIND
+	// the remaining queued frames instead of overtaking them.
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.stalled = false
+			p.cut = false
+			p.mu.Unlock()
+			return
+		}
+		f := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		<-p.slots
+		dst.queueDepth.Add(-1)
+		n.stats.recordIn(addr, f.kept, len(f.data))
+		n.deliverQueued(f)
+	}
+}
+
+// deliverQueued hands one drained frame to its handler, skipping the
+// messages whose drop coin (tossed at send time) came up lost.
+func (n *InMem) deliverQueued(f inmemFrame) {
+	ctx := context.Background()
+	if f.msgs == 1 {
+		m, err := message.Unmarshal(f.data)
+		if err == nil {
+			f.h(ctx, m)
+		}
+		return
+	}
+	decoded, err := message.UnmarshalBatch(f.data)
+	if err != nil {
+		return
+	}
+	for i, m := range decoded {
+		if f.drops != nil && f.drops[i] {
+			continue
+		}
+		f.h(ctx, m)
+	}
+}
+
 // sendOne is the batch of one without the slice detour.
 func (n *InMem) sendOne(ctx context.Context, out *nodeCounters, to string, m *message.Message) error {
 	data, err := encodeOne(m)
@@ -150,22 +302,107 @@ func (n *InMem) sendBatch(ctx context.Context, out *nodeCounters, to string, ms 
 
 // deliverFrame simulates one wire frame carrying msgs messages.
 func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
-	async := !n.opts.Synchronous
 	n.mu.RLock()
 	h, ok := n.handlers[to]
 	closed := n.closed
-	if !closed && ok && async {
-		// Register the delivery while holding the lock that Close takes
-		// before it Waits: an Add racing a started Wait is undefined, so the
-		// counter must be bumped strictly before Close can observe it.
-		n.deliverWG.Add(1)
-	}
+	p := n.peers[to]
 	n.mu.RUnlock()
 	if closed {
 		return ErrClosed
 	}
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
+	}
+
+	if p != nil {
+		done, err := n.offerStalled(ctx, p, out, to, h, data, msgs)
+		if done || err != nil {
+			return err
+		}
+	}
+	return n.deliverDirect(ctx, out, to, h, data, msgs)
+}
+
+// offerStalled routes a frame into the bounded queue of a stalled
+// destination, applying the full-queue policy. Returns done=true when
+// the frame was consumed (queued, fully dropped, or refused with err);
+// done=false means the destination is not stalled and the caller should
+// deliver directly.
+func (n *InMem) offerStalled(ctx context.Context, p *inmemPeer, out *nodeCounters, to string, h Handler, data []byte, msgs int) (bool, error) {
+	p.mu.Lock()
+	stalled := p.stalled
+	p.mu.Unlock()
+	if !stalled {
+		return false, nil
+	}
+
+	// Reserve a queue slot: the bounded-queue admission decision (the
+	// same policy, wait, and wording as the TCP enqueue path).
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		n.stats.node(to).sendBlocked.Add(1)
+		if n.flow.Policy == QueueShed {
+			return true, n.flow.errQueueFull(to)
+		}
+		wait := n.flow.sendWait(ctx)
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case p.slots <- struct{}{}:
+		case <-timer.C:
+			if ctx.Err() != nil {
+				return true, ctx.Err()
+			}
+			return true, n.flow.errSendDeadline(to, wait)
+		case <-ctx.Done():
+			return true, ctx.Err()
+		case <-n.stop:
+			return true, ErrClosed
+		}
+	}
+
+	p.mu.Lock()
+	if !p.stalled {
+		// Released while we waited for space: give the slot back and let
+		// the caller deliver directly.
+		p.mu.Unlock()
+		<-p.slots
+		return false, nil
+	}
+	// Accepted. The sender pays now, and the drop coins are tossed now —
+	// at send time, in send order — so the RNG stream is identical
+	// whether or not the destination happens to be stalled, and batched
+	// sends lose exactly what sequential sends would lose. The RECEIVER
+	// pays only at the drain (see inmemFrame.kept).
+	n.stats.recordOut(out, msgs, len(data))
+	drops, kept := n.drawDrops(msgs)
+	if kept == 0 {
+		p.mu.Unlock()
+		<-p.slots // the whole frame was lost: nothing to queue
+		return true, nil
+	}
+	p.queue = append(p.queue, inmemFrame{data: data, msgs: msgs, kept: kept, drops: drops, h: h})
+	p.mu.Unlock()
+	n.stats.node(to).queueDepth.Add(1)
+	return true, nil
+}
+
+// deliverDirect is the no-fault path: deliver (a)synchronously per
+// options, exactly as the pre-flow-control network did.
+func (n *InMem) deliverDirect(ctx context.Context, out *nodeCounters, to string, h Handler, data []byte, msgs int) error {
+	async := !n.opts.Synchronous
+	if async {
+		// Register the delivery while holding the lock that Close takes
+		// before it Waits: an Add racing a started Wait is undefined, so the
+		// counter must be bumped strictly before Close can observe it.
+		n.mu.RLock()
+		if n.closed {
+			n.mu.RUnlock()
+			return ErrClosed
+		}
+		n.deliverWG.Add(1)
+		n.mu.RUnlock()
 	}
 
 	// The sender pays for the whole frame regardless of drops.
@@ -176,24 +413,14 @@ func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, 
 	// equivalent sequential sends would lose under the same seed. The
 	// decode itself happens on the delivery goroutine (as on the TCP
 	// read side), keeping the sender's critical path free of it.
-	var drops []bool
-	keptCount := msgs
-	if n.opts.DropRate > 0 {
-		drops = make([]bool, msgs)
-		for i := range drops {
-			if n.dropped() {
-				drops[i] = true
-				keptCount--
-			}
-		}
-	}
-	if keptCount == 0 {
+	drops, kept := n.drawDrops(msgs)
+	if kept == 0 {
 		if async {
 			n.deliverWG.Done() // no delivery will happen
 		}
 		return nil
 	}
-	n.stats.recordIn(to, keptCount, len(data))
+	n.stats.recordIn(to, kept, len(data))
 
 	deliver := func() {
 		if n.opts.Latency > 0 {
@@ -237,6 +464,22 @@ func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, 
 	return nil
 }
 
+// drawDrops tosses one seeded drop coin per message, in send order.
+func (n *InMem) drawDrops(msgs int) ([]bool, int) {
+	if n.opts.DropRate <= 0 {
+		return nil, msgs
+	}
+	drops := make([]bool, msgs)
+	kept := msgs
+	for i := range drops {
+		if n.dropped() {
+			drops[i] = true
+			kept--
+		}
+	}
+	return drops, kept
+}
+
 func (n *InMem) dropped() bool {
 	if n.opts.DropRate <= 0 {
 		return false
@@ -250,11 +493,17 @@ func (n *InMem) dropped() bool {
 func (n *InMem) Stats() Stats { return n.stats.snapshot() }
 
 // Close implements Network. It waits for in-flight asynchronous
-// deliveries to finish so tests can assert on final state.
+// deliveries to finish so tests can assert on final state. Frames still
+// queued behind a Hold/Cut are dropped (the network is going away), as
+// TCP drops its accepted-but-unwritten frames at Close.
 func (n *InMem) Close() error {
 	n.mu.Lock()
-	n.closed = true
+	if !n.closed {
+		n.closed = true
+		close(n.stop) // wake senders blocked on a full queue
+	}
 	n.handlers = map[string]Handler{}
+	n.peers = map[string]*inmemPeer{}
 	n.mu.Unlock()
 	n.deliverWG.Wait()
 	return nil

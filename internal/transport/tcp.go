@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -17,40 +18,99 @@ import (
 // the bound protects listeners from corrupt length prefixes.
 const maxFrame = 16 << 20
 
+// tcpWriteTimeout bounds one socket write; a peer that stops reading for
+// longer counts as failed and the connection is re-established.
+const tcpWriteTimeout = 10 * time.Second
+
+// errRetired is the internal signal that a cached connection was evicted
+// between lookup and enqueue; the send path retries with a fresh one.
+var errRetired = errors.New("transport: connection retired")
+
 // TCP is a Network transmitting length-prefixed frames over TCP
 // connections, the Go equivalent of the paper's "XML documents exchanged
 // through Java sockets". A frame's payload is either one XML document
 // (legacy encoding, still what Send emits) or a count-prefixed batch
-// (message.MarshalBatch); the read side decodes both. Outbound
-// connections are cached per destination and shared by all Senders.
+// (message.MarshalBatch); the read side decodes both.
+//
+// Outbound connections are cached per destination and shared by all
+// Senders. Each cached connection owns a BOUNDED write queue drained by
+// one writer goroutine: a send enqueues a frame (blocking or shedding
+// per FlowOptions when the queue is full — so a slow peer stalls only
+// its own connection, never sends to other destinations) and the writer
+// re-establishes failed connections with jittered exponential backoff,
+// re-sending the failed frame first so per-sender FIFO order survives
+// reconnects. Idle connections age out (FlowOptions.IdleTimeout) and the
+// cache is capped (FlowOptions.MaxConns). See docs/transport.md.
 type TCP struct {
 	stats *statsBook
+	flow  FlowOptions
+	bo    *backoff
 
 	mu        sync.Mutex
 	listeners map[string]*tcpEndpoint
 	conns     map[string]*tcpConn
+	ever      map[string]bool // destinations connected at least once
 	closed    bool
+	stop      chan struct{} // closed by Close; stops janitor and writer backoffs
+	writerWG  sync.WaitGroup
 
 	// DialTimeout bounds connection establishment; defaults to 5s.
 	DialTimeout time.Duration
 }
 
-// NewTCP returns an empty TCP network.
-func NewTCP() *TCP {
-	return &TCP{
+// NewTCP returns an empty TCP network. An optional FlowOptions tunes
+// flow control and connection lifecycle; omitted, the documented
+// defaults apply (256-frame queues, block policy, 5s send deadline, no
+// idle eviction, no conn cap).
+func NewTCP(flow ...FlowOptions) *TCP {
+	var fo FlowOptions
+	if len(flow) > 0 {
+		fo = flow[0]
+	}
+	fo = fo.withDefaults()
+	t := &TCP{
 		stats:       newStatsBook(),
+		flow:        fo,
+		bo:          newBackoff(fo),
 		listeners:   map[string]*tcpEndpoint{},
 		conns:       map[string]*tcpConn{},
+		ever:        map[string]bool{},
+		stop:        make(chan struct{}),
 		DialTimeout: 5 * time.Second,
 	}
+	if fo.IdleTimeout > 0 {
+		go t.janitor()
+	}
+	return t
 }
 
-// tcpConn pairs a cached connection with a write mutex so concurrent
-// frames to the same destination never interleave, while sends to
-// different destinations proceed in parallel.
+// tcpConn is one cached outbound connection: a bounded frame queue, the
+// writer goroutine draining it, and the current socket. The lifecycle
+// invariant: a connection is evicted (retired) only when no sender is
+// inside enqueue AND no frame is queued or being written, so eviction
+// never drops an accepted frame.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	net  *TCP
+	addr string
+	dst  *nodeCounters // destination-keyed flow counters
+
+	queue chan tcpFrame
+	stop  chan struct{} // closed on retire; writer exits, waiters bail
+
+	stateMu sync.Mutex
+	retired bool
+	pending int   // senders currently inside enqueue
+	depth   int64 // frames accepted but not yet written (mirrors dst.queueDepth)
+	lastUse time.Time
+
+	sockMu sync.Mutex
+	c      net.Conn // nil while disconnected
+	dialed bool     // a socket existed before (re-dial counts as reconnect)
+}
+
+type tcpFrame struct {
+	data []byte
+	msgs int
 }
 
 // MintAddr implements Network: TCP listen addresses are loopback
@@ -137,43 +197,217 @@ func (t *TCP) sendBatch(ctx context.Context, out *nodeCounters, to string, ms []
 	return t.sendFrame(ctx, out, to, data, len(ms))
 }
 
-// sendFrame writes one length-prefixed frame carrying msgs messages with
-// one syscall. The first send to a destination dials it; the connection
-// is cached and re-dialed once if it has gone stale.
+// sendFrame accepts one length-prefixed frame carrying msgs messages
+// into the destination's bounded write queue. A nil return means the
+// frame is accepted: the writer goroutine will deliver it (re-dialing
+// with backoff as needed), in acceptance order. The error cases are the
+// flow-control contract: ErrQueueFull (shed policy), ErrSendDeadline
+// (block policy timed out), ErrUnknownAddress (first dial failed),
+// ErrClosed.
 func (t *TCP) sendFrame(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
 
-	if err := t.write(ctx, to, frame); err != nil {
-		// Stale cached connection: drop it and retry once on a fresh one.
-		t.dropConn(to)
-		if err = t.write(ctx, to, frame); err != nil {
+	for {
+		tc, err := t.conn(ctx, to)
+		if err != nil {
 			return err
 		}
+		err = tc.enqueue(ctx, tcpFrame{data: frame, msgs: msgs})
+		if errors.Is(err, errRetired) {
+			continue // evicted between lookup and enqueue: retry on a fresh conn
+		}
+		if err != nil {
+			return err
+		}
+		t.stats.recordOut(out, msgs, len(frame))
+		return nil
 	}
-	t.stats.recordOut(out, msgs, len(frame))
-	return nil
 }
 
-func (t *TCP) write(ctx context.Context, to string, frame []byte) error {
-	tc, err := t.conn(ctx, to)
+// enqueue places f in the connection's bounded queue, applying the
+// full-queue policy. While a sender waits here the connection counts as
+// in use and cannot be evicted.
+func (tc *tcpConn) enqueue(ctx context.Context, f tcpFrame) error {
+	tc.stateMu.Lock()
+	if tc.retired {
+		tc.stateMu.Unlock()
+		return errRetired
+	}
+	tc.pending++
+	tc.lastUse = time.Now()
+	tc.stateMu.Unlock()
+	defer func() {
+		tc.stateMu.Lock()
+		tc.pending--
+		tc.stateMu.Unlock()
+	}()
+
+	select {
+	case tc.queue <- f:
+		tc.accepted()
+		return nil
+	default:
+	}
+
+	// Queue full: count it, then shed or wait per policy.
+	tc.dst.sendBlocked.Add(1)
+	flow := tc.net.flow
+	if flow.Policy == QueueShed {
+		return flow.errQueueFull(tc.addr)
+	}
+	wait := flow.sendWait(ctx)
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case tc.queue <- f:
+		tc.accepted()
+		return nil
+	case <-timer.C:
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return flow.errSendDeadline(tc.addr, wait)
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-tc.stop:
+		return errRetired
+	}
+}
+
+// accepted records one frame entering the queue. Depth is tracked both
+// per connection (the eviction guard) and on the destination's node
+// counters (the Stats view); the writer decrements both after the frame
+// hits the wire.
+func (tc *tcpConn) accepted() {
+	tc.stateMu.Lock()
+	tc.depth++
+	tc.stateMu.Unlock()
+	tc.dst.queueDepth.Add(1)
+}
+
+// writeLoop drains the queue, one frame at a time, re-establishing the
+// connection with jittered backoff on failure. The failing frame stays
+// first in line, so the receiver observes the sender's acceptance order
+// across any number of reconnects.
+func (tc *tcpConn) writeLoop() {
+	defer tc.net.writerWG.Done()
+	for {
+		select {
+		case <-tc.stop:
+			return
+		case f := <-tc.queue:
+			tc.writeFrame(f)
+			tc.dst.queueDepth.Add(-1)
+			tc.stateMu.Lock()
+			tc.depth--
+			tc.lastUse = time.Now()
+			tc.stateMu.Unlock()
+		}
+	}
+}
+
+// writeFrame writes one frame, retrying with backoff until it succeeds
+// or the connection is retired. Accepted frames are only ever dropped at
+// retirement (network Close), never silently mid-stream.
+func (tc *tcpConn) writeFrame(f tcpFrame) {
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-tc.stop:
+			return
+		default:
+		}
+		if attempt > 0 {
+			if !tc.sleep(tc.net.bo.delay(attempt)) {
+				return
+			}
+		}
+		c := tc.socket()
+		if c == nil {
+			nc, err := tc.redial()
+			if err != nil {
+				continue
+			}
+			c = nc
+		}
+		_ = c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout))
+		if _, err := c.Write(f.data); err == nil {
+			return
+		}
+		tc.dropSocket(c)
+	}
+}
+
+// sleep waits d, abandoned early when the connection retires or the
+// network closes. Returns false when abandoned.
+func (tc *tcpConn) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-tc.stop:
+		return false
+	case <-tc.net.stop:
+		return false
+	}
+}
+
+func (tc *tcpConn) socket() net.Conn {
+	tc.sockMu.Lock()
+	defer tc.sockMu.Unlock()
+	return tc.c
+}
+
+// redial re-establishes the socket after a write failure, counting a
+// reconnect on the destination's stats.
+func (tc *tcpConn) redial() (net.Conn, error) {
+	tc.stateMu.Lock()
+	retired := tc.retired
+	tc.stateMu.Unlock()
+	if retired {
+		return nil, errRetired
+	}
+	d := net.Dialer{Timeout: tc.net.DialTimeout}
+	c, err := d.Dial("tcp", tc.addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		_ = tc.c.SetWriteDeadline(dl)
-	} else {
-		_ = tc.c.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	// Only the connection's single writer goroutine dials, so tc.c is
+	// nil here; the lock only orders this store against retire.
+	tc.sockMu.Lock()
+	tc.c = c
+	if tc.dialed {
+		tc.dst.reconnects.Add(1)
 	}
-	if _, err := tc.c.Write(frame); err != nil {
-		return fmt.Errorf("transport: write to %s: %w", to, err)
+	tc.dialed = true
+	tc.sockMu.Unlock()
+	// A retire racing the dial closes tc.c under sockMu; re-check so a
+	// socket established after that close cannot leak past Close.
+	tc.stateMu.Lock()
+	retired = tc.retired
+	tc.stateMu.Unlock()
+	if retired {
+		tc.dropSocket(c)
+		return nil, errRetired
 	}
-	return nil
+	return c, nil
 }
 
+// dropSocket closes and forgets the current socket (failed write).
+func (tc *tcpConn) dropSocket(c net.Conn) {
+	tc.sockMu.Lock()
+	if tc.c == c {
+		tc.c = nil
+	}
+	tc.sockMu.Unlock()
+	c.Close()
+}
+
+// conn returns the cached connection for to, dialing it on first use.
+// The first dial is synchronous so a send to an address nobody listens
+// on fails fast with ErrUnknownAddress (the pre-flow-control contract).
 func (t *TCP) conn(ctx context.Context, to string) (*tcpConn, error) {
 	t.mu.Lock()
 	if t.closed {
@@ -192,36 +426,145 @@ func (t *TCP) conn(ctx context.Context, to string) (*tcpConn, error) {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnknownAddress, to, err)
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		c.Close()
 		return nil, ErrClosed
 	}
 	if existing, ok := t.conns[to]; ok {
+		t.mu.Unlock()
 		c.Close()
 		return existing, nil
 	}
-	tc := &tcpConn{c: c}
+	if t.flow.MaxConns > 0 && len(t.conns) >= t.flow.MaxConns {
+		t.evictLRULocked()
+	}
+	tc := &tcpConn{
+		net:  t,
+		addr: to,
+		dst:  t.stats.node(to),
+		// The frame the writer is currently writing still counts against
+		// the bound (depth tracks accepted-but-unwritten), so the channel
+		// holds QueueLen-1 and queued+in-flight never exceeds QueueLen.
+		queue:   make(chan tcpFrame, t.flow.QueueLen-1),
+		stop:    make(chan struct{}),
+		lastUse: time.Now(),
+		c:       c,
+		dialed:  true,
+	}
+	if t.ever[to] {
+		// A fresh dial to a destination seen before: the previous cached
+		// connection was evicted or lost — this is a reconnect, and the
+		// eviction must be transparent to callers.
+		tc.dst.reconnects.Add(1)
+	}
+	t.ever[to] = true
 	t.conns[to] = tc
+	t.writerWG.Add(1)
+	t.mu.Unlock()
+	go tc.writeLoop()
 	return tc, nil
 }
 
-func (t *TCP) dropConn(to string) {
+// evictLRULocked retires the least-recently-used idle connection to keep
+// the cache under MaxConns. Connections with queued frames or waiting
+// senders are never evicted (accepted frames are never dropped), so the
+// cap is a soft bound when every destination is busy. Caller holds t.mu.
+func (t *TCP) evictLRULocked() {
+	var victim *tcpConn
+	for _, tc := range t.conns {
+		tc.stateMu.Lock()
+		idle := tc.pending == 0 && tc.depth == 0
+		last := tc.lastUse
+		tc.stateMu.Unlock()
+		if !idle {
+			continue
+		}
+		if victim == nil || last.Before(victimLast(victim)) {
+			victim = tc
+		}
+	}
+	if victim != nil {
+		t.retireLocked(victim)
+	}
+}
+
+func victimLast(tc *tcpConn) time.Time {
+	tc.stateMu.Lock()
+	defer tc.stateMu.Unlock()
+	return tc.lastUse
+}
+
+// retireLocked removes tc from the cache and stops its writer if it is
+// still idle (no waiting sender, no queued frame). Returns whether the
+// connection was retired. Caller holds t.mu.
+func (t *TCP) retireLocked(tc *tcpConn) bool {
+	tc.stateMu.Lock()
+	if tc.retired || tc.pending != 0 || tc.depth != 0 {
+		tc.stateMu.Unlock()
+		return false
+	}
+	tc.retired = true
+	close(tc.stop)
+	tc.stateMu.Unlock()
+	delete(t.conns, tc.addr)
+	tc.sockMu.Lock()
+	if tc.c != nil {
+		tc.c.Close()
+		tc.c = nil
+	}
+	tc.sockMu.Unlock()
+	return true
+}
+
+// janitor ages out idle connections every IdleTimeout/4.
+func (t *TCP) janitor() {
+	interval := t.flow.IdleTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.mu.Lock()
+			for _, tc := range t.conns {
+				tc.stateMu.Lock()
+				stale := tc.pending == 0 && tc.depth == 0 && time.Since(tc.lastUse) >= t.flow.IdleTimeout
+				tc.stateMu.Unlock()
+				if stale {
+					t.retireLocked(tc)
+				}
+			}
+			t.mu.Unlock()
+		}
+	}
+}
+
+// ConnCount reports the number of cached outbound connections — the
+// observable for idle-eviction and max-conns tests and monitoring.
+func (t *TCP) ConnCount() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if tc, ok := t.conns[to]; ok {
-		tc.c.Close()
-		delete(t.conns, to)
-	}
+	return len(t.conns)
 }
 
 // Stats implements Network.
 func (t *TCP) Stats() Stats { return t.stats.snapshot() }
 
-// Close implements Network.
+// Close implements Network. Accepted-but-unwritten frames are dropped
+// (the network is going away); writers and the janitor stop.
 func (t *TCP) Close() error {
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
 	t.closed = true
+	close(t.stop)
 	eps := make([]*tcpEndpoint, 0, len(t.listeners))
 	for _, ep := range t.listeners {
 		eps = append(eps, ep)
@@ -231,8 +574,20 @@ func (t *TCP) Close() error {
 	t.conns = map[string]*tcpConn{}
 	t.mu.Unlock()
 	for _, tc := range conns {
-		tc.c.Close()
+		tc.stateMu.Lock()
+		if !tc.retired {
+			tc.retired = true
+			close(tc.stop)
+		}
+		tc.stateMu.Unlock()
+		tc.sockMu.Lock()
+		if tc.c != nil {
+			tc.c.Close()
+			tc.c = nil
+		}
+		tc.sockMu.Unlock()
 	}
+	t.writerWG.Wait()
 	for _, ep := range eps {
 		ep.closeListener()
 	}

@@ -112,12 +112,26 @@ type Endpoint interface {
 // NodeStats counts traffic seen by one address. FramesOut counts wire
 // frames (one per Send or SendBatch); MsgsOut counts the messages inside
 // them — the gap between the two is the coalescing win.
+//
+// The flow-control counters (QueueDepth, SendBlocked, Reconnects) are
+// keyed by the DESTINATION address: they describe the path TOWARD this
+// node, which is where a slow or flaky peer shows up.
 type NodeStats struct {
 	MsgsIn    int64
 	MsgsOut   int64
 	BytesIn   int64
 	BytesOut  int64
 	FramesOut int64
+	// QueueDepth is the number of frames currently accepted for this
+	// destination but not yet written to the wire (a snapshot, bounded
+	// by FlowOptions.QueueLen).
+	QueueDepth int64
+	// SendBlocked counts sends toward this destination that found the
+	// write queue full (whether they then waited or were shed).
+	SendBlocked int64
+	// Reconnects counts connections to this destination re-established
+	// after a failure or an eviction.
+	Reconnects int64
 }
 
 // Stats is a snapshot of traffic by address.
@@ -134,6 +148,9 @@ func (s Stats) Total() NodeStats {
 		t.BytesIn += n.BytesIn
 		t.BytesOut += n.BytesOut
 		t.FramesOut += n.FramesOut
+		t.QueueDepth += n.QueueDepth
+		t.SendBlocked += n.SendBlocked
+		t.Reconnects += n.Reconnects
 	}
 	return t
 }
@@ -166,15 +183,22 @@ type nodeCounters struct {
 	bytesIn   atomic.Int64
 	bytesOut  atomic.Int64
 	framesOut atomic.Int64
+	// Flow-control counters for the path TOWARD this address.
+	queueDepth  atomic.Int64
+	sendBlocked atomic.Int64
+	reconnects  atomic.Int64
 }
 
 func (c *nodeCounters) snapshot() NodeStats {
 	return NodeStats{
-		MsgsIn:    c.msgsIn.Load(),
-		MsgsOut:   c.msgsOut.Load(),
-		BytesIn:   c.bytesIn.Load(),
-		BytesOut:  c.bytesOut.Load(),
-		FramesOut: c.framesOut.Load(),
+		MsgsIn:      c.msgsIn.Load(),
+		MsgsOut:     c.msgsOut.Load(),
+		BytesIn:     c.bytesIn.Load(),
+		BytesOut:    c.bytesOut.Load(),
+		FramesOut:   c.framesOut.Load(),
+		QueueDepth:  c.queueDepth.Load(),
+		SendBlocked: c.sendBlocked.Load(),
+		Reconnects:  c.reconnects.Load(),
 	}
 }
 
