@@ -17,6 +17,10 @@ bench: ## full E1-E7 experiment harness (compare against BENCH_baseline.json)
 bench-e3: ## E3 only: P2P vs centralized orchestration latency
 	$(GO) test -bench=BenchmarkE3 -benchmem -run '^$$' .
 
+.PHONY: bench-crossround
+bench-crossround: ## cross-round batching sweep (compare against BENCH_crossround.json)
+	$(GO) test -bench=BenchmarkE3PipelinedChainTCP -run '^$$' .
+
 COVER_FLOOR ?= 80
 
 .PHONY: cover
@@ -30,9 +34,14 @@ cover: ## coverage floor on the concurrency-critical packages
 FUZZTIME ?= 30s
 
 .PHONY: fuzz
-fuzz: ## short fuzz pass over the wire decoders
+fuzz: ## short fuzz pass over the wire decoders and the frame merge
 	$(GO) test ./internal/message -run '^$$' -fuzz 'FuzzUnmarshal$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/message -run '^$$' -fuzz 'FuzzUnmarshalBatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/message -run '^$$' -fuzz 'FuzzMergeBatch$$' -fuzztime $(FUZZTIME)
+
+.PHONY: flake
+flake: ## liveness/flake hunt: the concurrent packages, race detector, 10 loops
+	$(GO) test -race -count=10 ./internal/engine/ ./internal/transport/
 
 .PHONY: vet
 vet:

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"selfserv/internal/routing"
 	"selfserv/internal/service"
 	"selfserv/internal/statechart"
+	"selfserv/internal/transport"
 	"selfserv/internal/uddi"
 	"selfserv/internal/workload"
 )
@@ -255,6 +257,73 @@ func BenchmarkE3ParallelFanColocated(b *testing.B) {
 			wrapper := p.Network().Stats().Nodes[comp.Wrapper().Addr()]
 			b.ReportMetric(float64(wrapper.MsgsOut)/float64(b.N), "fan-msgs/exec")
 			b.ReportMetric(float64(wrapper.FramesOut)/float64(b.N), "fan-frames/exec")
+		})
+	}
+}
+
+// BenchmarkE3PipelinedChainTCP measures CROSS-ROUND batching (the
+// FlowOptions.FlushDelay knob) on a pipelined workload over real TCP:
+// Chain(8) with one host per service and many executions in flight, so
+// successive firing rounds of DIFFERENT instances address the same
+// destination connections back-to-back. With FlushDelay 0 every round
+// is its own wire write (the PR 3 behavior); with the Nagle delay
+// enabled the per-destination writers fold the pipeline's bursts into
+// merged frames — wire-frames/exec drops while ns/op absorbs at most
+// one delay per hop. The sweep {0, 200µs, 1ms} is the latency/
+// throughput trade recorded in BENCH_crossround.json.
+func BenchmarkE3PipelinedChainTCP(b *testing.B) {
+	const k = 8
+	for _, delay := range []time.Duration{0, 200 * time.Microsecond, time.Millisecond} {
+		delay := delay
+		b.Run(fmt.Sprintf("chain-%d/flush-%s", k, delay), func(b *testing.B) {
+			net := transport.NewTCP(transport.FlowOptions{FlushDelay: delay})
+			p := core.New(core.Options{Network: net})
+			// The platform doesn't own a caller-supplied network; close it
+			// too or each sub-run leaks listeners and writer goroutines.
+			b.Cleanup(func() { p.Close(); net.Close() })
+			workload.RegisterChainProviders(p.Registry(), k, service.SimulatedOptions{})
+			sc := workload.Chain(k)
+			for _, svc := range sc.Services() {
+				h, err := p.AddHost("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				prov, err := p.Registry().Lookup(svc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.RegisterService(h, prov)
+			}
+			comp, err := p.Deploy(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			in := map[string]string{"x": "0"}
+			b.SetParallelism(4) // keep the pipeline full: 4×GOMAXPROCS instances in flight
+			var execErr atomic.Pointer[error]
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := comp.Execute(ctx, in); err != nil {
+						// FailNow must not run on a RunParallel worker; park
+						// the first error for the benchmark goroutine.
+						execErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if errp := execErr.Load(); errp != nil {
+				b.Fatal(*errp)
+			}
+			total := net.Stats().Total()
+			// FramesOut counts frames ACCEPTED (one per Send/SendBatch);
+			// FramesMerged counts those folded into another frame's write —
+			// the difference is what actually hit the wire.
+			b.ReportMetric(float64(total.FramesOut)/float64(b.N), "frames/exec")
+			b.ReportMetric(float64(total.FramesOut-total.FramesMerged)/float64(b.N), "wire-frames/exec")
+			b.ReportMetric(total.MergedMsgsPerFrame(), "merged-msgs/frame")
 		})
 	}
 }

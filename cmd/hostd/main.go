@@ -13,9 +13,10 @@
 // "echo:<Name>:<op>" for generic wiring tests and "inc:<Name>" for a
 // service that increments its numeric "x" parameter.
 //
-// Transport flow control and connection lifecycle are tunable: see the
-// -send-queue, -queue-policy, -send-deadline, -conn-idle-timeout,
-// -max-conns and -reconnect-backoff flags (and docs/transport.md for
+// Transport flow control, connection lifecycle, and cross-round
+// batching are tunable: see the -send-queue, -queue-policy,
+// -send-deadline, -conn-idle-timeout, -max-conns, -reconnect-backoff,
+// -flush-delay and -max-batch-bytes flags (and docs/transport.md for
 // the contract behind them).
 package main
 
@@ -69,6 +70,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxConns := fs.Int("max-conns", 0, "cap on cached outbound peer connections, evicting the least-recently-used idle one (0 = unlimited)")
 	backoffBase := fs.Duration("reconnect-backoff", 0, "first reconnect delay after a failed peer connection; doubles per attempt, jittered (0 = 25ms)")
 	backoffMax := fs.Duration("reconnect-backoff-max", 0, "cap on the reconnect delay (0 = 2s)")
+	flushDelay := fs.Duration("flush-delay", 0, "cross-round batching: wait this long per wire write to merge everything queued for a destination into one frame; trades latency for throughput (0 = off, write per frame)")
+	maxBatchBytes := fs.Int("max-batch-bytes", 0, "payload cap for a merged frame under -flush-delay (0 = 256KiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -84,13 +87,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	tcp := transport.NewTCP(transport.FlowOptions{
-		QueueLen:     *sendQueue,
-		Policy:       policy,
-		SendDeadline: *sendDeadline,
-		IdleTimeout:  *idleTimeout,
-		MaxConns:     *maxConns,
-		BackoffBase:  *backoffBase,
-		BackoffMax:   *backoffMax,
+		QueueLen:      *sendQueue,
+		Policy:        policy,
+		SendDeadline:  *sendDeadline,
+		IdleTimeout:   *idleTimeout,
+		MaxConns:      *maxConns,
+		BackoffBase:   *backoffBase,
+		BackoffMax:    *backoffMax,
+		FlushDelay:    *flushDelay,
+		MaxBatchBytes: *maxBatchBytes,
 	})
 	defer tcp.Close()
 	dir := engine.NewDirectory()
@@ -142,9 +147,10 @@ func logStats(ctx context.Context, lg *log.Logger, tcp *transport.TCP, coordAddr
 			ns := st.Nodes[coordAddr]
 			total := st.Total()
 			lg.Printf("hostd: traffic in=%d out=%d frames-out=%d bytes-in=%d bytes-out=%d"+
-				" queue-depth=%d send-blocked=%d reconnects=%d conns=%d",
+				" queue-depth=%d send-blocked=%d reconnects=%d frames-merged=%d merged-msgs-per-frame=%.1f conns=%d",
 				ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn, ns.BytesOut,
-				total.QueueDepth, total.SendBlocked, total.Reconnects, tcp.ConnCount())
+				total.QueueDepth, total.SendBlocked, total.Reconnects,
+				total.FramesMerged, total.MergedMsgsPerFrame(), tcp.ConnCount())
 		}
 	}
 }

@@ -131,6 +131,26 @@ func evalEnv(vars map[string]string, funcs expr.Env) expr.Env {
 	return expr.ChainEnv{expr.TextVars(vars), funcs}
 }
 
+// mergeLayers builds the CANONICAL variable bag from a base layer plus
+// per-source bags overlaid in the compiled merge order (sorted source
+// IDs; see routing's MergeOrder/FinishMergeOrder). This is the single
+// definition of the order-independence invariant both coordinators and
+// wrappers rely on: every receiver of the same set of notifications
+// computes the same bag, regardless of arrival order — the seed-8
+// AND-join fix. Any change to merge semantics goes here, once.
+func mergeLayers(base map[string]string, order []int, srcVars []map[string]string) map[string]string {
+	out := make(map[string]string, len(base)+4)
+	for k, v := range base {
+		out[k] = v
+	}
+	for _, idx := range order {
+		for k, v := range srcVars[idx] {
+			out[k] = v
+		}
+	}
+	return out
+}
+
 // evalGuard evaluates a precompiled guard against vars; a nil guard
 // (statically true, e.g. the empty condition) is true without touching
 // the environment.

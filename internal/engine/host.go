@@ -216,11 +216,28 @@ type coordinator struct {
 // Notification counts are indexed by the table's interned source IDs;
 // pending mirrors "count > 0" as a bitmask so clause coverage is a
 // word-compare (routing.CompiledClause.Covered).
+//
+// Variables are kept LAYERED, not merged on arrival: srcVars holds one
+// accumulated bag per interned source, base holds everything else
+// (non-interned senders, and the results of this coordinator's own
+// firings). The bag guards and bindings see is rebuilt on demand by
+// merging base plus every source bag in the table's canonical merge
+// order (sorted source IDs, routing.CompiledTable.MergeOrder) — NEVER
+// in arrival order. Arrival-order merging was the seed-8 AND-join
+// liveness bug: two alternative successors of one concurrent state
+// (clauses {A,B} guarded "x%2=0" vs "x%2=1") could merge A's and B's
+// bags in opposite orders under scheduler jitter, disagree on x, and
+// BOTH reject — stalling the instance forever. With a canonical order,
+// every receiver of the same notifications computes the same bag, so
+// exactly one of a set of complementary guards holds.
 type coordInstance struct {
 	counts  []uint32
 	pending []uint64
-	vars    map[string]string
-	running bool // an invocation is in flight; new clause checks wait
+	base    map[string]string
+	srcVars []map[string]string // per interned source, accumulated in sender FIFO order
+	srcVer  []uint32            // bumped on every write to the matching srcVars bag
+	merged  map[string]string   // cached canonical merge; nil when stale
+	running bool                // an invocation is in flight; new clause checks wait
 }
 
 func (c *coordinator) instance(id string) *coordInstance {
@@ -229,7 +246,9 @@ func (c *coordinator) instance(id string) *coordInstance {
 		inst = &coordInstance{
 			counts:  make([]uint32, c.table.NumSources()),
 			pending: make([]uint64, c.table.MaskWords()),
-			vars:    map[string]string{},
+			base:    map[string]string{},
+			srcVars: make([]map[string]string, c.table.NumSources()),
+			srcVer:  make([]uint32, c.table.NumSources()),
 		}
 		c.instances[id] = inst
 		c.order = append(c.order, id)
@@ -242,20 +261,41 @@ func (c *coordinator) instance(id string) *coordInstance {
 	return inst
 }
 
+// mergedVarsLocked returns the instance's variable bag (mergeLayers
+// over the table's canonical order). The result is cached until the
+// next layer write and MUST NOT be mutated by callers. Caller holds c.mu.
+func (c *coordinator) mergedVarsLocked(inst *coordInstance) map[string]string {
+	if inst.merged == nil {
+		inst.merged = mergeLayers(inst.base, c.table.MergeOrder(), inst.srcVars)
+	}
+	return inst.merged
+}
+
 // onNotification processes a start/notify message for one instance.
 func (c *coordinator) onNotification(ctx context.Context, m *message.Message) {
 	c.mu.Lock()
 	inst := c.instance(m.Instance)
-	for k, v := range m.Vars {
-		inst.vars[k] = v
-	}
 	// Senders outside the interned universe appear in no precondition
-	// clause and can never contribute to coverage; their variables were
-	// merged above, the count is dropped.
+	// clause and can never contribute to coverage; their variables go to
+	// the base layer, the count is dropped.
 	if idx, ok := c.table.SourceIndex(m.From); ok {
+		bag := inst.srcVars[idx]
+		if bag == nil {
+			bag = make(map[string]string, len(m.Vars))
+			inst.srcVars[idx] = bag
+		}
+		for k, v := range m.Vars {
+			bag[k] = v
+		}
+		inst.srcVer[idx]++
 		inst.counts[idx]++
 		inst.pending[idx>>6] |= 1 << (idx & 63)
+	} else {
+		for k, v := range m.Vars {
+			inst.base[k] = v
+		}
 	}
+	inst.merged = nil
 	c.maybeFireLocked(ctx, m.Instance, inst)
 	c.mu.Unlock()
 }
@@ -270,11 +310,19 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 	if inst.running {
 		return
 	}
+	// The bag is built lazily, only once some clause is covered: most
+	// arrivals at a wide AND-join cover nothing and must stay O(m.Vars),
+	// not O(whole bag). The build is cached (inst.merged) across clauses
+	// and across arrivals that add no variables.
+	var bag map[string]string
 	for _, clause := range c.table.Preconditions {
 		if !clause.Covered(inst.pending) {
 			continue
 		}
-		ok, err := evalGuard(clause.Condition, inst.vars, c.host.funcEnv)
+		if bag == nil {
+			bag = c.mergedVarsLocked(inst)
+		}
+		ok, err := evalGuard(clause.Condition, bag, c.host.funcEnv)
 		if err != nil {
 			// A receiver-side guard referencing still-missing variables is
 			// not an error: the bag may complete later. Anything else is.
@@ -296,22 +344,27 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 				inst.pending[idx>>6] &^= 1 << (idx & 63)
 			}
 		}
-		vars := inst.vars
+		// The firing works on a private snapshot of the bag (applyActions
+		// already copies): the cached merge must never be written to.
+		var snapshot map[string]string
 		if len(clause.Actions) > 0 {
-			merged, err := applyActions(clause.Actions, vars, c.host.funcEnv)
+			snapshot, err = applyActions(clause.Actions, bag, c.host.funcEnv)
 			if err != nil {
 				go c.sendFault(ctx, instanceID, err)
 				return
 			}
-			inst.vars = merged
-			vars = merged
+		} else {
+			snapshot = make(map[string]string, len(bag))
+			for k, v := range bag {
+				snapshot[k] = v
+			}
 		}
 		inst.running = true
-		snapshot := make(map[string]string, len(vars))
-		for k, v := range vars {
-			snapshot[k] = v
-		}
-		go c.fire(ctx, instanceID, snapshot)
+		// Remember each source bag's version at fire time: finish uses it
+		// to tell data absorbed into this snapshot from data that arrived
+		// while the service ran.
+		firedVer := append([]uint32(nil), inst.srcVer...)
+		go c.fire(ctx, instanceID, snapshot, firedVer)
 		return
 	}
 }
@@ -322,8 +375,10 @@ func isUndefinedVar(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "undefined variable")
 }
 
-// fire invokes the component service and runs postprocessing.
-func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[string]string) {
+// fire invokes the component service and runs postprocessing. firedVer
+// is the per-source bag version vector captured when the snapshot was
+// taken (see finish).
+func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[string]string, firedVer []uint32) {
 	c.host.logf("coord %s/%s: firing instance %s", c.composite, c.table.State, instanceID)
 
 	params, err := bindInputs(c.table.Inputs, vars, c.host.funcEnv)
@@ -340,10 +395,10 @@ func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[stri
 	}
 
 	if err != nil {
-		c.finish(ctx, instanceID, nil, err)
+		c.finish(ctx, instanceID, nil, firedVer, err)
 		return
 	}
-	c.finish(ctx, instanceID, vars, nil)
+	c.finish(ctx, instanceID, vars, firedVer, nil)
 }
 
 // finish merges results, re-checks pending clauses (loops), and runs the
@@ -352,14 +407,29 @@ func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[stri
 // whose guard holds into a per-destination outbox, flushed once at the
 // end of the round — peers co-hosted at one address share a single wire
 // frame (per-destination FIFO order preserved).
-func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, invokeErr error) {
+func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, firedVer []uint32, invokeErr error) {
 	c.mu.Lock()
 	inst := c.instances[instanceID]
 	if inst != nil {
 		if vars != nil {
-			for k, v := range vars {
-				inst.vars[k] = v
+			// The firing's results (clause actions + service outputs) join
+			// the BASE layer. Source bags whose version is unchanged since
+			// the fire snapshot was taken are fully ABSORBED by it — their
+			// contents already reached the snapshot through the canonical
+			// merge — so they are cleared: stale source data must not
+			// shadow the fresher results in later evaluations. A bag
+			// written DURING the firing keeps its contents and still
+			// overrides base, so a loop's fresh notification beats our
+			// now-older results.
+			for i, bag := range inst.srcVars {
+				if bag != nil && inst.srcVer[i] == firedVer[i] {
+					inst.srcVars[i] = nil
+				}
 			}
+			for k, v := range vars {
+				inst.base[k] = v
+			}
+			inst.merged = nil
 		}
 		inst.running = false
 	}

@@ -40,12 +40,49 @@ type Wrapper struct {
 // unlike coordinator preconditions, finish clauses are never consumed
 // (the instance completes when one holds), so a seen-source bitmask is
 // the only bookkeeping needed — no counts.
+//
+// Like coordInstance, variables are layered per source and merged in
+// the canonical order (routing.CompiledPlan.FinishMergeOrder), never in
+// arrival order: finish clauses with receiver-side guards (guarded
+// transitions from a concurrent state into the root final) must
+// evaluate on the same bag regardless of which exit's TypeDone arrived
+// last, or complementary guards could all reject and Execute would hang
+// — the wrapper-side twin of the seed-8 AND-join liveness bug.
 type wrapperInstance struct {
 	done     chan struct{}
 	pending  []uint64
-	vars     map[string]string
+	base     map[string]string   // request inputs + non-finish-universe senders
+	srcVars  []map[string]string // per finish source, accumulated in sender FIFO order
+	merged   map[string]string   // cached canonical merge; nil when stale
 	err      error
 	finished bool
+}
+
+// mergedVars returns the instance bag (mergeLayers over the finish
+// universe's canonical order). Cached until the next write; callers
+// must not mutate the result. Caller holds w.mu.
+func (inst *wrapperInstance) mergedVars(w *Wrapper) map[string]string {
+	if inst.merged == nil {
+		inst.merged = mergeLayers(inst.base, w.compiled.FinishMergeOrder(), inst.srcVars)
+	}
+	return inst.merged
+}
+
+// mergeFrom files one notification's variables under src: into the
+// source's own layer when src is in the finish universe, into the base
+// layer otherwise. Caller holds w.mu.
+func (inst *wrapperInstance) mergeFrom(w *Wrapper, src string, vars map[string]string) {
+	bag := inst.base
+	if idx, ok := w.compiled.FinishSourceIndex(src); ok {
+		if inst.srcVars[idx] == nil {
+			inst.srcVars[idx] = make(map[string]string, len(vars))
+		}
+		bag = inst.srcVars[idx]
+	}
+	for k, v := range vars {
+		bag[k] = v
+	}
+	inst.merged = nil
 }
 
 // NewWrapper deploys the wrapper side of plan: it validates and COMPILES
@@ -109,10 +146,11 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	inst := &wrapperInstance{
 		done:    make(chan struct{}),
 		pending: make([]uint64, w.compiled.FinishMaskWords()),
-		vars:    map[string]string{},
+		base:    map[string]string{},
+		srcVars: make([]map[string]string, w.compiled.NumFinishSources()),
 	}
 	for k, v := range inputs {
-		inst.vars[k] = v
+		inst.base[k] = v
 	}
 	w.mu.Lock()
 	if _, dup := w.instances[id]; dup {
@@ -183,7 +221,13 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	if inst.err != nil {
 		return nil, inst.err
 	}
-	return w.projectOutputs(inst.vars), nil
+	// The final bag is the same canonical merge the finish clauses were
+	// evaluated on (handle/RaiseEvent stop writing once finished is set,
+	// but the cache build itself must still happen under the lock).
+	w.mu.Lock()
+	final := inst.mergedVars(w)
+	w.mu.Unlock()
+	return w.projectOutputs(final), nil
 }
 
 // projectOutputs filters the final bag to declared inputs+outputs; when
@@ -233,9 +277,7 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 	// The wrapper's own finish clauses may reference the event too.
 	w.mu.Lock()
 	if inst, ok := w.instances[instanceID]; ok && !inst.finished {
-		for k, v := range payload {
-			inst.vars[k] = v
-		}
+		inst.mergeFrom(w, src, payload)
 		inst.record(w, src)
 		if w.finishSatisfied(inst) {
 			inst.finished = true
@@ -280,9 +322,7 @@ func (w *Wrapper) handle(_ context.Context, m *message.Message) {
 	}
 	switch m.Type {
 	case message.TypeDone:
-		for k, v := range m.Vars {
-			inst.vars[k] = v
-		}
+		inst.mergeFrom(w, m.From, m.Vars)
 		inst.record(w, m.From)
 		if w.finishSatisfied(inst) {
 			inst.finished = true
@@ -298,14 +338,15 @@ func (w *Wrapper) handle(_ context.Context, m *message.Message) {
 // finishSatisfied checks the compiled finish clauses against received
 // termination notices: all sources present (bitmask coverage) and the
 // clause's precompiled receiver-side condition (if any) true on the
-// merged bag. Conditions that cannot be evaluated yet (undefined
-// variables) keep waiting.
+// CANONICALLY merged bag (see wrapperInstance). Conditions that cannot
+// be evaluated yet (undefined variables) keep waiting. Caller holds w.mu.
 func (w *Wrapper) finishSatisfied(inst *wrapperInstance) bool {
+	bag := inst.mergedVars(w)
 	for _, clause := range w.compiled.Finish {
 		if !clause.Covered(inst.pending) {
 			continue
 		}
-		ok, err := evalGuard(clause.Condition, inst.vars, w.funcEnv)
+		ok, err := evalGuard(clause.Condition, bag, w.funcEnv)
 		if err != nil || !ok {
 			continue
 		}

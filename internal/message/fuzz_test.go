@@ -14,11 +14,13 @@ package message
 //
 //	go test ./internal/message -run '^$' -fuzz FuzzUnmarshal -fuzztime 30s
 //	go test ./internal/message -run '^$' -fuzz FuzzUnmarshalBatch -fuzztime 30s
+//	go test ./internal/message -run '^$' -fuzz FuzzMergeBatch -fuzztime 30s
 //
-// (make fuzz runs both; CI gives each 30s per push.)
+// (make fuzz runs all three; CI gives each 30s per push.)
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -129,6 +131,69 @@ func FuzzUnmarshalBatch(f *testing.F) {
 			}
 			if !bytes.Equal(re, legacy) {
 				t.Fatalf("batch-of-one encoding differs from legacy:\nbatch:  %q\nlegacy: %q", re, legacy)
+			}
+		}
+	})
+}
+
+// FuzzMergeBatch fuzzes the writer-side frame merge (merge.go) with
+// PAIRS of payloads. The contract: two payloads that each decode must
+// merge, and the merge decodes to the concatenation of their messages;
+// payloads with corrupt framing are rejected without panic and without
+// partial output.
+func FuzzMergeBatch(f *testing.F) {
+	var seeds [][]byte
+	for _, m := range seedMessages() {
+		data, err := Marshal(m)
+		if err != nil {
+			f.Fatalf("seed marshal: %v", err)
+		}
+		seeds = append(seeds, data)
+	}
+	batch, err := MarshalBatch(seedMessages())
+	if err != nil {
+		f.Fatalf("seed batch marshal: %v", err)
+	}
+	seeds = append(seeds, batch, batch[:len(batch)/2],
+		[]byte{0x00}, []byte{0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		[]byte("<message"), []byte{})
+	for _, a := range seeds {
+		for _, b := range seeds {
+			f.Add(a, b)
+		}
+	}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		wantA, errA := UnmarshalBatch(a)
+		wantB, errB := UnmarshalBatch(b)
+		merged, count, err := MergeBatch([][]byte{a, b})
+		if errA != nil || errB != nil {
+			// At least one input does not decode. The merge may accept it
+			// anyway (framing can be valid around an undecodable document —
+			// document bytes are deliberately not parsed here), but it must
+			// never panic; rejection must be ErrMergeCorrupt or ErrEmptyBatch.
+			if err != nil && !errors.Is(err, ErrMergeCorrupt) && !errors.Is(err, ErrEmptyBatch) {
+				t.Fatalf("unexpected merge error kind: %v", err)
+			}
+			return
+		}
+		// Both inputs decode -> their framing is valid -> merge MUST work.
+		if err != nil {
+			t.Fatalf("merge of two decodable payloads failed: %v", err)
+		}
+		want := append(append([]*Message{}, wantA...), wantB...)
+		if count != len(want) {
+			t.Fatalf("merge count = %d, want %d", count, len(want))
+		}
+		got, err := UnmarshalBatch(merged)
+		if err != nil {
+			t.Fatalf("decode of merged payload failed: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("merged decode has %d messages, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(normalize(got[i]), normalize(want[i])) {
+				t.Fatalf("merged message %d diverged:\n got: %+v\nwant: %+v", i, got[i], want[i])
 			}
 		}
 	})

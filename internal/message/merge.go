@@ -1,0 +1,114 @@
+package message
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the frame-merge primitive behind cross-round
+// batching: the transport writer goroutines coalesce everything queued
+// for one destination into a single wire frame, and they must do it
+// WITHOUT re-marshaling payloads that were already encoded when the
+// sends were accepted. Merging is pure byte surgery on the batch
+// framing (batch.go): document bytes are copied verbatim, so the merge
+// of frames F1..Fn decodes to exactly the concatenation of the messages
+// of F1..Fn, in order — the property FuzzMergeBatch pins.
+
+// ErrMergeCorrupt reports a payload whose batch framing is inconsistent
+// (a lying count or length prefix). Corrupt frames are refused, never
+// merged: a writer falls back to writing the frame untouched rather
+// than contaminating its neighbours.
+var ErrMergeCorrupt = fmt.Errorf("message: merge: corrupt payload")
+
+// payloadShape describes one encoded payload's framing: how many
+// messages it carries and, for batch payloads, where its (len|doc)*
+// body starts. It validates the framing ONLY — document bytes are never
+// parsed here (that is the receiver's job).
+func payloadShape(data []byte) (count int, body []byte, legacy bool, err error) {
+	if len(data) == 0 {
+		return 0, nil, false, fmt.Errorf("%w: empty payload", ErrMergeCorrupt)
+	}
+	if data[0] != batchMagic {
+		// Legacy single-document payload: one message, the whole payload
+		// is the document.
+		return 1, nil, true, nil
+	}
+	rest := data[1:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return 0, nil, false, fmt.Errorf("%w: malformed count", ErrMergeCorrupt)
+	}
+	rest = rest[w:]
+	if n == 0 || n > uint64(len(rest)) {
+		return 0, nil, false, fmt.Errorf("%w: count %d exceeds payload", ErrMergeCorrupt, n)
+	}
+	// Walk the length prefixes so a lying length cannot survive into a
+	// merged frame (the walk is O(count), not O(bytes)).
+	walk := rest
+	for i := uint64(0); i < n; i++ {
+		size, w := binary.Uvarint(walk)
+		if w <= 0 || size > uint64(len(walk)-w) {
+			return 0, nil, false, fmt.Errorf("%w: malformed length for document %d", ErrMergeCorrupt, i)
+		}
+		walk = walk[w+int(size):]
+	}
+	if len(walk) != 0 {
+		return 0, nil, false, fmt.Errorf("%w: %d trailing bytes", ErrMergeCorrupt, len(walk))
+	}
+	return int(n), rest, false, nil
+}
+
+// MergeBatch merges already-encoded frame payloads — each either a
+// legacy single-document payload or a batch payload — into ONE payload
+// that decodes (UnmarshalBatch) to the concatenation of their messages
+// in slice order. Documents are copied verbatim, never re-marshaled;
+// legacy payloads are promoted to batch entries. The returned count is
+// the total number of messages.
+//
+// A single valid payload is returned unchanged (zero-copy), preserving
+// the batch-of-one ≡ legacy byte-identity of the wire format. Corrupt
+// framing in ANY input fails the whole merge with ErrMergeCorrupt and
+// no partial output.
+func MergeBatch(payloads [][]byte) ([]byte, int, error) {
+	if len(payloads) == 0 {
+		return nil, 0, ErrEmptyBatch
+	}
+	total := 0
+	size := 1 + binary.MaxVarintLen64 // magic + count, worst case
+	shapes := make([]struct {
+		body   []byte
+		legacy bool
+	}, len(payloads))
+	for i, p := range payloads {
+		count, body, legacy, err := payloadShape(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("payload %d: %w", i, err)
+		}
+		total += count
+		if legacy {
+			size += binary.MaxVarintLen64 + len(p)
+		} else {
+			size += len(body)
+		}
+		shapes[i].body, shapes[i].legacy = body, legacy
+	}
+	if len(payloads) == 1 {
+		return payloads[0], total, nil
+	}
+
+	var buf bytes.Buffer
+	buf.Grow(size)
+	var varint [binary.MaxVarintLen64]byte
+	buf.WriteByte(batchMagic)
+	buf.Write(varint[:binary.PutUvarint(varint[:], uint64(total))])
+	for i, p := range payloads {
+		if shapes[i].legacy {
+			buf.Write(varint[:binary.PutUvarint(varint[:], uint64(len(p)))])
+			buf.Write(p)
+			continue
+		}
+		buf.Write(shapes[i].body)
+	}
+	return buf.Bytes(), total, nil
+}

@@ -1,0 +1,155 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func mustMarshal(t *testing.T, m *Message) []byte {
+	t.Helper()
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	return data
+}
+
+func mustMarshalBatch(t *testing.T, ms []*Message) []byte {
+	t.Helper()
+	data, err := MarshalBatch(ms)
+	if err != nil {
+		t.Fatalf("MarshalBatch: %v", err)
+	}
+	return data
+}
+
+// TestMergeBatchEqualsMarshalBatch pins the core identity: merging the
+// individually encoded frames of a message sequence produces byte-for-
+// byte the same payload as batch-encoding the sequence directly — the
+// writer-side merge is indistinguishable on the wire from sender-side
+// batching.
+func TestMergeBatchEqualsMarshalBatch(t *testing.T) {
+	ms := seedMessages()
+	payloads := make([][]byte, len(ms))
+	for i, m := range ms {
+		payloads[i] = mustMarshal(t, m)
+	}
+	merged, count, err := MergeBatch(payloads)
+	if err != nil {
+		t.Fatalf("MergeBatch: %v", err)
+	}
+	if count != len(ms) {
+		t.Fatalf("count = %d, want %d", count, len(ms))
+	}
+	want := mustMarshalBatch(t, ms)
+	if !bytes.Equal(merged, want) {
+		t.Fatalf("merged payload differs from MarshalBatch:\nmerged: %q\ndirect: %q", merged, want)
+	}
+}
+
+// TestMergeBatchMixedKinds merges legacy and batch payloads in one call:
+// the result decodes to the concatenation of all messages in order.
+func TestMergeBatchMixedKinds(t *testing.T) {
+	ms := seedMessages()
+	payloads := [][]byte{
+		mustMarshalBatch(t, ms[0:2]), // batch of two
+		mustMarshal(t, ms[2]),        // legacy, promoted on merge
+		mustMarshalBatch(t, ms[3:6]), // batch of three
+	}
+	merged, count, err := MergeBatch(payloads)
+	if err != nil {
+		t.Fatalf("MergeBatch: %v", err)
+	}
+	if count != 6 {
+		t.Fatalf("count = %d, want 6", count)
+	}
+	got, err := UnmarshalBatch(merged)
+	if err != nil {
+		t.Fatalf("UnmarshalBatch of merged payload: %v", err)
+	}
+	if len(got) != len(ms) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(ms))
+	}
+	for i := range ms {
+		if !reflect.DeepEqual(normalize(got[i]), normalize(ms[i])) {
+			t.Fatalf("message %d diverged:\n got: %+v\nwant: %+v", i, got[i], ms[i])
+		}
+	}
+}
+
+// TestMergeBatchSingleIsZeroCopy pins that a merge of one frame is the
+// identity: same bytes, same backing array — the FlushDelay=0 path must
+// not even copy.
+func TestMergeBatchSingleIsZeroCopy(t *testing.T) {
+	p := mustMarshal(t, seedMessages()[0])
+	merged, count, err := MergeBatch([][]byte{p})
+	if err != nil {
+		t.Fatalf("MergeBatch: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if &merged[0] != &p[0] || len(merged) != len(p) {
+		t.Fatal("single-payload merge copied the payload")
+	}
+}
+
+// TestMergeBatchRejectsCorrupt pins the failure contract: framing
+// corruption in any input refuses the whole merge with ErrMergeCorrupt
+// (wrapped), without panicking.
+func TestMergeBatchRejectsCorrupt(t *testing.T) {
+	good := mustMarshal(t, seedMessages()[0])
+	batch := mustMarshalBatch(t, seedMessages()[:3])
+	cases := map[string][]byte{
+		"empty payload":   {},
+		"bare magic":      {0x00},
+		"lying count":     {0x00, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		"zero count":      {0x00, 0x00},
+		"truncated batch": batch[:len(batch)-3],
+		"trailing bytes":  append(append([]byte{}, batch...), 'x'),
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := MergeBatch([][]byte{good, corrupt}); !errors.Is(err, ErrMergeCorrupt) {
+				t.Fatalf("err = %v, want ErrMergeCorrupt", err)
+			}
+			if _, _, err := MergeBatch([][]byte{corrupt, good}); !errors.Is(err, ErrMergeCorrupt) {
+				t.Fatalf("err (corrupt first) = %v, want ErrMergeCorrupt", err)
+			}
+		})
+	}
+	if _, _, err := MergeBatch(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("empty merge err = %v, want ErrEmptyBatch", err)
+	}
+}
+
+// TestMergeBatchAssociative pins that merging is associative: merging
+// incrementally (as a writer draining a queue might) equals merging all
+// at once — so batching decisions can never change what is delivered.
+func TestMergeBatchAssociative(t *testing.T) {
+	ms := seedMessages()
+	a := mustMarshal(t, ms[0])
+	b := mustMarshalBatch(t, ms[1:3])
+	c := mustMarshal(t, ms[3])
+
+	ab, _, err := MergeBatch([][]byte{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc1, n1, err := MergeBatch([][]byte{ab, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc2, n2, err := MergeBatch([][]byte{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 4 || n2 != 4 {
+		t.Fatalf("counts = %d, %d, want 4", n1, n2)
+	}
+	if !bytes.Equal(abc1, abc2) {
+		t.Fatalf("incremental merge differs from one-shot merge:\n inc: %q\nshot: %q", abc1, abc2)
+	}
+}

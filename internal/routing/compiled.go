@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"sort"
 
 	"selfserv/internal/expr"
 	"selfserv/internal/statechart"
@@ -84,6 +85,7 @@ type CompiledBinding struct {
 type sourceInterner struct {
 	index map[string]int
 	ids   []string
+	order []int // indices sorted by source ID; see mergeOrder
 }
 
 func newSourceInterner() *sourceInterner {
@@ -102,6 +104,24 @@ func (si *sourceInterner) intern(id string) int {
 
 // words returns the number of uint64 mask words covering the universe.
 func (si *sourceInterner) words() int { return (len(si.ids) + 63) / 64 }
+
+// seal freezes the universe and precomputes the canonical merge order:
+// the interned indices sorted by source ID. Every receiver that merges
+// per-source variable bags in this order computes the SAME merged bag
+// for the same set of notifications, regardless of arrival order — the
+// determinism alternative receivers of one AND-join need to agree on
+// which guarded successor fires (see engine: coordinator/wrapper).
+// "$wrapper" and "$event:..." pseudo-sources sort before state IDs, so
+// request inputs and event payloads form the lowest-priority layer.
+func (si *sourceInterner) seal() {
+	si.order = make([]int, len(si.ids))
+	for i := range si.order {
+		si.order[i] = i
+	}
+	sort.Slice(si.order, func(a, b int) bool {
+		return si.ids[si.order[a]] < si.ids[si.order[b]]
+	})
+}
 
 // CompiledTable is the runtime form of one state's routing table: every
 // expression pre-parsed, every precondition source interned. It is built
@@ -139,6 +159,13 @@ func (t *CompiledTable) SourceIndex(id string) (int, bool) {
 	i, ok := t.interner.index[id]
 	return i, ok
 }
+
+// MergeOrder returns the interned source indices sorted by source ID —
+// the canonical order in which per-source variable bags must be merged
+// so that every receiver computes the same bag for the same set of
+// notifications, independent of arrival order. The slice is shared and
+// must not be mutated.
+func (t *CompiledTable) MergeOrder() []int { return t.interner.order }
 
 // CompileTable compiles one routing table. Errors identify the offending
 // guard or action so deploy-time failures are actionable.
@@ -178,6 +205,7 @@ func CompileTable(tbl *Table) (*CompiledTable, error) {
 		}
 		ct.Postprocessings = append(ct.Postprocessings, c)
 	}
+	ct.interner.seal()
 	return ct, nil
 }
 
@@ -209,6 +237,11 @@ func (p *CompiledPlan) FinishSourceIndex(id string) (int, bool) {
 	i, ok := p.finish.index[id]
 	return i, ok
 }
+
+// FinishMergeOrder returns the finish-universe indices in canonical
+// (sorted-by-source-ID) merge order; see CompiledTable.MergeOrder. The
+// slice is shared and must not be mutated.
+func (p *CompiledPlan) FinishMergeOrder() []int { return p.finish.order }
 
 // EventSubscribers returns the precomputed, sorted state IDs whose
 // preconditions reference the event. The slice is shared; don't mutate.
@@ -259,6 +292,7 @@ func CompilePlan(plan *Plan) (*CompiledPlan, error) {
 	for _, ev := range plan.Events() {
 		cp.eventSubs[ev] = plan.EventSubscribers(ev)
 	}
+	cp.finish.seal()
 	return cp, nil
 }
 

@@ -76,7 +76,7 @@ type faultImpl struct {
 }
 
 func faultImpls() []faultImpl {
-	return []faultImpl{
+	impls := []faultImpl{
 		{
 			name: "inmem",
 			pad:  0,
@@ -98,6 +98,22 @@ func faultImpls() []faultImpl {
 			},
 		},
 	}
+	// The whole suite runs AGAIN with cross-round merging enabled: every
+	// flow-control and ordering guarantee must be invariant under the
+	// writers batching frames (merged delivery ≡ sequential delivery, an
+	// expired send's frame is never folded into an outgoing batch, the
+	// accepted prefix survives drains in order).
+	for _, impl := range impls[:len(impls):len(impls)] {
+		impl := impl
+		base := impl.newNet
+		impl.name += "+merge"
+		impl.newNet = func(flow FlowOptions) Network {
+			flow.FlushDelay = 2 * time.Millisecond
+			return base(flow)
+		}
+		impls = append(impls, impl)
+	}
+	return impls
 }
 
 // --- InMem stalled peer: Hold/Release ---
@@ -148,6 +164,7 @@ type rawPeer struct {
 	mu       sync.Mutex
 	conns    []net.Conn
 	got      []*message.Message
+	frames   [][]byte // raw payloads, one per wire frame, in arrival order
 	draining bool
 	closed   bool
 }
@@ -205,6 +222,7 @@ func (p *rawPeer) readFrames(c net.Conn) {
 		}
 		p.mu.Lock()
 		p.got = append(p.got, ms...)
+		p.frames = append(p.frames, payload)
 		p.mu.Unlock()
 	}
 }

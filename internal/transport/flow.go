@@ -79,12 +79,18 @@ const (
 	DefaultSendDeadline = 5 * time.Second
 	DefaultBackoffBase  = 25 * time.Millisecond
 	DefaultBackoffMax   = 2 * time.Second
+	// DefaultMaxBatchBytes caps a cross-round merged frame's payload when
+	// MaxBatchBytes is 0 and FlushDelay is enabled: large enough to fold
+	// hundreds of control documents, small enough to keep head-of-line
+	// latency at the receiver bounded.
+	DefaultMaxBatchBytes = 256 << 10
 )
 
 // FlowOptions tune per-destination flow control and connection
 // lifecycle. The zero value means: 256-frame queues, block policy with a
 // 5s send deadline, no idle eviction, no connection cap, 25ms..2s
-// jittered reconnect backoff.
+// jittered reconnect backoff, and no cross-round merging (FlushDelay 0:
+// one wire write per accepted frame).
 type FlowOptions struct {
 	// QueueLen caps the per-destination write queue, in frames. A send
 	// finding the queue full blocks or sheds per Policy. 0 means 256.
@@ -111,6 +117,24 @@ type FlowOptions struct {
 	// BackoffSeed seeds the jitter RNG so reconnect schedules are
 	// reproducible in tests. 0 means a fixed default seed.
 	BackoffSeed int64
+	// FlushDelay enables CROSS-ROUND batching, the Nagle-style
+	// latency/throughput knob: a writer that picked up a frame waits this
+	// long for more frames to the same destination, then merges
+	// everything queued into ONE wire frame (message.MergeBatch — no
+	// re-marshaling). Per-(sender,destination) FIFO and the receiver's
+	// sequential intra-frame delivery are preserved, so merging is
+	// invisible except in frame counts and stats (FramesMerged,
+	// MergedMsgsPerFrame). 0 — the default — disables merging entirely:
+	// every accepted frame gets its own wire write, byte-identical to the
+	// pre-merge transport. Latency-sensitive paths keep 0; throughput-
+	// bound fan-in workloads trade FlushDelay of added latency for fewer,
+	// larger writes.
+	FlushDelay time.Duration
+	// MaxBatchBytes caps a merged frame's payload size: when folding the
+	// next queued frame in would exceed it, the writer flushes what it
+	// has and starts a new batch with that frame. 0 means 256 KiB.
+	// Ignored while FlushDelay is 0.
+	MaxBatchBytes int
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -129,6 +153,9 @@ func (o FlowOptions) withDefaults() FlowOptions {
 	}
 	if o.BackoffSeed == 0 {
 		o.BackoffSeed = 1
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = DefaultMaxBatchBytes
 	}
 	return o
 }

@@ -35,9 +35,11 @@ type InMemOptions struct {
 	Synchronous bool
 	// Flow tunes the bounded per-destination queue that materializes
 	// while a destination is stalled by Hold or Cut (queue capacity,
-	// full-queue policy, send deadline). The lifecycle knobs
-	// (IdleTimeout, MaxConns, backoff) have no in-memory equivalent and
-	// are ignored.
+	// full-queue policy, send deadline), plus cross-round batching: with
+	// FlushDelay > 0 the Release/Restore drain merges the queued backlog
+	// into MaxBatchBytes-capped frames, deterministically mirroring the
+	// TCP writer's Nagle loop. The lifecycle knobs (IdleTimeout,
+	// MaxConns, backoff) have no in-memory equivalent and are ignored.
 	Flow FlowOptions
 }
 
@@ -61,6 +63,7 @@ type InMem struct {
 
 	mu        sync.RWMutex
 	handlers  map[string]Handler
+	hver      map[string]uint64 // bumped per (re-)registration of an address
 	peers     map[string]*inmemPeer
 	closed    bool
 	stop      chan struct{} // closed by Close; wakes senders blocked on a full queue
@@ -80,6 +83,7 @@ func NewInMem(opts InMemOptions) *InMem {
 		flow:     opts.Flow.withDefaults(),
 		stats:    newStatsBook(),
 		handlers: map[string]Handler{},
+		hver:     map[string]uint64{},
 		peers:    map[string]*inmemPeer{},
 		stop:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(seed)),
@@ -103,13 +107,17 @@ type inmemPeer struct {
 // messages that survived their send-time drop draws; the receiver's
 // stats record it at DELIVERY time (the drain), matching TCP's
 // read-side accounting — a frame dropped at Close never counts as
-// received.
+// received. hver is the address's registration version when the frame
+// captured its handler: the drain only merges frames with equal hver,
+// so a re-registration mid-stall keeps each frame bound to the handler
+// it was accepted for (merged ≡ sequential even across Listen churn).
 type inmemFrame struct {
 	data  []byte
 	msgs  int
 	kept  int
 	drops []bool
 	h     Handler
+	hver  uint64
 }
 
 // MintAddr implements Network: any non-empty name is a valid in-memory
@@ -138,6 +146,7 @@ func (n *InMem) Listen(addr string, h Handler) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: address %q already in use", addr)
 	}
 	n.handlers[addr] = h
+	n.hver[addr]++ // frames queued for an older registration never merge with this one's
 	return &inmemEndpoint{net: n, addr: addr}, nil
 }
 
@@ -236,6 +245,15 @@ func (n *InMem) unstall(addr string, reconnect bool) {
 	// Drain with stalled still set: a handler reached during the drain
 	// (or a concurrent sender) that sends to addr again enqueues BEHIND
 	// the remaining queued frames instead of overtaking them.
+	//
+	// With FlushDelay enabled the drain is this network's cross-round
+	// batcher (the deterministic twin of the TCP writer's Nagle loop): it
+	// takes EVERYTHING queued at this moment — the backlog is exactly
+	// what a TCP writer would find after its delay — and folds
+	// consecutive frames into merged deliveries up to MaxBatchBytes.
+	// Queue order becomes intra-frame order, handled sequentially, so
+	// delivery is indistinguishable from the unmerged drain except in
+	// frame counts and merge stats.
 	for {
 		p.mu.Lock()
 		if len(p.queue) == 0 {
@@ -244,14 +262,66 @@ func (n *InMem) unstall(addr string, reconnect bool) {
 			p.mu.Unlock()
 			return
 		}
-		f := p.queue[0]
-		p.queue = p.queue[1:]
+		take := 1
+		if n.flow.FlushDelay > 0 {
+			// Same conservative merged-size bound as the TCP collector, so
+			// the cap means the same thing on both transports.
+			total := mergeHeaderBound + mergeFrameBound + len(p.queue[0].data)
+			for take < len(p.queue) &&
+				total+mergeFrameBound+len(p.queue[take].data) <= n.flow.MaxBatchBytes &&
+				p.queue[take].hver == p.queue[0].hver {
+				total += mergeFrameBound + len(p.queue[take].data)
+				take++
+			}
+		}
+		batch := append([]inmemFrame(nil), p.queue[:take]...)
+		p.queue = p.queue[take:]
 		p.mu.Unlock()
-		<-p.slots
-		dst.queueDepth.Add(-1)
-		n.stats.recordIn(addr, f.kept, len(f.data))
-		n.deliverQueued(f)
+		for i := 0; i < take; i++ {
+			<-p.slots
+		}
+		dst.queueDepth.Add(int64(-take))
+		for _, f := range n.mergeQueued(dst, batch) {
+			n.stats.recordIn(addr, f.kept, len(f.data))
+			n.deliverQueued(f)
+		}
 	}
+}
+
+// mergeQueued folds a drained batch into one frame: payloads merged
+// byte-wise (message.MergeBatch), per-message drop decisions — already
+// drawn at send time, in send order — concatenated to match the merged
+// decode order. A batch of one passes through untouched. A merge error
+// is unreachable for frames this network encoded; if it surfaces
+// anyway, the frames are returned unmerged, in order — delivery
+// degrades to the pre-merge drain instead of losing anything.
+func (n *InMem) mergeQueued(dst *nodeCounters, batch []inmemFrame) []inmemFrame {
+	if len(batch) == 1 {
+		return batch
+	}
+	payloads := make([][]byte, len(batch))
+	anyDrops := false
+	for i, f := range batch {
+		payloads[i] = f.data
+		anyDrops = anyDrops || f.drops != nil
+	}
+	merged, count, err := message.MergeBatch(payloads)
+	if err != nil {
+		return batch
+	}
+	out := inmemFrame{data: merged, msgs: count, h: batch[0].h}
+	for _, f := range batch {
+		out.kept += f.kept
+		if anyDrops {
+			drops := f.drops
+			if drops == nil {
+				drops = make([]bool, f.msgs)
+			}
+			out.drops = append(out.drops, drops...)
+		}
+	}
+	dst.recordMerge(len(batch), count)
+	return []inmemFrame{out}
 }
 
 // deliverQueued hands one drained frame to its handler, skipping the
@@ -304,6 +374,7 @@ func (n *InMem) sendBatch(ctx context.Context, out *nodeCounters, to string, ms 
 func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
 	n.mu.RLock()
 	h, ok := n.handlers[to]
+	hver := n.hver[to]
 	closed := n.closed
 	p := n.peers[to]
 	n.mu.RUnlock()
@@ -315,7 +386,7 @@ func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, 
 	}
 
 	if p != nil {
-		done, err := n.offerStalled(ctx, p, out, to, h, data, msgs)
+		done, err := n.offerStalled(ctx, p, out, to, h, hver, data, msgs)
 		if done || err != nil {
 			return err
 		}
@@ -328,7 +399,7 @@ func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, 
 // the frame was consumed (queued, fully dropped, or refused with err);
 // done=false means the destination is not stalled and the caller should
 // deliver directly.
-func (n *InMem) offerStalled(ctx context.Context, p *inmemPeer, out *nodeCounters, to string, h Handler, data []byte, msgs int) (bool, error) {
+func (n *InMem) offerStalled(ctx context.Context, p *inmemPeer, out *nodeCounters, to string, h Handler, hver uint64, data []byte, msgs int) (bool, error) {
 	p.mu.Lock()
 	stalled := p.stalled
 	p.mu.Unlock()
@@ -382,7 +453,7 @@ func (n *InMem) offerStalled(ctx context.Context, p *inmemPeer, out *nodeCounter
 		<-p.slots // the whole frame was lost: nothing to queue
 		return true, nil
 	}
-	p.queue = append(p.queue, inmemFrame{data: data, msgs: msgs, kept: kept, drops: drops, h: h})
+	p.queue = append(p.queue, inmemFrame{data: data, msgs: msgs, kept: kept, drops: drops, h: h, hver: hver})
 	p.mu.Unlock()
 	n.stats.node(to).queueDepth.Add(1)
 	return true, nil

@@ -40,7 +40,10 @@ var errRetired = errors.New("transport: connection retired")
 // re-establishes failed connections with jittered exponential backoff,
 // re-sending the failed frame first so per-sender FIFO order survives
 // reconnects. Idle connections age out (FlowOptions.IdleTimeout) and the
-// cache is capped (FlowOptions.MaxConns). See docs/transport.md.
+// cache is capped (FlowOptions.MaxConns). With FlowOptions.FlushDelay
+// set, each writer additionally merges everything queued for its
+// destination into one wire frame per write — cross-round batching (see
+// writeLoop and docs/transport.md).
 type TCP struct {
 	stats *statsBook
 	flow  FlowOptions
@@ -95,6 +98,13 @@ type tcpConn struct {
 	dst  *nodeCounters // destination-keyed flow counters
 
 	queue chan tcpFrame
+	// space is the admission semaphore bounding accepted-but-unwritten
+	// frames at QueueLen: a send takes a token before enqueueing and the
+	// writer returns the tokens only AFTER the frames hit the wire — so a
+	// cross-round batch in flight still counts against the bound (the
+	// queue channel alone would free its slots the moment the batcher
+	// drains them).
+	space chan struct{}
 	stop  chan struct{} // closed on retire; writer exits, waiters bail
 
 	stateMu sync.Mutex
@@ -227,8 +237,10 @@ func (t *TCP) sendFrame(ctx context.Context, out *nodeCounters, to string, data 
 }
 
 // enqueue places f in the connection's bounded queue, applying the
-// full-queue policy. While a sender waits here the connection counts as
-// in use and cannot be evicted.
+// full-queue policy. Admission is the space semaphore (not the queue
+// channel), so frames a cross-round batcher is still writing keep
+// counting against the bound. While a sender waits here the connection
+// counts as in use and cannot be evicted.
 func (tc *tcpConn) enqueue(ctx context.Context, f tcpFrame) error {
 	tc.stateMu.Lock()
 	if tc.retired {
@@ -245,35 +257,34 @@ func (tc *tcpConn) enqueue(ctx context.Context, f tcpFrame) error {
 	}()
 
 	select {
-	case tc.queue <- f:
-		tc.accepted()
-		return nil
+	case <-tc.space:
 	default:
-	}
-
-	// Queue full: count it, then shed or wait per policy.
-	tc.dst.sendBlocked.Add(1)
-	flow := tc.net.flow
-	if flow.Policy == QueueShed {
-		return flow.errQueueFull(tc.addr)
-	}
-	wait := flow.sendWait(ctx)
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
-	select {
-	case tc.queue <- f:
-		tc.accepted()
-		return nil
-	case <-timer.C:
-		if ctx.Err() != nil {
-			return ctx.Err()
+		// Queue full: count it, then shed or wait per policy.
+		tc.dst.sendBlocked.Add(1)
+		flow := tc.net.flow
+		if flow.Policy == QueueShed {
+			return flow.errQueueFull(tc.addr)
 		}
-		return flow.errSendDeadline(tc.addr, wait)
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-tc.stop:
-		return errRetired
+		wait := flow.sendWait(ctx)
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-tc.space:
+		case <-timer.C:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return flow.errSendDeadline(tc.addr, wait)
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tc.stop:
+			return errRetired
+		}
 	}
+	// A token is held, so the buffered channel always has room.
+	tc.accepted()
+	tc.queue <- f
+	return nil
 }
 
 // accepted records one frame entering the queue. Depth is tracked both
@@ -287,25 +298,123 @@ func (tc *tcpConn) accepted() {
 	tc.dst.queueDepth.Add(1)
 }
 
-// writeLoop drains the queue, one frame at a time, re-establishing the
-// connection with jittered backoff on failure. The failing frame stays
-// first in line, so the receiver observes the sender's acceptance order
-// across any number of reconnects.
+// writeLoop drains the queue, re-establishing the connection with
+// jittered backoff on failure. The failing frame stays first in line,
+// so the receiver observes the sender's acceptance order across any
+// number of reconnects.
+//
+// With FlushDelay enabled the loop is the cross-round batcher: after
+// picking up a frame it waits FlushDelay for late arrivals, then merges
+// EVERYTHING queued (up to MaxBatchBytes of payload) into one wire
+// frame via message.MergeBatch. Queue order becomes intra-batch order
+// and the receiver delivers a frame's messages sequentially, so
+// per-(sender,destination) FIFO is exactly what it was with one write
+// per frame. A frame that would overflow the byte cap is carried into
+// the next batch, never reordered. With FlushDelay 0 (the default) no
+// merge code runs at all: one frame, one write, byte-identical to the
+// pre-merge transport.
 func (tc *tcpConn) writeLoop() {
 	defer tc.net.writerWG.Done()
+	var carry *tcpFrame // first frame of the next batch (byte-cap overflow)
 	for {
-		select {
-		case <-tc.stop:
-			return
-		case f := <-tc.queue:
-			tc.writeFrame(f)
-			tc.dst.queueDepth.Add(-1)
-			tc.stateMu.Lock()
-			tc.depth--
-			tc.lastUse = time.Now()
-			tc.stateMu.Unlock()
+		var f tcpFrame
+		fromCarry := carry != nil
+		if fromCarry {
+			f, carry = *carry, nil
+		} else {
+			select {
+			case <-tc.stop:
+				return
+			case f = <-tc.queue:
+			}
+		}
+		wrote := 1
+		if tc.net.flow.FlushDelay > 0 {
+			batch, next, ok := tc.collectBatch(f, fromCarry)
+			if !ok {
+				return // retired mid-delay; accepted frames drop at Close only
+			}
+			carry = next
+			wrote = len(batch)
+			f = tc.mergeBatch(batch)
+		}
+		tc.writeFrame(f)
+		tc.dst.queueDepth.Add(int64(-wrote))
+		tc.stateMu.Lock()
+		tc.depth -= int64(wrote)
+		tc.lastUse = time.Now()
+		tc.stateMu.Unlock()
+		for i := 0; i < wrote; i++ {
+			tc.space <- struct{}{}
 		}
 	}
+}
+
+// collectBatch implements the Nagle wait: it sleeps FlushDelay to let a
+// subsequent firing round catch up, then drains the queue until empty or
+// until adding a frame would push the merged payload past MaxBatchBytes
+// (that frame is returned as the carry — the seed of the next batch).
+// A carry-seeded batch skips the sleep: the backlog that split the last
+// batch is already queued, so waiting buys nothing and would throttle a
+// saturated destination to one MaxBatchBytes write per FlushDelay.
+// Returns ok=false when the connection retired during the wait.
+func (tc *tcpConn) collectBatch(first tcpFrame, fromCarry bool) (batch []tcpFrame, carry *tcpFrame, ok bool) {
+	if !fromCarry && !tc.sleep(tc.net.flow.FlushDelay) {
+		return nil, nil, false
+	}
+	batch = []tcpFrame{first}
+	// Account against a conservative bound on the MERGED payload size
+	// (batch header + per-frame promotion prefix + payload), so the
+	// frame built by mergeBatch can never overshoot the cap — or, under
+	// the clamp, maxFrame.
+	total := mergeHeaderBound + mergeFrameBound + len(first.data) - 4
+	maxBytes := tc.net.flow.MaxBatchBytes
+	if maxBytes > maxFrame {
+		maxBytes = maxFrame
+	}
+	for {
+		select {
+		case g := <-tc.queue:
+			if total+mergeFrameBound+len(g.data)-4 > maxBytes {
+				return batch, &g, true
+			}
+			batch = append(batch, g)
+			total += mergeFrameBound + len(g.data) - 4
+		default:
+			return batch, nil, true
+		}
+	}
+}
+
+// mergeBatch folds the batch's payloads into one length-prefixed wire
+// frame (documents copied verbatim, message.MergeBatch) and records the
+// merge in the destination's stats. A batch of one is returned as-is —
+// its bytes are never touched. The error/overflow branch is defense in
+// depth: collectBatch's conservative byte accounting keeps a merged
+// payload under min(MaxBatchBytes, maxFrame), and frames this transport
+// encoded always merge — but if either assumption ever breaks, the
+// frames are written individually in order (nothing reordered, nothing
+// lost) and the last one is returned for the caller's write.
+func (tc *tcpConn) mergeBatch(batch []tcpFrame) tcpFrame {
+	if len(batch) == 1 {
+		return batch[0]
+	}
+	payloads := make([][]byte, len(batch))
+	for i, f := range batch {
+		payloads[i] = f.data[4:]
+	}
+	merged, count, err := message.MergeBatch(payloads)
+	if err != nil || len(merged) > maxFrame {
+		for _, f := range batch[:len(batch)-1] {
+			tc.writeFrame(f)
+		}
+		return batch[len(batch)-1]
+	}
+	frame := make([]byte, 4+len(merged))
+	binary.BigEndian.PutUint32(frame, uint32(len(merged)))
+	copy(frame[4:], merged)
+	tc.dst.recordMerge(len(batch), count)
+	return tcpFrame{data: frame, msgs: count}
 }
 
 // writeFrame writes one frame, retrying with backoff until it succeeds
@@ -443,14 +552,19 @@ func (t *TCP) conn(ctx context.Context, to string) (*tcpConn, error) {
 		net:  t,
 		addr: to,
 		dst:  t.stats.node(to),
-		// The frame the writer is currently writing still counts against
-		// the bound (depth tracks accepted-but-unwritten), so the channel
-		// holds QueueLen-1 and queued+in-flight never exceeds QueueLen.
-		queue:   make(chan tcpFrame, t.flow.QueueLen-1),
+		// Admission is bounded by the space semaphore (QueueLen tokens,
+		// returned only after a frame is written), so frames the writer is
+		// merging or writing still count; the channel merely carries what
+		// was admitted and can never block a token holder.
+		queue:   make(chan tcpFrame, t.flow.QueueLen),
+		space:   make(chan struct{}, t.flow.QueueLen),
 		stop:    make(chan struct{}),
 		lastUse: time.Now(),
 		c:       c,
 		dialed:  true,
+	}
+	for i := 0; i < t.flow.QueueLen; i++ {
+		tc.space <- struct{}{}
 	}
 	if t.ever[to] {
 		// A fresh dial to a destination seen before: the previous cached

@@ -26,6 +26,7 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -132,6 +133,28 @@ type NodeStats struct {
 	// Reconnects counts connections to this destination re-established
 	// after a failure or an eviction.
 	Reconnects int64
+	// FramesMerged counts accepted frames toward this destination that
+	// were folded into another frame's wire write by cross-round batching
+	// (FlowOptions.FlushDelay) — i.e. wire writes SAVED. Zero while
+	// FlushDelay is 0.
+	FramesMerged int64
+	// MergedMsgs and MergedWrites describe the merged wire frames toward
+	// this destination: MergedWrites counts wire frames assembled from
+	// two or more accepted frames, MergedMsgs the messages they carried.
+	// MergedMsgsPerFrame derives the mean batch size from them.
+	MergedMsgs   int64
+	MergedWrites int64
+}
+
+// MergedMsgsPerFrame reports the mean number of messages per MERGED wire
+// frame (frames assembled from 2+ accepted frames by cross-round
+// batching) — the observable for tuning FlowOptions.FlushDelay. Zero
+// when no merge has happened.
+func (n NodeStats) MergedMsgsPerFrame() float64 {
+	if n.MergedWrites == 0 {
+		return 0
+	}
+	return float64(n.MergedMsgs) / float64(n.MergedWrites)
 }
 
 // Stats is a snapshot of traffic by address.
@@ -151,6 +174,9 @@ func (s Stats) Total() NodeStats {
 		t.QueueDepth += n.QueueDepth
 		t.SendBlocked += n.SendBlocked
 		t.Reconnects += n.Reconnects
+		t.FramesMerged += n.FramesMerged
+		t.MergedMsgs += n.MergedMsgs
+		t.MergedWrites += n.MergedWrites
 	}
 	return t
 }
@@ -187,18 +213,37 @@ type nodeCounters struct {
 	queueDepth  atomic.Int64
 	sendBlocked atomic.Int64
 	reconnects  atomic.Int64
+	// Cross-round merge counters for the path TOWARD this address.
+	framesMerged atomic.Int64
+	mergedMsgs   atomic.Int64
+	mergedWrites atomic.Int64
+}
+
+// recordMerge counts one merged wire write toward this destination:
+// frames accepted frames carrying msgs messages went out as ONE frame.
+// No-op for unmerged writes (frames < 2).
+func (c *nodeCounters) recordMerge(frames, msgs int) {
+	if frames < 2 {
+		return
+	}
+	c.framesMerged.Add(int64(frames - 1))
+	c.mergedMsgs.Add(int64(msgs))
+	c.mergedWrites.Add(1)
 }
 
 func (c *nodeCounters) snapshot() NodeStats {
 	return NodeStats{
-		MsgsIn:      c.msgsIn.Load(),
-		MsgsOut:     c.msgsOut.Load(),
-		BytesIn:     c.bytesIn.Load(),
-		BytesOut:    c.bytesOut.Load(),
-		FramesOut:   c.framesOut.Load(),
-		QueueDepth:  c.queueDepth.Load(),
-		SendBlocked: c.sendBlocked.Load(),
-		Reconnects:  c.reconnects.Load(),
+		MsgsIn:       c.msgsIn.Load(),
+		MsgsOut:      c.msgsOut.Load(),
+		BytesIn:      c.bytesIn.Load(),
+		BytesOut:     c.bytesOut.Load(),
+		FramesOut:    c.framesOut.Load(),
+		QueueDepth:   c.queueDepth.Load(),
+		SendBlocked:  c.sendBlocked.Load(),
+		Reconnects:   c.reconnects.Load(),
+		FramesMerged: c.framesMerged.Load(),
+		MergedMsgs:   c.mergedMsgs.Load(),
+		MergedWrites: c.mergedWrites.Load(),
 	}
 }
 
@@ -260,6 +305,18 @@ func (b *statsBook) snapshot() Stats {
 	}
 	return out
 }
+
+// Conservative bounds for cross-round merge accounting: a merged
+// payload is at most the batch header (magic + count uvarint) plus, per
+// folded frame, a promotion length prefix and the frame's own payload
+// (batch-format frames shed their header on merge, so their payload
+// length already over-counts them). Collecting against these bounds
+// guarantees the merged payload respects MaxBatchBytes — and under the
+// TCP clamp, maxFrame — BEFORE the merge is built.
+const (
+	mergeHeaderBound = 1 + binary.MaxVarintLen64 // batch magic + count
+	mergeFrameBound  = binary.MaxVarintLen64     // per-frame length prefix
+)
 
 // encodeBatch serializes a batch for the wire.
 func encodeBatch(ms []*message.Message) ([]byte, error) {
