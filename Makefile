@@ -21,6 +21,15 @@ bench-e3: ## E3 only: P2P vs centralized orchestration latency
 bench-crossround: ## cross-round batching sweep (compare against BENCH_crossround.json)
 	$(GO) test -bench=BenchmarkE3PipelinedChainTCP -run '^$$' .
 
+# Short fixed-iteration run of the E8 concurrent-instance sweep
+# (M in-flight executions over Parallel(8)/Chain(8), p50 + execs/sec).
+# CI runs this as a smoke job on every push: a regression guard by
+# inspection against BENCH_concurrency.json — no hard threshold, since
+# shared runners make absolute throughput numbers noisy.
+.PHONY: bench-concurrency
+bench-concurrency:
+	$(GO) test -bench=BenchmarkE8ConcurrentInstances -benchtime=300x -run '^$$' .
+
 COVER_FLOOR ?= 80
 
 .PHONY: cover
@@ -41,6 +50,9 @@ fuzz: ## short fuzz pass over the wire decoders and the frame merge
 
 .PHONY: flake
 flake: ## liveness/flake hunt: the concurrent packages, race detector, 10 loops
+	# Covers the 64-way concurrent-Execute stress test (engine
+	# stress_test.go) and the receive-lane FIFO contract (transport
+	# faults_test.go) — both live in these packages.
 	$(GO) test -race -count=10 ./internal/engine/ ./internal/transport/
 
 .PHONY: vet

@@ -16,7 +16,9 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -325,6 +327,92 @@ func BenchmarkE3PipelinedChainTCP(b *testing.B) {
 			b.ReportMetric(float64(total.FramesOut-total.FramesMerged)/float64(b.N), "wire-frames/exec")
 			b.ReportMetric(total.MergedMsgsPerFrame(), "merged-msgs/frame")
 		})
+	}
+}
+
+// --- E8: concurrent-instance scaling -----------------------------------
+
+// BenchmarkE8ConcurrentInstances measures how the engine scales with the
+// number of in-flight executions of ONE composite — the regime the
+// paper's "heavy traffic" pitch lives in, where a central hub melts and
+// peer-to-peer coordinators are supposed to keep going. M workers each
+// run executions back-to-back (an open pipe of M concurrent instances
+// per wrapper and per coordinator), sharing the b.N execution budget.
+// Reported per cell: p50 per-execution latency and aggregate execs/sec.
+// The sweep M ∈ {1, 8, 64, 256} over Parallel(8) and Chain(8) is the
+// series recorded in BENCH_concurrency.json; contention inside the
+// engine (instance-map locks, receive dispatch) shows up here and
+// nowhere else in the harness.
+func BenchmarkE8ConcurrentInstances(b *testing.B) {
+	const k = 8
+	for _, shape := range []string{"parallel", "chain"} {
+		shape := shape
+		var sc *statechart.Statechart
+		var register func(p *core.Platform)
+		if shape == "chain" {
+			sc = workload.Chain(k)
+			register = func(p *core.Platform) {
+				workload.RegisterChainProviders(p.Registry(), k, service.SimulatedOptions{})
+			}
+		} else {
+			sc = workload.Parallel(k)
+			register = func(p *core.Platform) {
+				workload.RegisterParallelProviders(p.Registry(), k, service.SimulatedOptions{})
+			}
+		}
+		for _, m := range []int{1, 8, 64, 256} {
+			m := m
+			b.Run(fmt.Sprintf("%s-%d/inflight-%d", shape, k, m), func(b *testing.B) {
+				_, comp := deployP2P(b, sc, register)
+				ctx := context.Background()
+				in := map[string]string{"x": "0"}
+				if _, err := comp.Execute(ctx, in); err != nil {
+					b.Fatal(err) // warm the directory and conn caches
+				}
+				var next atomic.Int64
+				var execErr atomic.Pointer[error]
+				lat := make([][]time.Duration, m)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				start := time.Now()
+				for w := 0; w < m; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for next.Add(1) <= int64(b.N) {
+							t0 := time.Now()
+							if _, err := comp.Execute(ctx, in); err != nil {
+								// FailNow must not run off the benchmark
+								// goroutine; park the first error instead.
+								execErr.CompareAndSwap(nil, &err)
+								return
+							}
+							lat[w] = append(lat[w], time.Since(t0))
+						}
+					}(w)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				b.StopTimer()
+				if errp := execErr.Load(); errp != nil {
+					b.Fatal(*errp)
+				}
+				var all []time.Duration
+				for _, ls := range lat {
+					all = append(all, ls...)
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+				if len(all) > 0 {
+					// p50 AND p95: under the pre-laned engine the median
+					// looked fine while the tail starved (unfair
+					// goroutine-per-frame scheduling); the spread between
+					// the two is the fairness observable.
+					b.ReportMetric(float64(all[len(all)/2].Microseconds()), "p50-µs")
+					b.ReportMetric(float64(all[len(all)*95/100].Microseconds()), "p95-µs")
+				}
+				b.ReportMetric(float64(len(all))/elapsed.Seconds(), "execs/sec")
+			})
+		}
 	}
 }
 

@@ -1,9 +1,9 @@
-// Bench regenerates the experiment tables of EXPERIMENTS.md (E1–E7) as
+// Bench regenerates the experiment tables of EXPERIMENTS.md (E1–E9) as
 // Markdown, using fixed iteration counts rather than testing.B's
 // auto-scaling, so rows are directly comparable across runs.
 //
 //	go run ./cmd/bench            # all experiments
-//	go run ./cmd/bench -exp e3,e7 # a subset
+//	go run ./cmd/bench -exp e3,e8 # a subset
 //	go run ./cmd/bench -n 200     # iterations per cell
 package main
 
@@ -13,7 +13,10 @@ import (
 	"fmt"
 	"log"
 	"net/http/httptest"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"selfserv/internal/community"
@@ -30,12 +33,12 @@ import (
 var iterations = flag.Int("n", 100, "iterations per table cell")
 
 func main() {
-	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e7) or 'all'")
+	expFlag := flag.String("exp", "all", "comma-separated experiments (e1..e9) or 'all'")
 	flag.Parse()
 
 	run := map[string]bool{}
 	if *expFlag == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+		for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
 			run[e] = true
 		}
 	} else {
@@ -66,6 +69,9 @@ func main() {
 	}
 	if run["e8"] {
 		e8()
+	}
+	if run["e9"] {
+		e9()
 	}
 }
 
@@ -418,14 +424,65 @@ func e7() {
 	}
 }
 
-// e8 measures availability under message loss: Chain(8) executed with a
+// e8 measures concurrent-instance scaling: M in-flight executions of
+// one composite (open pipe of M workers sharing an execution budget)
+// over Parallel(8) and Chain(8), reporting p50 per-execution latency
+// and aggregate execs/sec. The Go-bench twin is
+// BenchmarkE8ConcurrentInstances; BENCH_concurrency.json records the
+// before/after series of the lock-striped engine.
+func e8() {
+	header("E8 — Concurrent-instance scaling",
+		"workload", "in-flight", "p50 latency", "p95 latency", "execs/sec")
+	const k = 8
+	n := *iterations * 8 // per cell; amortize ramp-up across workers
+	for _, shape := range []string{"parallel", "chain"} {
+		for _, m := range []int{1, 8, 64, 256} {
+			sc, register := shapeWorkload(shape, k)
+			p, comp := deploy(sc, register)
+			if _, err := comp.Execute(context.Background(), map[string]string{"x": "0"}); err != nil {
+				log.Fatal(err)
+			}
+			var next atomic.Int64
+			lat := make([][]time.Duration, m)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < m; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for next.Add(1) <= int64(n) {
+						t0 := time.Now()
+						if _, err := comp.Execute(context.Background(), map[string]string{"x": "0"}); err != nil {
+							log.Fatalf("E8 %s M=%d: %v", shape, m, err)
+						}
+						lat[w] = append(lat[w], time.Since(t0))
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			var all []time.Duration
+			for _, ls := range lat {
+				all = append(all, ls...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			row(fmt.Sprintf("%s-%d", shape, k), fmt.Sprint(m),
+				all[len(all)/2].Round(time.Microsecond).String(),
+				all[len(all)*95/100].Round(time.Microsecond).String(),
+				fmt.Sprintf("%.0f", float64(len(all))/elapsed.Seconds()))
+			p.Close()
+		}
+	}
+}
+
+// e9 measures availability under message loss: Chain(8) executed with a
 // lossy transport (no retransmission, as in the paper's fire-and-forget
 // socket exchanges). The peer-to-peer plan needs ~k+1 messages per
 // execution while the hub needs 2k, so at equal link loss the hub fails
 // roughly twice as often — the quantitative face of §1's availability
 // argument. Timed-out executions count as failures.
-func e8() {
-	header("E8 — Availability under message loss, Chain(8)",
+func e9() {
+	header("E9 — Availability under message loss, Chain(8)",
 		"drop rate", "P2P completion", "central completion")
 	const k = 8
 	n := *iterations

@@ -13,11 +13,12 @@
 // "echo:<Name>:<op>" for generic wiring tests and "inc:<Name>" for a
 // service that increments its numeric "x" parameter.
 //
-// Transport flow control, connection lifecycle, and cross-round
-// batching are tunable: see the -send-queue, -queue-policy,
-// -send-deadline, -conn-idle-timeout, -max-conns, -reconnect-backoff,
-// -flush-delay and -max-batch-bytes flags (and docs/transport.md for
-// the contract behind them).
+// Transport flow control, connection lifecycle, cross-round batching,
+// and the bounded receive lanes are tunable: see the -send-queue,
+// -queue-policy, -send-deadline, -conn-idle-timeout, -max-conns,
+// -reconnect-backoff, -flush-delay, -max-batch-bytes, -recv-lanes and
+// -recv-queue flags (and docs/transport.md for the contract behind
+// them).
 package main
 
 import (
@@ -72,6 +73,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	backoffMax := fs.Duration("reconnect-backoff-max", 0, "cap on the reconnect delay (0 = 2s)")
 	flushDelay := fs.Duration("flush-delay", 0, "cross-round batching: wait this long per wire write to merge everything queued for a destination into one frame; trades latency for throughput (0 = off, write per frame)")
 	maxBatchBytes := fs.Int("max-batch-bytes", 0, "payload cap for a merged frame under -flush-delay (0 = 256KiB)")
+	recvLanes := fs.Int("recv-lanes", 0, "bounded receive delivery lanes per listener; inbound frames hash by logical sender (the frame's From) onto a lane, each delivering in FIFO order (0 = 8)")
+	recvQueue := fs.Int("recv-queue", 0, "per-lane receive queue capacity, in frames; a full lane pushes back on the sending connection (0 = 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +99,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		BackoffMax:    *backoffMax,
 		FlushDelay:    *flushDelay,
 		MaxBatchBytes: *maxBatchBytes,
+		RecvLanes:     *recvLanes,
+		RecvQueueLen:  *recvQueue,
 	})
 	defer tcp.Close()
 	dir := engine.NewDirectory()
@@ -147,10 +152,12 @@ func logStats(ctx context.Context, lg *log.Logger, tcp *transport.TCP, coordAddr
 			ns := st.Nodes[coordAddr]
 			total := st.Total()
 			lg.Printf("hostd: traffic in=%d out=%d frames-out=%d bytes-in=%d bytes-out=%d"+
-				" queue-depth=%d send-blocked=%d reconnects=%d frames-merged=%d merged-msgs-per-frame=%.1f conns=%d",
+				" queue-depth=%d send-blocked=%d reconnects=%d frames-merged=%d merged-msgs-per-frame=%.1f"+
+				" recv-lanes=%d recv-queue-depth=%d conns=%d",
 				ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn, ns.BytesOut,
 				total.QueueDepth, total.SendBlocked, total.Reconnects,
-				total.FramesMerged, total.MergedMsgsPerFrame(), tcp.ConnCount())
+				total.FramesMerged, total.MergedMsgsPerFrame(),
+				ns.RecvLanes, ns.RecvQueueDepth, tcp.ConnCount())
 		}
 	}
 }

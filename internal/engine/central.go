@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"sync"
 	"sync/atomic"
 
 	"selfserv/internal/expr"
@@ -35,8 +34,10 @@ type Central struct {
 
 	seq atomic.Int64
 
-	mu      sync.Mutex
-	pending map[string]chan *message.Message
+	// pending routes invocation replies (token → waiter channel). It is
+	// lock-striped by token hash (shard.go): concurrent runs register and
+	// resolve replies without sharing a hub-wide mutex.
+	pending shardedTable[chan *message.Message]
 }
 
 // NewCentral deploys a central orchestrator for plan, listening on addr
@@ -65,7 +66,6 @@ func NewCompiledCentral(net transport.Network, addr string, dir *Directory, comp
 		compiled: compiled,
 		funcs:    funcs,
 		funcEnv:  funcs.Env(),
-		pending:  map[string]chan *message.Message{},
 	}
 	ep, err := net.Listen(addr, c.handle)
 	if err != nil {
@@ -87,13 +87,11 @@ func (c *Central) handle(_ context.Context, m *message.Message) {
 	if m.Type != message.TypeResult {
 		return
 	}
-	c.mu.Lock()
-	ch := c.pending[m.Instance]
-	delete(c.pending, m.Instance)
-	c.mu.Unlock()
-	if ch != nil {
-		ch <- m
+	ch, ok := c.pending.take(m.Instance)
+	if !ok {
+		return
 	}
+	ch <- m
 }
 
 // stateResult reports one completed remote invocation to the event loop.
@@ -348,13 +346,11 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 
 	// Register every reply route before anything is sent: a fast host
 	// must never answer an unregistered token.
-	c.mu.Lock()
 	for _, g := range groups {
 		for _, l := range g.launches {
-			c.pending[l.token] = l.ch
+			c.pending.insert(l.token, l.ch)
 		}
 	}
-	c.mu.Unlock()
 
 	for _, g := range groups {
 		g := g
@@ -384,11 +380,7 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 // awaitReply blocks until l's TypeResult arrives (or ctx ends) and
 // reports it to the event loop.
 func (c *Central) awaitReply(ctx context.Context, l *launch, results chan<- stateResult) {
-	defer func() {
-		c.mu.Lock()
-		delete(c.pending, l.token)
-		c.mu.Unlock()
-	}()
+	defer c.pending.remove(l.token)
 	select {
 	case reply := <-l.ch:
 		if reply.Error != "" {

@@ -104,7 +104,6 @@ func (h *Host) InstallCompiled(composite string, table *routing.CompiledTable) e
 		host:      h,
 		composite: composite,
 		table:     table,
-		instances: map[string]*coordInstance{},
 	}
 	h.mu.Lock()
 	h.coords[coordKey(composite, table.State)] = c
@@ -202,14 +201,18 @@ func (h *Host) logf(format string, args ...any) {
 // actions were parsed at install time; per notification the coordinator
 // only bumps an interned counter, compares bitmasks, and walks prebuilt
 // expression trees.
+//
+// Instance bookkeeping is LOCK-STRIPED (see shard.go): the instance
+// table is sharded by instance-ID hash and each instance carries its
+// own mutex, so concurrent executions of the same composite never
+// serialize behind a coordinator-wide lock — the critical section of a
+// notification (counter bump, bag merge, guard eval) is per instance.
 type coordinator struct {
 	host      *Host
 	composite string
 	table     *routing.CompiledTable
 
-	mu        sync.Mutex
-	instances map[string]*coordInstance
-	order     []string // instance IDs in arrival order, for eviction
+	instances shardedTable[*coordInstance]
 }
 
 // coordInstance is the per-execution bookkeeping of one coordinator.
@@ -231,6 +234,7 @@ type coordinator struct {
 // every receiver of the same notifications computes the same bag, so
 // exactly one of a set of complementary guards holds.
 type coordInstance struct {
+	mu      sync.Mutex // guards everything below; see shard.go for lock order
 	counts  []uint32
 	pending []uint64
 	base    map[string]string
@@ -241,29 +245,21 @@ type coordInstance struct {
 }
 
 func (c *coordinator) instance(id string) *coordInstance {
-	inst, ok := c.instances[id]
-	if !ok {
-		inst = &coordInstance{
+	return c.instances.getOrCreate(id, c.host.opts.MaxInstancesPerState, func() *coordInstance {
+		return &coordInstance{
 			counts:  make([]uint32, c.table.NumSources()),
 			pending: make([]uint64, c.table.MaskWords()),
 			base:    map[string]string{},
 			srcVars: make([]map[string]string, c.table.NumSources()),
 			srcVer:  make([]uint32, c.table.NumSources()),
 		}
-		c.instances[id] = inst
-		c.order = append(c.order, id)
-		if len(c.order) > c.host.opts.MaxInstancesPerState {
-			evict := c.order[0]
-			c.order = c.order[1:]
-			delete(c.instances, evict)
-		}
-	}
-	return inst
+	})
 }
 
 // mergedVarsLocked returns the instance's variable bag (mergeLayers
 // over the table's canonical order). The result is cached until the
-// next layer write and MUST NOT be mutated by callers. Caller holds c.mu.
+// next layer write and MUST NOT be mutated by callers. Caller holds
+// inst.mu.
 func (c *coordinator) mergedVarsLocked(inst *coordInstance) map[string]string {
 	if inst.merged == nil {
 		inst.merged = mergeLayers(inst.base, c.table.MergeOrder(), inst.srcVars)
@@ -273,8 +269,25 @@ func (c *coordinator) mergedVarsLocked(inst *coordInstance) map[string]string {
 
 // onNotification processes a start/notify message for one instance.
 func (c *coordinator) onNotification(ctx context.Context, m *message.Message) {
-	c.mu.Lock()
 	inst := c.instance(m.Instance)
+	inst.mu.Lock()
+	// Between the table lookup and taking inst.mu, an over-cap create in
+	// this shard may have evicted inst — and a later notification may
+	// already have re-created the ID. Re-check membership under the lock
+	// and chase the current pointer, so one instance's notifications can
+	// never split across an orphaned object and its fresh twin (the
+	// single-mutex design excluded this by construction; eviction of a
+	// live instance still loses its state, as documented, but it must
+	// lose it to ONE object).
+	for {
+		cur, ok := c.instances.get(m.Instance)
+		if ok && cur == inst {
+			break
+		}
+		inst.mu.Unlock()
+		inst = c.instance(m.Instance)
+		inst.mu.Lock()
+	}
 	// Senders outside the interned universe appear in no precondition
 	// clause and can never contribute to coverage; their variables go to
 	// the base layer, the count is dropped.
@@ -297,7 +310,7 @@ func (c *coordinator) onNotification(ctx context.Context, m *message.Message) {
 	}
 	inst.merged = nil
 	c.maybeFireLocked(ctx, m.Instance, inst)
-	c.mu.Unlock()
+	inst.mu.Unlock()
 }
 
 // maybeFireLocked checks precondition clauses and launches the service
@@ -305,7 +318,7 @@ func (c *coordinator) onNotification(ctx context.Context, m *message.Message) {
 // notifications AND its receiver-side condition (if any) holds on the
 // merged variable bag. Clauses whose condition evaluates false keep their
 // notifications pending — a later notification may change the bag (or
-// satisfy an alternative clause). Caller holds c.mu.
+// satisfy an alternative clause). Caller holds inst.mu.
 func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, inst *coordInstance) {
 	if inst.running {
 		return
@@ -345,7 +358,11 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 			}
 		}
 		// The firing works on a private snapshot of the bag (applyActions
-		// already copies): the cached merge must never be written to.
+		// already copies). With no actions to apply, the cached canonical
+		// merge ITSELF becomes the snapshot: its only other reference is
+		// inst.merged, cleared here, and the layers it was built from are
+		// untouched — the next evaluation rebuilds the cache. Ownership
+		// transfer instead of an O(bag) copy per firing.
 		var snapshot map[string]string
 		if len(clause.Actions) > 0 {
 			snapshot, err = applyActions(clause.Actions, bag, c.host.funcEnv)
@@ -354,10 +371,8 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 				return
 			}
 		} else {
-			snapshot = make(map[string]string, len(bag))
-			for k, v := range bag {
-				snapshot[k] = v
-			}
+			snapshot = bag
+			inst.merged = nil
 		}
 		inst.running = true
 		// Remember each source bag's version at fire time: finish uses it
@@ -408,9 +423,9 @@ func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[stri
 // end of the round — peers co-hosted at one address share a single wire
 // frame (per-destination FIFO order preserved).
 func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, firedVer []uint32, invokeErr error) {
-	c.mu.Lock()
-	inst := c.instances[instanceID]
+	inst, _ := c.instances.get(instanceID)
 	if inst != nil {
+		inst.mu.Lock()
 		if vars != nil {
 			// The firing's results (clause actions + service outputs) join
 			// the BASE layer. Source bags whose version is unchanged since
@@ -432,8 +447,8 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 			inst.merged = nil
 		}
 		inst.running = false
+		inst.mu.Unlock()
 	}
-	c.mu.Unlock()
 
 	if invokeErr != nil {
 		c.sendFault(ctx, instanceID, invokeErr)
@@ -484,11 +499,11 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		c.composite, c.table.State, instanceID, box.msgs(), len(box.addrs))
 
 	// Loops: the consumed clause may already be re-satisfiable.
-	c.mu.Lock()
-	if inst := c.instances[instanceID]; inst != nil {
+	if inst, _ := c.instances.get(instanceID); inst != nil {
+		inst.mu.Lock()
 		c.maybeFireLocked(ctx, instanceID, inst)
+		inst.mu.Unlock()
 	}
-	c.mu.Unlock()
 }
 
 // sendFault reports a failed firing to the wrapper.
@@ -510,6 +525,9 @@ func (c *coordinator) sendFault(ctx context.Context, instanceID string, cause er
 // fired, so dataflow should have delivered them); a binding with a
 // compiled Expr evaluates it.
 func bindInputs(bindings []routing.CompiledBinding, vars map[string]string, funcs expr.Env) (map[string]string, error) {
+	if len(bindings) == 0 {
+		return nil, nil // nil params: providers read, never write, their input map
+	}
 	params := make(map[string]string, len(bindings))
 	for _, b := range bindings {
 		switch {

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the lock-striped instance tables behind the
+// engine's concurrent-execution scaling (docs/engine.md). Before the
+// striping, every component kept its per-instance state in ONE
+// mutex-guarded map — so all in-flight instances of a coordinator (or a
+// wrapper, or the hub's reply routing) serialized behind a single lock,
+// and the paper's "heavy traffic" regime degenerated to a convoy. The
+// shard table splits the map by instance-ID hash: instances in
+// different shards never touch the same mutex, and the shard mutex
+// guards only the map shape (lookup, insert, evict). The instance's own
+// state is protected by the instance's own mutex (coordInstance.mu,
+// wrapperInstance.mu), so even same-shard instances contend only for
+// the nanoseconds of a map read — the guard-eval/bag-merge critical
+// section is per-instance.
+//
+// Lock order (the only one in this package): shard mutex strictly
+// before instance mutex, and never more than one of each. No code path
+// holds two shard mutexes or two instance mutexes at once, so the
+// striping cannot deadlock.
+
+// instShardCount stripes every per-instance table. 32 shards keep the
+// collision probability negligible for realistic in-flight counts while
+// costing ~1.5 KiB per coordinator; must be a power of two.
+const instShardCount = 32
+
+// instShardIdx hashes an instance ID onto its stripe (FNV-1a, masked).
+// Instance IDs are short ("i421"), so the byte loop beats importing
+// hash/fnv and its interface indirection.
+func instShardIdx(id string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return h & (instShardCount - 1)
+}
+
+// tableShard is one stripe: a map plus, for capped tables, the
+// insertion order used for FIFO eviction.
+type tableShard[V any] struct {
+	mu    sync.Mutex
+	m     map[string]V
+	order []string
+}
+
+// shardedTable is a string-keyed map striped across instShardCount
+// mutexes. The zero value is ready to use. count tracks the total
+// population across shards (maintained by getOrCreate's create/evict
+// only — the capped-table path); insert/remove users don't need it.
+type shardedTable[V any] struct {
+	shards [instShardCount]tableShard[V]
+	count  atomic.Int64
+}
+
+// get returns the value for id, if present.
+func (t *shardedTable[V]) get(id string) (V, bool) {
+	s := &t.shards[instShardIdx(id)]
+	s.mu.Lock()
+	v, ok := s.m[id]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// insert adds id→v and reports whether it was absent; an existing entry
+// is left untouched (the caller's duplicate-ID check).
+func (t *shardedTable[V]) insert(id string, v V) bool {
+	s := &t.shards[instShardIdx(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[id]; dup {
+		return false
+	}
+	if s.m == nil {
+		s.m = map[string]V{}
+	}
+	s.m[id] = v
+	return true
+}
+
+// take removes and returns the value for id in one critical section, so
+// two racing takers can never both claim it (Central's reply routing
+// relies on this: a duplicate TypeResult must find nothing).
+func (t *shardedTable[V]) take(id string) (V, bool) {
+	s := &t.shards[instShardIdx(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[id]
+	if ok {
+		delete(s.m, id)
+	}
+	return v, ok
+}
+
+// remove deletes id (a no-op when absent).
+func (t *shardedTable[V]) remove(id string) {
+	s := &t.shards[instShardIdx(id)]
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// getOrCreate returns the value for id, building it with mk on first
+// use. max bounds the TOTAL population across all shards (the atomic
+// count): while it is exceeded, the oldest entry of the new entry's
+// shard is evicted (FIFO). Gating eviction on the global count — not
+// the shard's — means a small cap with few live instances never evicts
+// one of them just because two IDs hashed to the same shard; only when
+// the table as a whole is over budget does the valve open, matching
+// the pre-striping single map. Eviction is a safety valve against
+// leaked bookkeeping, not a precise LRU (it takes the current shard's
+// oldest, not the global oldest); an evicted instance that is still
+// executing keeps running on its own pointer and simply loses late
+// notifications.
+func (t *shardedTable[V]) getOrCreate(id string, max int, mk func() V) V {
+	s := &t.shards[instShardIdx(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[id]; ok {
+		return v
+	}
+	if s.m == nil {
+		s.m = map[string]V{}
+	}
+	v := mk()
+	s.m[id] = v
+	s.order = append(s.order, id)
+	if max > 0 && t.count.Add(1) > int64(max) && len(s.order) > 1 {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.m, evict)
+		t.count.Add(-1)
+	}
+	return v
+}

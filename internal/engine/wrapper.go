@@ -31,8 +31,10 @@ type Wrapper struct {
 
 	seq atomic.Int64
 
-	mu        sync.Mutex
-	instances map[string]*wrapperInstance
+	// instances is lock-striped by instance-ID hash (shard.go); each
+	// wrapperInstance carries its own mutex, so concurrent Executes and
+	// the termination notices of distinct instances never contend.
+	instances shardedTable[*wrapperInstance]
 }
 
 // wrapperInstance tracks one running execution at the wrapper. Finish
@@ -49,6 +51,7 @@ type Wrapper struct {
 // last, or complementary guards could all reject and Execute would hang
 // — the wrapper-side twin of the seed-8 AND-join liveness bug.
 type wrapperInstance struct {
+	mu       sync.Mutex // guards everything below; see shard.go for lock order
 	done     chan struct{}
 	pending  []uint64
 	base     map[string]string   // request inputs + non-finish-universe senders
@@ -60,7 +63,7 @@ type wrapperInstance struct {
 
 // mergedVars returns the instance bag (mergeLayers over the finish
 // universe's canonical order). Cached until the next write; callers
-// must not mutate the result. Caller holds w.mu.
+// must not mutate the result. Caller holds inst.mu.
 func (inst *wrapperInstance) mergedVars(w *Wrapper) map[string]string {
 	if inst.merged == nil {
 		inst.merged = mergeLayers(inst.base, w.compiled.FinishMergeOrder(), inst.srcVars)
@@ -70,7 +73,7 @@ func (inst *wrapperInstance) mergedVars(w *Wrapper) map[string]string {
 
 // mergeFrom files one notification's variables under src: into the
 // source's own layer when src is in the finish universe, into the base
-// layer otherwise. Caller holds w.mu.
+// layer otherwise. Caller holds inst.mu.
 func (inst *wrapperInstance) mergeFrom(w *Wrapper, src string, vars map[string]string) {
 	bag := inst.base
 	if idx, ok := w.compiled.FinishSourceIndex(src); ok {
@@ -104,12 +107,11 @@ func NewCompiledWrapper(net transport.Network, addr string, dir *Directory, comp
 		return nil, err
 	}
 	w := &Wrapper{
-		dir:       dir,
-		plan:      plan,
-		compiled:  compiled,
-		funcs:     funcs,
-		funcEnv:   funcs.Env(),
-		instances: map[string]*wrapperInstance{},
+		dir:      dir,
+		plan:     plan,
+		compiled: compiled,
+		funcs:    funcs,
+		funcEnv:  funcs.Env(),
 	}
 	ep, err := net.Listen(addr, w.handle)
 	if err != nil {
@@ -152,25 +154,17 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	for k, v := range inputs {
 		inst.base[k] = v
 	}
-	w.mu.Lock()
-	if _, dup := w.instances[id]; dup {
-		w.mu.Unlock()
+	if !w.instances.insert(id, inst) {
 		return nil, fmt.Errorf("engine: duplicate instance ID %q", id)
 	}
-	w.instances[id] = inst
-	w.mu.Unlock()
-	defer func() {
-		w.mu.Lock()
-		delete(w.instances, id)
-		w.mu.Unlock()
-	}()
+	defer w.instances.remove(id)
 
 	// Start phase: the wrapper is the "sender" for entry states, so it
 	// evaluates their (precompiled) guard conditions against the request's
 	// inputs. It works on a private copy of the bag: once the first start
 	// message is out, coordinators (and a concurrent RaiseEvent) may
-	// already be merging into inst.vars under w.mu, so the send path must
-	// never read the live instance map. Start notifications for states
+	// already be merging into the instance's layers under inst.mu, so the
+	// send path must never read the live bag. Start notifications for states
 	// sharing a host coalesce into one frame per destination: the outbox
 	// is built fully before anything is sent.
 	base := make(map[string]string, len(inputs))
@@ -224,9 +218,9 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	// The final bag is the same canonical merge the finish clauses were
 	// evaluated on (handle/RaiseEvent stop writing once finished is set,
 	// but the cache build itself must still happen under the lock).
-	w.mu.Lock()
+	inst.mu.Lock()
 	final := inst.mergedVars(w)
-	w.mu.Unlock()
+	inst.mu.Unlock()
 	return w.projectOutputs(final), nil
 }
 
@@ -257,7 +251,7 @@ func (w *Wrapper) projectOutputs(vars map[string]string) map[string]string {
 // record marks one received finish-relevant notification from src (a
 // state ID or event pseudo-source). Sources outside the compiled finish
 // universe are ignored — no finish clause can ever require them. Caller
-// holds w.mu.
+// holds inst.mu.
 func (inst *wrapperInstance) record(w *Wrapper, src string) {
 	if idx, ok := w.compiled.FinishSourceIndex(src); ok {
 		inst.pending[idx>>6] |= 1 << (idx & 63)
@@ -275,16 +269,18 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 	src := routing.EventSource(event)
 
 	// The wrapper's own finish clauses may reference the event too.
-	w.mu.Lock()
-	if inst, ok := w.instances[instanceID]; ok && !inst.finished {
-		inst.mergeFrom(w, src, payload)
-		inst.record(w, src)
-		if w.finishSatisfied(inst) {
-			inst.finished = true
-			close(inst.done)
+	if inst, ok := w.instances.get(instanceID); ok {
+		inst.mu.Lock()
+		if !inst.finished {
+			inst.mergeFrom(w, src, payload)
+			inst.record(w, src)
+			if w.finishSatisfied(inst) {
+				inst.finished = true
+				close(inst.done)
+			}
 		}
+		inst.mu.Unlock()
 	}
-	w.mu.Unlock()
 
 	// Subscribers co-hosted at one address share a frame (same coalescing
 	// as the start phase).
@@ -314,11 +310,14 @@ func (w *Wrapper) handle(_ context.Context, m *message.Message) {
 	if m.Composite != w.plan.Composite {
 		return
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	inst, ok := w.instances[m.Instance]
-	if !ok || inst.finished {
-		return // late or duplicate notice after completion: drop
+	inst, ok := w.instances.get(m.Instance)
+	if !ok {
+		return // late notice after completion: drop
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.finished {
+		return // duplicate notice after completion: drop
 	}
 	switch m.Type {
 	case message.TypeDone:
@@ -339,12 +338,25 @@ func (w *Wrapper) handle(_ context.Context, m *message.Message) {
 // termination notices: all sources present (bitmask coverage) and the
 // clause's precompiled receiver-side condition (if any) true on the
 // CANONICALLY merged bag (see wrapperInstance). Conditions that cannot
-// be evaluated yet (undefined variables) keep waiting. Caller holds w.mu.
+// be evaluated yet (undefined variables) keep waiting. Caller holds
+// inst.mu.
 func (w *Wrapper) finishSatisfied(inst *wrapperInstance) bool {
-	bag := inst.mergedVars(w)
+	// The bag is built lazily, like the coordinator's: most termination
+	// notices at a wide AND-join cover no clause yet (and an unguarded
+	// clause never needs the bag at all), so the canonical merge — O(all
+	// variables) — must not be paid per arrival, only per actually
+	// evaluated guard. Execute's final read rebuilds the cache if no
+	// guard ever forced it.
+	var bag map[string]string
 	for _, clause := range w.compiled.Finish {
 		if !clause.Covered(inst.pending) {
 			continue
+		}
+		if clause.Condition == nil {
+			return true
+		}
+		if bag == nil {
+			bag = inst.mergedVars(w)
 		}
 		ok, err := evalGuard(clause.Condition, bag, w.funcEnv)
 		if err != nil || !ok {

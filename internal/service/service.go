@@ -22,7 +22,11 @@ type Request struct {
 	Service string
 	// Operation is the operation name.
 	Operation string
-	// Params carries the text-encoded input parameters.
+	// Params carries the text-encoded input parameters. It may be NIL
+	// when the operation binds no inputs, and providers must treat it
+	// as read-only either way (build outputs in a fresh map): the
+	// engine hands out the same map it keeps binding state in, and
+	// skips allocating one entirely for binding-less operations.
 	Params map[string]string
 }
 

@@ -804,6 +804,157 @@ func TestInMemQueuedFramesNotCountedUntilDelivered(t *testing.T) {
 	}
 }
 
+// TestInMemPerSenderFIFOThroughLanes pins the receive-lane half of the
+// delivery contract on the in-memory network in its production shape
+// (asynchronous delivery): frames from one sender arrive in send order
+// ACROSS frames — not just within a batch — because every sender hashes
+// onto one bounded lane that delivers sequentially. Two interleaved
+// senders keep their own orders independently, and a Cut/Restore outage
+// in the middle must not reorder either stream: drained frames route
+// through the same lanes, behind anything already queued there.
+func TestInMemPerSenderFIFOThroughLanes(t *testing.T) {
+	n := NewInMem(InMemOptions{Flow: testFlow(64, QueueBlock)}) // async: lanes active
+	defer n.Close()
+	var mu sync.Mutex
+	var got []*message.Message
+	ep, err := n.Listen("peer", func(_ context.Context, m *message.Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lanes := n.Stats().Nodes[ep.Addr()].RecvLanes; lanes != DefaultRecvLanes {
+		t.Fatalf("RecvLanes = %d, want %d", lanes, DefaultRecvLanes)
+	}
+
+	alice := n.Open("alice")
+	bob := n.Open("bob")
+	ctx := context.Background()
+	const per = 30
+	send := func(s Sender, base, lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			m := seqMsg(base+i, 0)
+			m.From = s.From()
+			if err := s.Send(ctx, ep.Addr(), m); err != nil {
+				t.Fatalf("%s send %d: %v", s.From(), i, err)
+			}
+		}
+	}
+	// Interleaved live traffic, then an outage with traffic queued behind
+	// it, then live again.
+	send(alice, 0, 0, 10)
+	send(bob, 1000, 0, 10)
+	n.Cut(ep.Addr())
+	send(alice, 0, 10, 20)
+	send(bob, 1000, 10, 20)
+	n.Restore(ep.Addr())
+	send(alice, 0, 20, per)
+	send(bob, 1000, 20, per)
+
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2*per
+	}, "all deliveries")
+	mu.Lock()
+	defer mu.Unlock()
+	var aliceSeqs, bobSeqs []int
+	for _, m := range got {
+		if m.Seq >= 1000 {
+			bobSeqs = append(bobSeqs, m.Seq)
+		} else {
+			aliceSeqs = append(aliceSeqs, m.Seq)
+		}
+	}
+	for i, s := range aliceSeqs {
+		if s != i {
+			t.Fatalf("alice's stream reordered: %v", aliceSeqs)
+		}
+	}
+	for i, s := range bobSeqs {
+		if s != 1000+i {
+			t.Fatalf("bob's stream reordered: %v", bobSeqs)
+		}
+	}
+	if r := n.Stats().Nodes[ep.Addr()].Reconnects; r != 1 {
+		t.Fatalf("Reconnects = %d, want 1", r)
+	}
+	waitFor(t, func() bool { return n.Stats().Nodes[ep.Addr()].RecvQueueDepth == 0 }, "receive lanes drained")
+}
+
+// TestTCPPerSenderFIFOThroughLanes is the real-socket twin: frames
+// stream through a laned tcpEndpoint (not a raw reader), the receiver
+// dies mid-stream and comes back on the same port (sender reconnects,
+// fresh endpoint, fresh lanes), and what arrives is strictly increasing
+// with everything sent after the restart present — the receive lanes
+// deliver per-sender FIFO across frames, connections, and reconnects.
+// Frames written into the dying socket may be lost; loss is allowed,
+// reordering is not.
+func TestTCPPerSenderFIFOThroughLanes(t *testing.T) {
+	n := NewTCP(testFlow(64, QueueBlock))
+	defer n.Close()
+	recv := NewTCP()
+	defer recv.Close()
+
+	var mu sync.Mutex
+	var got []*message.Message
+	handler := func(_ context.Context, m *message.Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}
+	ep, err := recv.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ep.Addr()
+	if lanes := recv.Stats().Nodes[addr].RecvLanes; lanes != DefaultRecvLanes {
+		t.Fatalf("RecvLanes = %d, want %d", lanes, DefaultRecvLanes)
+	}
+
+	ctx := context.Background()
+	const total = 60
+	for i := 0; i < total; i++ {
+		if i == 20 {
+			ep.Close() // the receiver dies...
+		}
+		if i == 40 {
+			ep, err = recv.Listen(addr, handler) // ...and returns on the same port
+			if err != nil {
+				t.Fatalf("re-listen: %v", err)
+			}
+		}
+		if err := n.Send(ctx, addr, seqMsg(i, 0)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) > 0 && got[len(got)-1].Seq == total-1
+	}, "the final frame after the receiver restart")
+
+	mu.Lock()
+	defer mu.Unlock()
+	prev := -1
+	seen := map[int]bool{}
+	for _, m := range got {
+		if m.Seq <= prev {
+			t.Fatalf("reordered or duplicated delivery: %d after %d", m.Seq, prev)
+		}
+		prev = m.Seq
+		seen[m.Seq] = true
+	}
+	for i := 40; i < total; i++ {
+		if !seen[i] {
+			t.Fatalf("frame %d (sent after the restart) never arrived", i)
+		}
+	}
+}
+
 // TestInMemBatchedEqualsSequentialUnderFaults pins that fault injection
 // composes with the batching determinism contract: under one seed, with
 // the destination stalled and restored mid-traffic, a batched sender

@@ -84,6 +84,13 @@ const (
 	// hundreds of control documents, small enough to keep head-of-line
 	// latency at the receiver bounded.
 	DefaultMaxBatchBytes = 256 << 10
+	// DefaultRecvLanes is the per-endpoint receive-lane count: enough
+	// stripes that distinct peer hosts rarely share a lane, few enough
+	// that an idle endpoint costs a handful of parked goroutines.
+	DefaultRecvLanes = 8
+	// DefaultRecvQueueLen bounds each receive lane's queue, in frames —
+	// the receive-side mirror of DefaultQueueLen.
+	DefaultRecvQueueLen = 256
 )
 
 // FlowOptions tune per-destination flow control and connection
@@ -135,6 +142,19 @@ type FlowOptions struct {
 	// has and starts a new batch with that frame. 0 means 256 KiB.
 	// Ignored while FlushDelay is 0.
 	MaxBatchBytes int
+	// RecvLanes is the number of bounded delivery lanes each listening
+	// endpoint runs. Inbound frames are hashed by SENDER onto a lane and
+	// each lane delivers its frames to the handler sequentially, in
+	// arrival order — so cross-frame per-sender FIFO is a contract, not
+	// a scheduling accident, and a burst can never explode into
+	// unbounded delivery goroutines. 0 means 8.
+	RecvLanes int
+	// RecvQueueLen bounds each receive lane's queue, in frames. A full
+	// lane blocks the reader that feeds it (for TCP the connection's
+	// read loop — backpressure propagates through the kernel to the
+	// sender's bounded write queue; in memory the sender itself), never
+	// drops. 0 means 256.
+	RecvQueueLen int
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -157,7 +177,28 @@ func (o FlowOptions) withDefaults() FlowOptions {
 	if o.MaxBatchBytes <= 0 {
 		o.MaxBatchBytes = DefaultMaxBatchBytes
 	}
+	if o.RecvLanes <= 0 {
+		o.RecvLanes = DefaultRecvLanes
+	}
+	if o.RecvQueueLen <= 0 {
+		o.RecvQueueLen = DefaultRecvQueueLen
+	}
 	return o
+}
+
+// laneFor hashes a sender key onto one of n receive lanes (FNV-1a).
+// Both transports key by the frame's LOGICAL source — its first
+// message's From (engine outboxes batch exactly one source per frame) —
+// deliberately not by connection or peer address: the logical key is
+// stable across reconnects (the per-sender FIFO contract survives
+// them) and distinct for senders sharing a host, which an IP key would
+// collapse onto one serialized lane.
+func laneFor(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(n))
 }
 
 // sendWait returns how long a QueueBlock send may wait for queue space:

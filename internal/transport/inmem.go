@@ -65,11 +65,31 @@ type InMem struct {
 	handlers  map[string]Handler
 	hver      map[string]uint64 // bumped per (re-)registration of an address
 	peers     map[string]*inmemPeer
+	lanes     map[string][]chan inmemJob // per listening addr; see deliverDirect
 	closed    bool
 	stop      chan struct{} // closed by Close; wakes senders blocked on a full queue
 	rng       *rand.Rand
 	rngMu     sync.Mutex
 	deliverWG sync.WaitGroup
+}
+
+// inmemJob is one frame accepted onto a receive lane (async mode): the
+// decoded-on-delivery payload plus everything the lane worker needs to
+// hand it to the handler. done, when non-nil, is closed after delivery
+// (Release waits on it so drains stay synchronous to their caller).
+// due is the simulated-wire-time deadline, stamped AT SEND TIME (zero
+// for frames drained from a Hold/Cut queue — they already "spent"
+// theirs): the worker delivers no earlier than due, so every frame is
+// delayed by exactly Latency while back-to-back frames on one lane
+// "fly" concurrently instead of queueing their delays.
+type inmemJob struct {
+	ctx   context.Context
+	data  []byte
+	msgs  int
+	drops []bool
+	h     Handler
+	due   time.Time
+	done  chan struct{}
 }
 
 // NewInMem returns an in-memory network with the given options.
@@ -85,6 +105,7 @@ func NewInMem(opts InMemOptions) *InMem {
 		handlers: map[string]Handler{},
 		hver:     map[string]uint64{},
 		peers:    map[string]*inmemPeer{},
+		lanes:    map[string][]chan inmemJob{},
 		stop:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(seed)),
 	}
@@ -111,6 +132,10 @@ type inmemPeer struct {
 // captured its handler: the drain only merges frames with equal hver,
 // so a re-registration mid-stall keeps each frame bound to the handler
 // it was accepted for (merged ≡ sequential even across Listen churn).
+// lane is the receive lane the frame belongs to (hash of the sender's
+// from-address): the drain routes each frame through its sender's lane
+// in async mode and only merges consecutive same-lane frames, so
+// per-sender FIFO holds across a stall exactly as it holds live.
 type inmemFrame struct {
 	data  []byte
 	msgs  int
@@ -118,6 +143,7 @@ type inmemFrame struct {
 	drops []bool
 	h     Handler
 	hver  uint64
+	lane  int
 }
 
 // MintAddr implements Network: any non-empty name is a valid in-memory
@@ -147,7 +173,35 @@ func (n *InMem) Listen(addr string, h Handler) (Endpoint, error) {
 	}
 	n.handlers[addr] = h
 	n.hver[addr]++ // frames queued for an older registration never merge with this one's
+	if !n.opts.Synchronous && n.lanes[addr] == nil {
+		// Bounded receive lanes, the deterministic twin of the TCP
+		// endpoint's: frames hash by sender onto a lane, each lane
+		// delivers sequentially in arrival order. Lanes persist across
+		// re-registrations of the address (queued jobs carry their own
+		// handler) and stop at network Close. In Synchronous mode the
+		// sender's goroutine is the lane, so none are built.
+		lanes := make([]chan inmemJob, n.flow.RecvLanes)
+		for i := range lanes {
+			lanes[i] = make(chan inmemJob, n.flow.RecvQueueLen)
+			go n.laneLoop(n.stats.node(addr), lanes[i])
+		}
+		n.lanes[addr] = lanes
+		n.stats.node(addr).recvLanes.Store(int64(len(lanes)))
+	}
 	return &inmemEndpoint{net: n, addr: addr}, nil
+}
+
+// laneLoop delivers one receive lane's jobs, sequentially, until the
+// lane is closed (network Close, after every accepted job has drained).
+func (n *InMem) laneLoop(dst *nodeCounters, lane chan inmemJob) {
+	for job := range lane {
+		n.deliverPayload(job.ctx, job.h, job.data, job.msgs, job.drops, job.due)
+		dst.recvQueueDepth.Add(-1)
+		if job.done != nil {
+			close(job.done)
+		}
+		n.deliverWG.Done()
+	}
 }
 
 // Open implements Opener.
@@ -265,11 +319,15 @@ func (n *InMem) unstall(addr string, reconnect bool) {
 		take := 1
 		if n.flow.FlushDelay > 0 {
 			// Same conservative merged-size bound as the TCP collector, so
-			// the cap means the same thing on both transports.
+			// the cap means the same thing on both transports. Only
+			// consecutive frames of the SAME receive lane merge: a merged
+			// frame delivers on one lane, so folding across lanes would
+			// trade one sender's FIFO for another's.
 			total := mergeHeaderBound + mergeFrameBound + len(p.queue[0].data)
 			for take < len(p.queue) &&
 				total+mergeFrameBound+len(p.queue[take].data) <= n.flow.MaxBatchBytes &&
-				p.queue[take].hver == p.queue[0].hver {
+				p.queue[take].hver == p.queue[0].hver &&
+				p.queue[take].lane == p.queue[0].lane {
 				total += mergeFrameBound + len(p.queue[take].data)
 				take++
 			}
@@ -282,10 +340,41 @@ func (n *InMem) unstall(addr string, reconnect bool) {
 		}
 		dst.queueDepth.Add(int64(-take))
 		for _, f := range n.mergeQueued(dst, batch) {
-			n.stats.recordIn(addr, f.kept, len(f.data))
-			n.deliverQueued(f)
+			if !n.deliverDrained(addr, f) {
+				return // network closed mid-drain: remaining frames drop, as at Close
+			}
 		}
 	}
+}
+
+// deliverDrained hands one drained frame over. In Synchronous mode it
+// delivers inline on the caller's goroutine (acceptance order, the
+// documented Release contract). In async mode it routes the frame
+// through the sender's receive lane — behind any live frames already
+// queued there, preserving per-sender FIFO — and waits for the delivery
+// before returning, so Release stays synchronous to its caller either
+// way. Returns false when the network closed underneath the drain.
+func (n *InMem) deliverDrained(addr string, f inmemFrame) bool {
+	if n.opts.Synchronous {
+		n.stats.recordIn(addr, f.kept, len(f.data))
+		n.deliverPayload(context.Background(), f.h, f.data, f.msgs, f.drops, time.Time{})
+		return true
+	}
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return false
+	}
+	laneCh := n.lanes[addr][f.lane]
+	n.deliverWG.Add(1)
+	n.mu.RUnlock()
+	n.stats.recordIn(addr, f.kept, len(f.data))
+	dst := n.stats.node(addr)
+	dst.recvQueueDepth.Add(1)
+	done := make(chan struct{})
+	laneCh <- inmemJob{ctx: context.Background(), data: f.data, msgs: f.msgs, drops: f.drops, h: f.h, done: done}
+	<-done
+	return true
 }
 
 // mergeQueued folds a drained batch into one frame: payloads merged
@@ -309,7 +398,7 @@ func (n *InMem) mergeQueued(dst *nodeCounters, batch []inmemFrame) []inmemFrame 
 	if err != nil {
 		return batch
 	}
-	out := inmemFrame{data: merged, msgs: count, h: batch[0].h}
+	out := inmemFrame{data: merged, msgs: count, h: batch[0].h, lane: batch[0].lane}
 	for _, f := range batch {
 		out.kept += f.kept
 		if anyDrops {
@@ -324,41 +413,22 @@ func (n *InMem) mergeQueued(dst *nodeCounters, batch []inmemFrame) []inmemFrame 
 	return []inmemFrame{out}
 }
 
-// deliverQueued hands one drained frame to its handler, skipping the
-// messages whose drop coin (tossed at send time) came up lost.
-func (n *InMem) deliverQueued(f inmemFrame) {
-	ctx := context.Background()
-	if f.msgs == 1 {
-		m, err := message.Unmarshal(f.data)
-		if err == nil {
-			f.h(ctx, m)
-		}
-		return
-	}
-	decoded, err := message.UnmarshalBatch(f.data)
-	if err != nil {
-		return
-	}
-	for i, m := range decoded {
-		if f.drops != nil && f.drops[i] {
-			continue
-		}
-		f.h(ctx, m)
-	}
-}
-
-// sendOne is the batch of one without the slice detour.
+// sendOne is the batch of one without the slice detour. The receive
+// lane is keyed by the message's logical source (m.From) — see
+// deliverFrame.
 func (n *InMem) sendOne(ctx context.Context, out *nodeCounters, to string, m *message.Message) error {
 	data, err := encodeOne(m)
 	if err != nil {
 		return err
 	}
-	return n.deliverFrame(ctx, out, to, data, 1)
+	return n.deliverFrame(ctx, out, m.From, to, data, 1)
 }
 
 // sendBatch is deliver-many: one simulated frame, per-message drop
 // decisions, surviving messages handed to the handler sequentially in
-// batch order.
+// batch order. The frame's lane is keyed by its first message's From —
+// engine outboxes only ever batch one logical source per frame, so the
+// key is uniform in practice.
 func (n *InMem) sendBatch(ctx context.Context, out *nodeCounters, to string, ms []*message.Message) error {
 	if len(ms) == 0 {
 		return nil
@@ -367,11 +437,14 @@ func (n *InMem) sendBatch(ctx context.Context, out *nodeCounters, to string, ms 
 	if err != nil {
 		return err
 	}
-	return n.deliverFrame(ctx, out, to, data, len(ms))
+	return n.deliverFrame(ctx, out, ms[0].From, to, data, len(ms))
 }
 
-// deliverFrame simulates one wire frame carrying msgs messages.
-func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
+// deliverFrame simulates one wire frame carrying msgs messages. from is
+// the frame's logical source (its first message's From) — the receive
+// lane key, chosen to match the TCP read side exactly: stable across
+// connections and reconnects, and distinct for co-located senders.
+func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, from, to string, data []byte, msgs int) error {
 	n.mu.RLock()
 	h, ok := n.handlers[to]
 	hver := n.hver[to]
@@ -385,13 +458,14 @@ func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, 
 		return fmt.Errorf("%w: %q", ErrUnknownAddress, to)
 	}
 
+	lane := laneFor(from, n.flow.RecvLanes)
 	if p != nil {
-		done, err := n.offerStalled(ctx, p, out, to, h, hver, data, msgs)
+		done, err := n.offerStalled(ctx, p, out, to, h, hver, lane, data, msgs)
 		if done || err != nil {
 			return err
 		}
 	}
-	return n.deliverDirect(ctx, out, to, h, data, msgs)
+	return n.deliverDirect(ctx, out, to, h, lane, data, msgs)
 }
 
 // offerStalled routes a frame into the bounded queue of a stalled
@@ -399,7 +473,7 @@ func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, to string, 
 // the frame was consumed (queued, fully dropped, or refused with err);
 // done=false means the destination is not stalled and the caller should
 // deliver directly.
-func (n *InMem) offerStalled(ctx context.Context, p *inmemPeer, out *nodeCounters, to string, h Handler, hver uint64, data []byte, msgs int) (bool, error) {
+func (n *InMem) offerStalled(ctx context.Context, p *inmemPeer, out *nodeCounters, to string, h Handler, hver uint64, lane int, data []byte, msgs int) (bool, error) {
 	p.mu.Lock()
 	stalled := p.stalled
 	p.mu.Unlock()
@@ -453,25 +527,35 @@ func (n *InMem) offerStalled(ctx context.Context, p *inmemPeer, out *nodeCounter
 		<-p.slots // the whole frame was lost: nothing to queue
 		return true, nil
 	}
-	p.queue = append(p.queue, inmemFrame{data: data, msgs: msgs, kept: kept, drops: drops, h: h, hver: hver})
+	p.queue = append(p.queue, inmemFrame{data: data, msgs: msgs, kept: kept, drops: drops, h: h, hver: hver, lane: lane})
 	p.mu.Unlock()
 	n.stats.node(to).queueDepth.Add(1)
 	return true, nil
 }
 
-// deliverDirect is the no-fault path: deliver (a)synchronously per
-// options, exactly as the pre-flow-control network did.
-func (n *InMem) deliverDirect(ctx context.Context, out *nodeCounters, to string, h Handler, data []byte, msgs int) error {
+// deliverDirect is the no-fault path. In Synchronous mode the frame is
+// delivered inline on the caller's goroutine, exactly as the
+// pre-flow-control network did. Otherwise it is enqueued onto the
+// destination's receive lane for the sending address: bounded, FIFO per
+// sender, delivered by the lane's worker — the deterministic twin of
+// the TCP endpoint's laned read side. A full lane blocks the sender
+// (the in-memory stand-in for socket backpressure); it never drops.
+func (n *InMem) deliverDirect(ctx context.Context, out *nodeCounters, to string, h Handler, lane int, data []byte, msgs int) error {
 	async := !n.opts.Synchronous
+	var laneCh chan inmemJob
 	if async {
 		// Register the delivery while holding the lock that Close takes
 		// before it Waits: an Add racing a started Wait is undefined, so the
-		// counter must be bumped strictly before Close can observe it.
+		// counter must be bumped strictly before Close can observe it. The
+		// same critical section resolves the lane: once the Add is in,
+		// Close's Wait cannot return before this job is enqueued and
+		// delivered, so the lane's worker is guaranteed still draining.
 		n.mu.RLock()
 		if n.closed {
 			n.mu.RUnlock()
 			return ErrClosed
 		}
+		laneCh = n.lanes[to][lane]
 		n.deliverWG.Add(1)
 		n.mu.RUnlock()
 	}
@@ -482,8 +566,8 @@ func (n *InMem) deliverDirect(ctx context.Context, out *nodeCounters, to string,
 	// The drop coin is tossed at send time, one draw per message in send
 	// order — stable RNG consumption, so a batch loses exactly what the
 	// equivalent sequential sends would lose under the same seed. The
-	// decode itself happens on the delivery goroutine (as on the TCP
-	// read side), keeping the sender's critical path free of it.
+	// decode itself happens on the lane worker (as on the TCP read
+	// side), keeping the sender's critical path free of it.
 	drops, kept := n.drawDrops(msgs)
 	if kept == 0 {
 		if async {
@@ -493,46 +577,54 @@ func (n *InMem) deliverDirect(ctx context.Context, out *nodeCounters, to string,
 	}
 	n.stats.recordIn(to, kept, len(data))
 
-	deliver := func() {
-		if n.opts.Latency > 0 {
-			timer := time.NewTimer(n.opts.Latency)
-			select {
-			case <-timer.C:
-			case <-ctx.Done():
-				timer.Stop()
-				return
-			}
-		}
-		// encode/decode are inverses; decode failure is unreachable
-		// unless the message vocabulary itself is broken, which tests
-		// catch.
-		if msgs == 1 {
-			m, err := message.Unmarshal(data)
-			if err == nil {
-				h(ctx, m)
-			}
-			return
-		}
-		decoded, err := message.UnmarshalBatch(data)
-		if err != nil {
-			return
-		}
-		for i, m := range decoded {
-			if drops != nil && drops[i] {
-				continue
-			}
-			h(ctx, m)
-		}
+	var due time.Time
+	if n.opts.Latency > 0 {
+		due = time.Now().Add(n.opts.Latency)
 	}
 	if !async {
-		deliver()
+		n.deliverPayload(ctx, h, data, msgs, drops, due)
 		return nil
 	}
-	go func() {
-		defer n.deliverWG.Done()
-		deliver()
-	}()
+	n.stats.node(to).recvQueueDepth.Add(1)
+	laneCh <- inmemJob{ctx: ctx, data: data, msgs: msgs, drops: drops, h: h, due: due}
 	return nil
+}
+
+// deliverPayload decodes one frame and hands its surviving messages to
+// h sequentially, no earlier than due — the simulated-wire-time
+// deadline stamped when the frame was sent, so consecutive frames on
+// one lane each arrive Latency after THEIR send, not after each other
+// (a zero due skips the wait: frames drained from a stall queue
+// already spent their wire time). encode/decode are inverses; decode
+// failure is unreachable unless the message vocabulary itself is
+// broken, which tests catch.
+func (n *InMem) deliverPayload(ctx context.Context, h Handler, data []byte, msgs int, drops []bool, due time.Time) {
+	if wait := time.Until(due); !due.IsZero() && wait > 0 {
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		}
+	}
+	if msgs == 1 {
+		m, err := message.Unmarshal(data)
+		if err == nil {
+			h(ctx, m)
+		}
+		return
+	}
+	decoded, err := message.UnmarshalBatch(data)
+	if err != nil {
+		return
+	}
+	for i, m := range decoded {
+		if drops != nil && drops[i] {
+			continue
+		}
+		h(ctx, m)
+	}
 }
 
 // drawDrops tosses one seeded drop coin per message, in send order.
@@ -564,9 +656,11 @@ func (n *InMem) dropped() bool {
 func (n *InMem) Stats() Stats { return n.stats.snapshot() }
 
 // Close implements Network. It waits for in-flight asynchronous
-// deliveries to finish so tests can assert on final state. Frames still
-// queued behind a Hold/Cut are dropped (the network is going away), as
-// TCP drops its accepted-but-unwritten frames at Close.
+// deliveries — including everything already accepted onto a receive
+// lane — to finish so tests can assert on final state, then stops the
+// lane workers. Frames still queued behind a Hold/Cut are dropped (the
+// network is going away), as TCP drops its accepted-but-unwritten
+// frames at Close.
 func (n *InMem) Close() error {
 	n.mu.Lock()
 	if !n.closed {
@@ -575,8 +669,19 @@ func (n *InMem) Close() error {
 	}
 	n.handlers = map[string]Handler{}
 	n.peers = map[string]*inmemPeer{}
+	lanes := n.lanes
+	n.lanes = map[string][]chan inmemJob{}
 	n.mu.Unlock()
+	// Every accepted job did its deliverWG.Add BEFORE enqueueing (under
+	// the closed-check), so once Wait returns no sender can still be
+	// about to enqueue — closing the lane channels is then safe and
+	// retires the workers.
 	n.deliverWG.Wait()
+	for _, ls := range lanes {
+		for _, ch := range ls {
+			close(ch)
+		}
+	}
 	return nil
 }
 

@@ -143,7 +143,21 @@ func (t *TCP) Listen(addr string, h Handler) (Endpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	ep := &tcpEndpoint{net: t, ln: ln, handler: h, accepted: map[net.Conn]struct{}{}}
+	ep := &tcpEndpoint{
+		net:      t,
+		ln:       ln,
+		handler:  h,
+		accepted: map[net.Conn]struct{}{},
+		rc:       t.stats.node(ln.Addr().String()),
+		lanes:    make([]chan []*message.Message, t.flow.RecvLanes),
+		stopc:    make(chan struct{}),
+	}
+	ep.rc.recvLanes.Store(int64(len(ep.lanes)))
+	for i := range ep.lanes {
+		ep.lanes[i] = make(chan []*message.Message, t.flow.RecvQueueLen)
+		ep.laneWG.Add(1)
+		go ep.laneLoop(ep.lanes[i])
+	}
 	t.mu.Lock()
 	t.listeners[ln.Addr().String()] = ep
 	t.mu.Unlock()
@@ -708,10 +722,25 @@ func (t *TCP) Close() error {
 	return nil
 }
 
+// tcpEndpoint is one listener plus its bounded receive lanes. Inbound
+// frames are decoded on the connection's read loop, then handed to a
+// lane picked by hashing the frame's logical source (laneFor): every
+// frame from one sender lands on the same lane, and a lane delivers its
+// frames to the handler one at a time, in arrival order. That makes
+// cross-frame per-sender FIFO a pinned contract (the fault suite runs
+// it against both transports) and caps delivery concurrency at
+// RecvLanes goroutines — a burst used to spawn one goroutine per frame,
+// unbounded. A full lane blocks the read loop: backpressure flows
+// through the kernel socket to the sender's bounded write queue instead
+// of materializing as goroutines here.
 type tcpEndpoint struct {
 	net     *TCP
 	ln      net.Listener
 	handler Handler
+	rc      *nodeCounters // this endpoint's receive-side counters
+	lanes   []chan []*message.Message
+	laneWG  sync.WaitGroup
+	stopc   chan struct{} // closed by closeListener; unblocks lanes
 
 	mu       sync.Mutex
 	closed   bool
@@ -743,11 +772,28 @@ func (e *tcpEndpoint) closeListener() {
 	e.mu.Unlock()
 	e.ln.Close()
 	// Unblock readLoops waiting on peers that keep their cached outbound
-	// connections open.
+	// connections open, and lanes they may be blocked feeding; frames
+	// still queued in a lane are dropped (the endpoint is going away),
+	// mirroring the write side's accepted-frames-drop-at-Close rule.
+	close(e.stopc)
 	for _, c := range conns {
 		c.Close()
 	}
 	e.wg.Wait()
+	e.laneWG.Wait()
+	// Readers and workers are gone; account the dropped frames out of
+	// the depth counter, which outlives the endpoint (a re-Listen on the
+	// same address inherits it and must start from a clean gauge). Only
+	// frames THIS endpoint accepted are subtracted — the lane-count
+	// gauge is left alone, because a new endpoint may already have
+	// re-listened on this address and stored its own value (zeroing it
+	// here would clobber a live listener's stats).
+	for _, lane := range e.lanes {
+		for len(lane) > 0 {
+			<-lane
+			e.rc.recvQueueDepth.Add(-1)
+		}
+	}
 }
 
 func (e *tcpEndpoint) acceptLoop() {
@@ -778,6 +824,15 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// payloadPool recycles the per-frame read buffer: the decoder copies
+// every string it returns, so the buffer's bytes are dead the moment
+// UnmarshalBatch returns and the allocation (the read path's largest)
+// can be reused across frames and connections. Buffers above poolMaxBuf
+// are left for the GC — one jumbo frame must not pin megabytes forever.
+var payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const poolMaxBuf = 64 << 10
+
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	var lenBuf [4]byte
 	for {
@@ -788,22 +843,56 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		if n == 0 || n > maxFrame {
 			return // corrupt stream; drop the connection
 		}
-		payload := make([]byte, n)
+		bufp := payloadPool.Get().(*[]byte)
+		if cap(*bufp) < int(n) {
+			*bufp = make([]byte, n)
+		}
+		payload := (*bufp)[:n]
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
 		ms, err := message.UnmarshalBatch(payload)
+		if cap(payload) <= poolMaxBuf {
+			payloadPool.Put(bufp) // decode copied everything it kept
+		}
 		if err != nil {
 			continue // skip malformed frame, keep the connection
 		}
-		e.net.stats.recordIn(e.Addr(), len(ms), len(payload)+4)
-		// One goroutine per frame: the messages of a batch reach the
-		// handler sequentially, in batch order (per-destination FIFO
-		// within a frame); distinct frames deliver concurrently.
-		go func() {
+		e.net.stats.recordIn(e.Addr(), len(ms), int(n)+4)
+		// Hand the frame to its sender's lane, keyed by the frame's
+		// LOGICAL source (first message's From — engine outboxes batch
+		// one source per frame): stable across connections and
+		// reconnects, unlike the peer's ephemeral port, and distinct for
+		// co-located sender processes, unlike the peer's IP. The
+		// messages of a batch reach the handler sequentially, in batch
+		// order, and frames of one sender deliver in arrival order. A
+		// full lane blocks this read loop (backpressure), not the
+		// process.
+		lane := e.lanes[laneFor(ms[0].From, len(e.lanes))]
+		e.rc.recvQueueDepth.Add(1)
+		select {
+		case lane <- ms:
+		case <-e.stopc:
+			e.rc.recvQueueDepth.Add(-1)
+			return
+		}
+	}
+}
+
+// laneLoop delivers one receive lane's frames, sequentially. It exits
+// when the endpoint closes; frames still queued then are dropped.
+func (e *tcpEndpoint) laneLoop(lane chan []*message.Message) {
+	defer e.laneWG.Done()
+	ctx := context.Background()
+	for {
+		select {
+		case ms := <-lane:
 			for _, m := range ms {
-				e.handler(context.Background(), m)
+				e.handler(ctx, m)
 			}
-		}()
+			e.rc.recvQueueDepth.Add(-1)
+		case <-e.stopc:
+			return
+		}
 	}
 }

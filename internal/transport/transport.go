@@ -144,6 +144,18 @@ type NodeStats struct {
 	// MergedMsgsPerFrame derives the mean batch size from them.
 	MergedMsgs   int64
 	MergedWrites int64
+	// RecvLanes is the number of bounded receive delivery lanes of the
+	// most recent listening endpoint at this address
+	// (FlowOptions.RecvLanes); zero for addresses that never listened,
+	// and in the in-memory network's Synchronous mode, where the
+	// sender's goroutine is the lane.
+	RecvLanes int64
+	// RecvQueueDepth is the number of inbound frames accepted by this
+	// node's read side but not yet handed to the handler (a snapshot,
+	// bounded by RecvLanes × FlowOptions.RecvQueueLen). A persistently
+	// deep receive queue identifies a node whose handlers can't keep up
+	// with fan-in — the receive-side twin of QueueDepth.
+	RecvQueueDepth int64
 }
 
 // MergedMsgsPerFrame reports the mean number of messages per MERGED wire
@@ -177,6 +189,8 @@ func (s Stats) Total() NodeStats {
 		t.FramesMerged += n.FramesMerged
 		t.MergedMsgs += n.MergedMsgs
 		t.MergedWrites += n.MergedWrites
+		t.RecvLanes += n.RecvLanes
+		t.RecvQueueDepth += n.RecvQueueDepth
 	}
 	return t
 }
@@ -217,6 +231,9 @@ type nodeCounters struct {
 	framesMerged atomic.Int64
 	mergedMsgs   atomic.Int64
 	mergedWrites atomic.Int64
+	// Receive-lane counters for this address's own listening endpoint.
+	recvLanes      atomic.Int64
+	recvQueueDepth atomic.Int64
 }
 
 // recordMerge counts one merged wire write toward this destination:
@@ -233,17 +250,19 @@ func (c *nodeCounters) recordMerge(frames, msgs int) {
 
 func (c *nodeCounters) snapshot() NodeStats {
 	return NodeStats{
-		MsgsIn:       c.msgsIn.Load(),
-		MsgsOut:      c.msgsOut.Load(),
-		BytesIn:      c.bytesIn.Load(),
-		BytesOut:     c.bytesOut.Load(),
-		FramesOut:    c.framesOut.Load(),
-		QueueDepth:   c.queueDepth.Load(),
-		SendBlocked:  c.sendBlocked.Load(),
-		Reconnects:   c.reconnects.Load(),
-		FramesMerged: c.framesMerged.Load(),
-		MergedMsgs:   c.mergedMsgs.Load(),
-		MergedWrites: c.mergedWrites.Load(),
+		MsgsIn:         c.msgsIn.Load(),
+		MsgsOut:        c.msgsOut.Load(),
+		BytesIn:        c.bytesIn.Load(),
+		BytesOut:       c.bytesOut.Load(),
+		FramesOut:      c.framesOut.Load(),
+		QueueDepth:     c.queueDepth.Load(),
+		SendBlocked:    c.sendBlocked.Load(),
+		Reconnects:     c.reconnects.Load(),
+		FramesMerged:   c.framesMerged.Load(),
+		MergedMsgs:     c.mergedMsgs.Load(),
+		MergedWrites:   c.mergedWrites.Load(),
+		RecvLanes:      c.recvLanes.Load(),
+		RecvQueueDepth: c.recvQueueDepth.Load(),
 	}
 }
 
