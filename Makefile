@@ -30,13 +30,20 @@ bench-crossround: ## cross-round batching sweep (compare against BENCH_crossroun
 bench-concurrency:
 	$(GO) test -bench=BenchmarkE8ConcurrentInstances -benchtime=300x -run '^$$' .
 
+# Short fixed-iteration run of the E9 chaos sweep (loss x provider-death
+# x overload, churn layer off vs on, completion rate + p95). CI runs
+# this as a smoke job; BENCH_availability.json records the full series.
+.PHONY: bench-availability
+bench-availability:
+	$(GO) test -bench=BenchmarkE9Availability -benchtime=50x -run '^$$' .
+
 COVER_FLOOR ?= 80
 
 .PHONY: cover
-cover: ## coverage floor on the concurrency-critical packages
-	$(GO) test -coverprofile=cover.out ./internal/transport/ ./internal/engine/
+cover: ## coverage floor on the concurrency- and availability-critical packages
+	$(GO) test -coverprofile=cover.out ./internal/transport/ ./internal/engine/ ./internal/community/ ./internal/qos/ ./internal/circuit/ ./internal/limits/
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "transport+engine coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	echo "transport+engine+community+qos+circuit+limits coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
@@ -51,9 +58,10 @@ fuzz: ## short fuzz pass over the wire decoders and the frame merge
 .PHONY: flake
 flake: ## liveness/flake hunt: the concurrent packages, race detector, 10 loops
 	# Covers the 64-way concurrent-Execute stress test (engine
-	# stress_test.go) and the receive-lane FIFO contract (transport
-	# faults_test.go) — both live in these packages.
-	$(GO) test -race -count=10 ./internal/engine/ ./internal/transport/
+	# stress_test.go), the receive-lane FIFO contract (transport
+	# faults_test.go), the churn chaos suite (core churn_test.go), and
+	# the community failover/health races (community churn_test.go).
+	$(GO) test -race -count=10 ./internal/engine/ ./internal/transport/ ./internal/core/ ./internal/community/
 
 .PHONY: vet
 vet:

@@ -17,15 +17,19 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"selfserv/internal/circuit"
 	"selfserv/internal/community"
 	"selfserv/internal/core"
 	"selfserv/internal/discovery"
+	"selfserv/internal/engine"
+	"selfserv/internal/limits"
 	"selfserv/internal/routing"
 	"selfserv/internal/service"
 	"selfserv/internal/statechart"
@@ -597,5 +601,164 @@ func BenchmarkE7NodeLoad(b *testing.B) {
 			hub := p.Network().Stats().Nodes[central.Addr()]
 			b.ReportMetric(float64(hub.MsgsIn+hub.MsgsOut)/float64(b.N), "hub-msgs/exec")
 		})
+	}
+}
+
+// --- E9: availability under churn --------------------------------------
+
+// incStep is the chain workload's step function: x -> x+1.
+func incStep(_ context.Context, p map[string]string) (map[string]string, error) {
+	x, err := strconv.Atoi(p["x"])
+	if err != nil {
+		return nil, fmt.Errorf("bad x %q: %w", p["x"], err)
+	}
+	return map[string]string{"x": strconv.Itoa(x + 1)}, nil
+}
+
+// chaosChain deploys Chain(8) whose fourth state is served by a
+// two-member community — a primary the chaos scenario abuses and a
+// steady backup — over an in-memory network with the given message drop
+// rate. churn=true arms the availability layer (failover, per-member
+// breakers, tenant limits); churn=false is the paper's single-delegation
+// baseline.
+func chaosChain(b *testing.B, dropRate, primaryFail float64, churn bool) (*core.Composite, *service.Simulated) {
+	const k = 8
+	net := transport.NewInMem(transport.InMemOptions{DropRate: dropRate, Seed: 7})
+	opts := core.Options{Network: net}
+	if churn {
+		opts.Limits = limits.New(limits.Options{
+			PerTenant: map[string]limits.Limit{"noisy": {Rate: 20, Burst: 20}},
+		})
+	}
+	p := core.New(opts)
+	b.Cleanup(func() {
+		p.Close()
+		net.Close()
+	})
+
+	primary := service.NewSimulated("ChaosPrimary", service.SimulatedOptions{FailRate: primaryFail, Seed: 11})
+	primary.Handle("run", incStep)
+	backup := service.NewSimulated("ChaosBackup", service.SimulatedOptions{})
+	backup.Handle("run", incStep)
+
+	sc := workload.Chain(k)
+	for i, svc := range sc.Services() {
+		h, err := p.AddHost(fmt.Sprintf("chaos-host-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if svc == "svc4" {
+			commOpts := community.Options{Policy: community.NewCheapest()}
+			if churn {
+				commOpts.Failover = 1
+				commOpts.Breaker = &circuit.Options{
+					Window: 8, Threshold: 0.5, MinSamples: 4, OpenFor: 50 * time.Millisecond,
+				}
+			}
+			comm := community.New("svc4", commOpts)
+			for _, m := range []*community.Member{
+				{Provider: primary, Cost: 1}, // preferred while it behaves
+				{Provider: backup, Cost: 2},
+			} {
+				if err := comm.Join(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+			p.RegisterService(h, comm)
+			continue
+		}
+		s := service.NewSimulated(svc, service.SimulatedOptions{})
+		s.Handle("run", incStep)
+		p.RegisterService(h, s)
+	}
+	comp, err := p.Deploy(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return comp, primary
+}
+
+// BenchmarkE9Availability is the chaos sweep behind BENCH_availability
+// .json: Chain(8) with a community-backed state, executed under three
+// chaos scenarios — the preferred member dead (death), 2% message loss
+// plus a flaky member (loss), and a noisy tenant flooding the platform
+// (overload) — each with the churn layer off (single delegation, no
+// breakers, no limits) and on (failover + breakers + tenant limits).
+// Reported per cell: completion rate and p95 latency of completed
+// executions. Timed-out or faulted executions count against completion.
+func BenchmarkE9Availability(b *testing.B) {
+	scenarios := []struct {
+		name     string
+		drop     float64 // transport message drop rate
+		fail     float64 // primary member fail rate
+		dead     bool    // kill the primary outright
+		overload bool    // flood with a rate-limited tenant
+	}{
+		{name: "death", dead: true},
+		{name: "loss", drop: 0.02, fail: 0.2},
+		{name: "overload", fail: 0.1, overload: true},
+	}
+	for _, scen := range scenarios {
+		for _, churn := range []bool{false, true} {
+			mode := "off"
+			if churn {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("%s/churn-%s", scen.name, mode), func(b *testing.B) {
+				comp, primary := chaosChain(b, scen.drop, scen.fail, churn)
+				ctx := context.Background()
+				in := map[string]string{"x": "0"}
+				warm, cancel := context.WithTimeout(ctx, time.Second)
+				comp.Execute(warm, in) // warm the directory; may fail under chaos
+				cancel()
+				if scen.dead {
+					primary.SetDown(true)
+				}
+				var stop chan struct{}
+				if scen.overload {
+					// Four noisy-tenant clients flooding back-to-back; with
+					// churn on the limiter sheds them at wrapper admission.
+					stop = make(chan struct{})
+					for w := 0; w < 4; w++ {
+						go func() {
+							noisy := map[string]string{"x": "0", engine.TenantVar: "noisy"}
+							for {
+								select {
+								case <-stop:
+									return
+								default:
+								}
+								c, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+								if _, err := comp.Execute(c, noisy); err != nil {
+									time.Sleep(time.Millisecond) // shed/fault: back off
+								}
+								cancel()
+							}
+						}()
+					}
+				}
+				ok := 0
+				var lats []time.Duration
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+					t0 := time.Now()
+					if _, err := comp.Execute(c, in); err == nil {
+						ok++
+						lats = append(lats, time.Since(t0))
+					}
+					cancel()
+				}
+				b.StopTimer()
+				if stop != nil {
+					close(stop)
+				}
+				b.ReportMetric(float64(ok)/float64(b.N), "completion")
+				if len(lats) > 0 {
+					sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+					b.ReportMetric(float64(lats[len(lats)*95/100].Microseconds()), "p95-µs")
+				}
+			})
+		}
 	}
 }

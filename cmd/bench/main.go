@@ -14,14 +14,18 @@ import (
 	"log"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"selfserv/internal/circuit"
 	"selfserv/internal/community"
 	"selfserv/internal/core"
 	"selfserv/internal/discovery"
+	"selfserv/internal/engine"
+	"selfserv/internal/limits"
 	"selfserv/internal/routing"
 	"selfserv/internal/service"
 	"selfserv/internal/statechart"
@@ -537,4 +541,157 @@ func e9() {
 			fmt.Sprintf("%.0f%%", p2p*100),
 			fmt.Sprintf("%.0f%%", cen*100))
 	}
+	e9Chaos()
+}
+
+// e9Chaos is the chaos sweep behind BENCH_availability.json: Chain(8)
+// with a two-member community on one state, under provider death,
+// message loss + a flaky member, and a noisy-tenant overload — each with
+// the churn layer (failover, per-member breakers, tenant limits) off
+// and on.
+func e9Chaos() {
+	header("E9 — Chaos sweep, Chain(8) with a community-backed state",
+		"scenario", "churn layer", "completion", "p95")
+	n := *iterations
+	if n > 60 {
+		n = 60 // each failed execution costs a timeout; bound the runtime
+	}
+	scenarios := []struct {
+		name     string
+		drop     float64 // transport message drop rate
+		fail     float64 // primary member fail rate
+		dead     bool    // kill the primary outright
+		overload bool    // flood with a rate-limited tenant
+	}{
+		{name: "provider death", dead: true},
+		{name: "2% loss + flaky member", drop: 0.02, fail: 0.2},
+		{name: "noisy-tenant overload", fail: 0.1, overload: true},
+	}
+	for _, scen := range scenarios {
+		for _, churn := range []bool{false, true} {
+			completion, p95 := chaosCell(n, scen.drop, scen.fail, scen.dead, scen.overload, churn)
+			mode := "off"
+			if churn {
+				mode = "on"
+			}
+			p95s := "—"
+			if p95 > 0 {
+				p95s = p95.Round(time.Microsecond).String()
+			}
+			row(scen.name, mode, fmt.Sprintf("%.0f%%", completion*100), p95s)
+		}
+	}
+}
+
+// chaosCell runs one cell of the chaos sweep and returns the completion
+// rate plus the p95 latency of completed executions (0 if none).
+func chaosCell(n int, drop, fail float64, dead, overload, churn bool) (float64, time.Duration) {
+	const k = 8
+	net := transport.NewInMem(transport.InMemOptions{DropRate: drop, Seed: 7})
+	defer net.Close()
+	opts := core.Options{Network: net}
+	if churn {
+		opts.Limits = limits.New(limits.Options{
+			PerTenant: map[string]limits.Limit{"noisy": {Rate: 20, Burst: 20}},
+		})
+	}
+	p := core.New(opts)
+	defer p.Close()
+
+	primary := service.NewSimulated("ChaosPrimary", service.SimulatedOptions{FailRate: fail, Seed: 11})
+	primary.Handle("run", incrementStep)
+	backup := service.NewSimulated("ChaosBackup", service.SimulatedOptions{})
+	backup.Handle("run", incrementStep)
+
+	sc := workload.Chain(k)
+	for i, svc := range sc.Services() {
+		h, err := p.AddHost(fmt.Sprintf("chaos-host-%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if svc == "svc4" {
+			commOpts := community.Options{Policy: community.NewCheapest()}
+			if churn {
+				commOpts.Failover = 1
+				commOpts.Breaker = &circuit.Options{
+					Window: 8, Threshold: 0.5, MinSamples: 4, OpenFor: 50 * time.Millisecond,
+				}
+			}
+			comm := community.New("svc4", commOpts)
+			for _, m := range []*community.Member{
+				{Provider: primary, Cost: 1}, // preferred while it behaves
+				{Provider: backup, Cost: 2},
+			} {
+				if err := comm.Join(m); err != nil {
+					log.Fatal(err)
+				}
+			}
+			p.RegisterService(h, comm)
+			continue
+		}
+		s := service.NewSimulated(svc, service.SimulatedOptions{})
+		s.Handle("run", incrementStep)
+		p.RegisterService(h, s)
+	}
+	comp, err := p.Deploy(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	in := map[string]string{"x": "0"}
+	warm, cancel := context.WithTimeout(ctx, time.Second)
+	comp.Execute(warm, in) // warm the directory; may fail under chaos
+	cancel()
+	if dead {
+		primary.SetDown(true)
+	}
+	var stop chan struct{}
+	if overload {
+		stop = make(chan struct{})
+		defer close(stop)
+		for w := 0; w < 4; w++ {
+			go func() {
+				noisy := map[string]string{"x": "0", engine.TenantVar: "noisy"}
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					c, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+					if _, err := comp.Execute(c, noisy); err != nil {
+						time.Sleep(time.Millisecond) // shed/fault: back off
+					}
+					cancel()
+				}
+			}()
+		}
+	}
+	ok := 0
+	var lats []time.Duration
+	for i := 0; i < n; i++ {
+		c, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+		t0 := time.Now()
+		if _, err := comp.Execute(c, in); err == nil {
+			ok++
+			lats = append(lats, time.Since(t0))
+		}
+		cancel()
+	}
+	var p95 time.Duration
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p95 = lats[len(lats)*95/100]
+	}
+	return float64(ok) / float64(n), p95
+}
+
+// incrementStep is the chain workload's step function: x -> x+1.
+func incrementStep(_ context.Context, params map[string]string) (map[string]string, error) {
+	x, err := strconv.Atoi(params["x"])
+	if err != nil {
+		return nil, fmt.Errorf("bad x %q: %w", params["x"], err)
+	}
+	return map[string]string{"x": strconv.Itoa(x + 1)}, nil
 }

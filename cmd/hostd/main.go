@@ -19,6 +19,14 @@
 // -reconnect-backoff, -flush-delay, -max-batch-bytes, -recv-lanes and
 // -recv-queue flags (and docs/transport.md for the contract behind
 // them).
+//
+// The availability-under-churn controls (docs/availability.md): circuit
+// breakers on both the transport send path and the hosted community's
+// members (-breaker-window, -breaker-threshold, -breaker-min-samples,
+// -breaker-open-for), active health checks probing dark community
+// members back to life (-health-interval, -health-jitter), and
+// per-tenant admission control (-tenant-limits). Shed requests,
+// failovers, and breaker opens appear on the -stats line.
 package main
 
 import (
@@ -35,8 +43,11 @@ import (
 	"strings"
 	"time"
 
+	"selfserv/internal/circuit"
+	"selfserv/internal/community"
 	"selfserv/internal/engine"
 	"selfserv/internal/hostapi"
+	"selfserv/internal/limits"
 	"selfserv/internal/service"
 	"selfserv/internal/transport"
 	"selfserv/internal/workload"
@@ -75,6 +86,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	maxBatchBytes := fs.Int("max-batch-bytes", 0, "payload cap for a merged frame under -flush-delay (0 = 256KiB)")
 	recvLanes := fs.Int("recv-lanes", 0, "bounded receive delivery lanes per listener; inbound frames hash by logical sender (the frame's From) onto a lane, each delivering in FIFO order (0 = 8)")
 	recvQueue := fs.Int("recv-queue", 0, "per-lane receive queue capacity, in frames; a full lane pushes back on the sending connection (0 = 256)")
+
+	breakerWindow := fs.Int("breaker-window", 0, "circuit-breaker rolling window size, in outcomes; 0 disables breakers entirely (transport send path and community delegation)")
+	breakerThreshold := fs.Float64("breaker-threshold", 0, "failure fraction of the window that opens a breaker (0 = 0.5)")
+	breakerMinSamples := fs.Int("breaker-min-samples", 0, "outcomes required in the window before a breaker may open (0 = window size)")
+	breakerOpenFor := fs.Duration("breaker-open-for", 0, "cool-down before an open breaker admits half-open probes (0 = 5s)")
+	healthInterval := fs.Duration("health-interval", 0, "actively probe the hosted community's members at this interval; 0 disables health checks")
+	healthJitter := fs.Duration("health-jitter", 0, "random extra delay added to each health-check round (0 = interval/10)")
+	tenantLimits := fs.String("tenant-limits", "", "per-tenant admission control, \"default=<rate>[:<burst>],<tenant>=<rate>[:<burst>],...\" in requests/second; empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,12 +101,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	lg := log.New(out, "", log.LstdFlags)
-	reg := service.NewRegistry()
-	if err := registerServices(reg, *services, *latency); err != nil {
+	var breaker *circuit.Options
+	if *breakerWindow > 0 {
+		breaker = &circuit.Options{
+			Window:     *breakerWindow,
+			Threshold:  *breakerThreshold,
+			MinSamples: *breakerMinSamples,
+			OpenFor:    *breakerOpenFor,
+		}
+	}
+	limiter, err := parseTenantLimits(*tenantLimits)
+	if err != nil {
 		return err
 	}
+
+	lg := log.New(out, "", log.LstdFlags)
 
 	tcp := transport.NewTCP(transport.FlowOptions{
 		QueueLen:      *sendQueue,
@@ -101,10 +129,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxBatchBytes: *maxBatchBytes,
 		RecvLanes:     *recvLanes,
 		RecvQueueLen:  *recvQueue,
+		Breaker:       breaker,
 	})
 	defer tcp.Close()
+
+	// Community availability events land in the transport's stats book,
+	// keyed by the failing member's name, so the -stats line (and any
+	// Stats() reader) sees churn without a second counter surface.
+	commOpts := community.Options{
+		Breaker:    breaker,
+		OnFailover: func(member string) { tcp.RecordFailover(member) },
+	}
+	if *healthInterval > 0 {
+		commOpts.Health = &community.HealthOptions{
+			Interval: *healthInterval,
+			Jitter:   *healthJitter,
+		}
+	}
+	reg := service.NewRegistry()
+	comm, err := registerServices(reg, *services, *latency, commOpts)
+	if err != nil {
+		return err
+	}
+
 	dir := engine.NewDirectory()
-	opts := engine.HostOptions{Funcs: engine.Funcs(workload.TravelGuards())}
+	opts := engine.HostOptions{
+		Funcs:  engine.Funcs(workload.TravelGuards()),
+		Limits: limiter,
+	}
 	if *verbose {
 		opts.Logf = lg.Printf
 	}
@@ -113,6 +165,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	defer host.Close()
+	if comm != nil && *healthInterval > 0 {
+		comm.StartHealthChecks(ctx)
+		defer comm.StopHealthChecks()
+	}
 
 	admin := hostapi.NewServer(host, dir, reg.Names)
 	ln, err := net.Listen("tcp", *adminAddr)
@@ -153,21 +209,26 @@ func logStats(ctx context.Context, lg *log.Logger, tcp *transport.TCP, coordAddr
 			total := st.Total()
 			lg.Printf("hostd: traffic in=%d out=%d frames-out=%d bytes-in=%d bytes-out=%d"+
 				" queue-depth=%d send-blocked=%d reconnects=%d frames-merged=%d merged-msgs-per-frame=%.1f"+
-				" recv-lanes=%d recv-queue-depth=%d conns=%d",
+				" recv-lanes=%d recv-queue-depth=%d conns=%d"+
+				" failovers=%d shed=%d breaker-opens=%d",
 				ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn, ns.BytesOut,
 				total.QueueDepth, total.SendBlocked, total.Reconnects,
 				total.FramesMerged, total.MergedMsgsPerFrame(),
-				ns.RecvLanes, ns.RecvQueueDepth, tcp.ConnCount())
+				ns.RecvLanes, ns.RecvQueueDepth, tcp.ConnCount(),
+				total.Failovers, total.ShedRequests, total.BreakerOpens)
 		}
 	}
 }
 
-// registerServices parses the -services flag.
-func registerServices(reg *service.Registry, spec string, latency time.Duration) error {
+// registerServices parses the -services flag. When AccommodationBooking
+// is hosted, its community is built with commOpts (breakers, health
+// checks, availability observers) and returned for lifecycle wiring.
+func registerServices(reg *service.Registry, spec string, latency time.Duration, commOpts community.Options) (*community.Community, error) {
 	opts := service.SimulatedOptions{BaseLatency: latency}
 	if spec == "" {
-		return fmt.Errorf("hostd: -services is required (nothing to host)")
+		return nil, fmt.Errorf("hostd: -services is required (nothing to host)")
 	}
+	var comm *community.Community
 	for _, name := range strings.Split(spec, ",") {
 		name = strings.TrimSpace(name)
 		switch {
@@ -180,13 +241,14 @@ func registerServices(reg *service.Registry, spec string, latency time.Duration)
 		case name == "CarRental":
 			reg.Register(service.NewCarRental(opts))
 		case name == "AccommodationBooking":
-			if _, err := workload.RegisterTravelCommunity(reg, opts); err != nil {
-				return err
+			var err error
+			if comm, err = workload.RegisterTravelCommunityWith(reg, opts, commOpts); err != nil {
+				return nil, err
 			}
 		case strings.HasPrefix(name, "echo:"):
 			parts := strings.Split(name, ":")
 			if len(parts) != 3 {
-				return fmt.Errorf("hostd: echo service spec %q, want echo:<Name>:<op>", name)
+				return nil, fmt.Errorf("hostd: echo service spec %q, want echo:<Name>:<op>", name)
 			}
 			reg.Register(service.NewSimulated(parts[1], opts).Echo(parts[2]))
 		case strings.HasPrefix(name, "inc:"):
@@ -201,8 +263,44 @@ func registerServices(reg *service.Registry, spec string, latency time.Duration)
 			})
 			reg.Register(s)
 		default:
-			return fmt.Errorf("hostd: unknown service %q", name)
+			return nil, fmt.Errorf("hostd: unknown service %q", name)
 		}
 	}
-	return nil
+	return comm, nil
+}
+
+// parseTenantLimits turns the -tenant-limits spec into a Limiter:
+// comma-separated "<tenant>=<rate>" or "<tenant>=<rate>:<burst>"
+// entries, rates in requests/second; the reserved tenant name "default"
+// sets the bucket shape for everyone without an override. An empty spec
+// returns nil (no admission control).
+func parseTenantLimits(spec string) (*limits.Limiter, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	lo := limits.Options{PerTenant: map[string]limits.Limit{}}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		tenant, shape, ok := strings.Cut(entry, "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("hostd: tenant limit %q, want <tenant>=<rate>[:<burst>]", entry)
+		}
+		rateSpec, burstSpec, hasBurst := strings.Cut(shape, ":")
+		var lim limits.Limit
+		var err error
+		if lim.Rate, err = strconv.ParseFloat(rateSpec, 64); err != nil {
+			return nil, fmt.Errorf("hostd: tenant %q rate %q: %w", tenant, rateSpec, err)
+		}
+		if hasBurst {
+			if lim.Burst, err = strconv.ParseFloat(burstSpec, 64); err != nil {
+				return nil, fmt.Errorf("hostd: tenant %q burst %q: %w", tenant, burstSpec, err)
+			}
+		}
+		if tenant == "default" {
+			lo.Default = lim
+		} else {
+			lo.PerTenant[tenant] = lim
+		}
+	}
+	return limits.New(lo), nil
 }

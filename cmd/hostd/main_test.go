@@ -104,3 +104,79 @@ func TestRunBindsServesAndShutsDown(t *testing.T) {
 		t.Fatalf("startup log missing the services line:\n%s", out.String())
 	}
 }
+
+func TestParseTenantLimits(t *testing.T) {
+	if l, err := parseTenantLimits(""); err != nil || l != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", l, err)
+	}
+	l, err := parseTenantLimits("default=0.001:1,acme=100")
+	if err != nil {
+		t.Fatalf("parseTenantLimits: %v", err)
+	}
+	// The default bucket holds exactly one token and (at 0.001/s) will
+	// not refill within the test: the second anonymous request sheds,
+	// while the generously-limited tenant keeps being admitted.
+	if err := l.Allow(""); err != nil {
+		t.Fatalf("first anonymous request: %v", err)
+	}
+	if err := l.Allow(""); err == nil {
+		t.Fatal("second anonymous request admitted, want shed")
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Allow("acme"); err != nil {
+			t.Fatalf("acme request %d: %v", i, err)
+		}
+	}
+	for _, bad := range []string{"nope", "=5", "t=x", "t=1:x"} {
+		if _, err := parseTenantLimits(bad); err == nil {
+			t.Errorf("parseTenantLimits(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestRunWithAvailabilityFlags(t *testing.T) {
+	// The availability controls all enabled at once: community breakers +
+	// transport breakers, health checks, tenant limits, and the stats
+	// line carrying the churn counters.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out logBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-coord", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+			"-services", "AccommodationBooking,CarRental",
+			"-breaker-window", "16", "-breaker-threshold", "0.5",
+			"-breaker-open-for", "2s",
+			"-health-interval", "20ms", "-health-jitter", "5ms",
+			"-tenant-limits", "default=100,visa=1000:2000",
+			"-stats", "10ms",
+		}, &out)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never logged the churn counters; log:\n%s", out.String())
+		}
+		if strings.Contains(out.String(), "breaker-opens=") {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down within 5s of cancel")
+	}
+	for _, want := range []string{"failovers=", "shed="} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("stats line missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,336 @@
+package community
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"selfserv/internal/circuit"
+	"selfserv/internal/qos"
+	"selfserv/internal/service"
+)
+
+// healthOpts is the deterministic checker configuration the churn tests
+// share: no background loop (tests drive ProbeAll directly), dark after
+// two consecutive failures.
+func healthOpts() *HealthOptions {
+	return &HealthOptions{SuspectAfter: 1, DarkAfter: 2}
+}
+
+func book(t *testing.T, c *Community) (service.Response, error) {
+	t.Helper()
+	return c.Invoke(context.Background(), service.Request{
+		Operation: "book", Params: map[string]string{"dest": "d"},
+	})
+}
+
+func TestHealthStateMachineDrivenByInvocations(t *testing.T) {
+	c := New("C", Options{Policy: NewCheapest(), Health: healthOpts()})
+	broken := hotel("Broken", service.SimulatedOptions{})
+	if err := c.Join(&Member{Provider: broken, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(member("Backup", 5, service.SimulatedOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	broken.SetDown(true)
+
+	// First failure: suspect, still selectable.
+	if _, err := book(t, c); err == nil {
+		t.Fatal("invoke of dead member succeeded")
+	}
+	if h := c.History().Health("Broken"); h != qos.Suspect {
+		t.Fatalf("health after 1 failure = %v, want suspect", h)
+	}
+	// Second failure: dark, excluded from selection.
+	if _, err := book(t, c); err == nil {
+		t.Fatal("invoke of dead member succeeded")
+	}
+	if h := c.History().Health("Broken"); h != qos.Dark {
+		t.Fatalf("health after 2 failures = %v, want dark", h)
+	}
+	// Cheapest policy would still prefer Broken, but dark members never
+	// reach the policy: traffic lands on Backup without failover.
+	resp, err := book(t, c)
+	if err != nil {
+		t.Fatalf("request while member dark: %v", err)
+	}
+	if !strings.HasPrefix(resp.Outputs["addr"], "Backup") {
+		t.Fatalf("addr = %q, want Backup", resp.Outputs["addr"])
+	}
+}
+
+func TestProbeRecoversDarkMember(t *testing.T) {
+	c := New("C", Options{Policy: NewCheapest(), Health: healthOpts()})
+	flappy := hotel("Flappy", service.SimulatedOptions{})
+	if err := c.Join(&Member{Provider: flappy, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	flappy.SetDown(true)
+	for i := 0; i < 2; i++ {
+		_, _ = book(t, c)
+	}
+	if h := c.History().Health("Flappy"); h != qos.Dark {
+		t.Fatalf("health = %v, want dark", h)
+	}
+	// A probe round against a still-dead provider keeps it dark.
+	c.ProbeAll(context.Background())
+	if h := c.History().Health("Flappy"); h != qos.Dark {
+		t.Fatalf("health after failed probe = %v, want dark", h)
+	}
+	// The provider recovers; the next probe round heals it — but its
+	// reliability restarts at the prior, not the optimistic 1.
+	flappy.SetDown(false)
+	c.ProbeAll(context.Background())
+	if h := c.History().Health("Flappy"); h != qos.Healthy {
+		t.Fatalf("health after recovery probe = %v, want healthy", h)
+	}
+	if rel := c.History().Snapshot("Flappy").Reliability; rel > qos.PriorReliability {
+		t.Fatalf("recovered reliability = %v, above the %v prior", rel, qos.PriorReliability)
+	}
+	if _, err := book(t, c); err != nil {
+		t.Fatalf("request after recovery: %v", err)
+	}
+	a := c.Availability()
+	if a.Probes < 2 || a.Recoveries != 1 {
+		t.Fatalf("availability = %+v, want >=2 probes and 1 recovery", a)
+	}
+}
+
+func TestAllDarkDistinctFromNoMember(t *testing.T) {
+	c := New("C", Options{Policy: NewCheapest(), Health: healthOpts()})
+	only := hotel("Only", service.SimulatedOptions{})
+	if err := c.Join(&Member{Provider: only, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	only.SetDown(true)
+	for i := 0; i < 2; i++ {
+		_, _ = book(t, c)
+	}
+	_, err := book(t, c)
+	if !errors.Is(err, ErrAllDark) {
+		t.Fatalf("all-members-dark err = %v, want ErrAllDark", err)
+	}
+	if errors.Is(err, ErrNoMember) {
+		t.Fatal("ErrAllDark must not alias ErrNoMember")
+	}
+}
+
+func TestFailoverBackoffDoubles(t *testing.T) {
+	var mu sync.Mutex
+	var delays []time.Duration
+	c := New("C", Options{
+		Policy:   NewCheapest(),
+		Failover: 3,
+		Backoff:  10 * time.Millisecond,
+		Sleep: func(_ context.Context, d time.Duration) {
+			mu.Lock()
+			delays = append(delays, d)
+			mu.Unlock()
+		},
+	})
+	names := []string{"A", "B", "C3", "D"}
+	providers := map[string]*service.Simulated{}
+	for i, n := range names {
+		p := hotel(n, service.SimulatedOptions{})
+		providers[n] = p
+		if err := c.Join(&Member{Provider: p, Cost: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First three choices (cheapest order A, B, C3) are dead; D rescues.
+	for _, n := range []string{"A", "B", "C3"} {
+		providers[n].SetDown(true)
+	}
+	resp, err := book(t, c)
+	if err != nil {
+		t.Fatalf("failover did not rescue: %v", err)
+	}
+	if !strings.HasPrefix(resp.Outputs["addr"], "D") {
+		t.Fatalf("addr = %q, want D", resp.Outputs["addr"])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay %d = %v, want %v (exponential backoff)", i, delays[i], want[i])
+		}
+	}
+	if got := c.Availability().Failovers; got != 3 {
+		t.Fatalf("Failovers = %d, want 3", got)
+	}
+}
+
+func TestIdempotentRetryDoesNotReexecute(t *testing.T) {
+	c := New("C", Options{})
+	p := hotel("A", service.SimulatedOptions{})
+	if err := c.Join(&Member{Provider: p, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	req := service.Request{
+		Operation: "book", Params: map[string]string{"dest": "d"},
+		IdempotencyKey: "trip-42/book/0",
+	}
+	if _, err := c.Invoke(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// A caller-side retry of the SAME logical invocation (same key)
+	// replays the cached response instead of booking twice.
+	if _, err := c.Invoke(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if invoked, _, _ := p.Counters(); invoked != 1 {
+		t.Fatalf("provider executed %d times, want 1", invoked)
+	}
+	if hits := c.Availability().DedupHits; hits != 1 {
+		t.Fatalf("DedupHits = %d, want 1", hits)
+	}
+}
+
+func TestMemberBreakerTripsAndRecovers(t *testing.T) {
+	clk := struct {
+		mu  sync.Mutex
+		now time.Time
+	}{now: time.Unix(9000, 0)}
+	now := func() time.Time {
+		clk.mu.Lock()
+		defer clk.mu.Unlock()
+		return clk.now
+	}
+	advance := func(d time.Duration) {
+		clk.mu.Lock()
+		clk.now = clk.now.Add(d)
+		clk.mu.Unlock()
+	}
+
+	var opened []string
+	c := New("C", Options{
+		Policy:   NewCheapest(),
+		Failover: 1,
+		Breaker: &circuit.Options{
+			Window: 4, MinSamples: 4, Threshold: 1.0,
+			OpenFor: time.Minute, Now: now,
+		},
+		OnBreakerOpen: func(m string) { opened = append(opened, m) },
+	})
+	wedged := hotel("Wedged", service.SimulatedOptions{})
+	if err := c.Join(&Member{Provider: wedged, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(member("Steady", 5, service.SimulatedOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	wedged.SetDown(true)
+
+	// Four failures fill the window and trip the breaker (failover keeps
+	// the requests succeeding via Steady the whole time).
+	for i := 0; i < 4; i++ {
+		resp, err := book(t, c)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !strings.HasPrefix(resp.Outputs["addr"], "Steady") {
+			t.Fatalf("request %d addr = %q", i, resp.Outputs["addr"])
+		}
+	}
+	if st := c.BreakerState("Wedged"); st != circuit.Open {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+	if len(opened) != 1 || opened[0] != "Wedged" {
+		t.Fatalf("OnBreakerOpen calls = %v", opened)
+	}
+	wedgedBefore, _, _ := wedged.Counters()
+
+	// While open, the wedged member is refused WITHOUT being invoked.
+	for i := 0; i < 3; i++ {
+		if _, err := book(t, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after, _, _ := wedged.Counters(); after != wedgedBefore {
+		t.Fatalf("open breaker still let %d invocations through", after-wedgedBefore)
+	}
+	a := c.Availability()
+	if a.BreakerOpens != 1 || a.BreakerRefusals < 3 {
+		t.Fatalf("availability = %+v, want 1 open and >=3 refusals", a)
+	}
+
+	// After the cool-down, the half-open probe invocation reaches the
+	// (recovered) member and closes the breaker.
+	wedged.SetDown(false)
+	advance(2 * time.Minute)
+	resp, err := book(t, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp.Outputs["addr"], "Wedged") {
+		t.Fatalf("half-open probe addr = %q, want Wedged", resp.Outputs["addr"])
+	}
+	if st := c.BreakerState("Wedged"); st != circuit.Closed {
+		t.Fatalf("breaker state after probe success = %v, want closed", st)
+	}
+}
+
+func TestBreakerRefusalDoesNotBurnRetryBudget(t *testing.T) {
+	clk := time.Unix(9000, 0)
+	c := New("C", Options{
+		Policy:   NewCheapest(),
+		Failover: 0, // single delegation
+		Breaker: &circuit.Options{
+			Window: 2, MinSamples: 2, Threshold: 0.5,
+			OpenFor: time.Hour, Now: func() time.Time { return clk },
+		},
+	})
+	dead := hotel("Dead", service.SimulatedOptions{})
+	if err := c.Join(&Member{Provider: dead, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Join(member("Live", 5, service.SimulatedOptions{})); err != nil {
+		t.Fatal(err)
+	}
+	dead.SetDown(true)
+	for i := 0; i < 2; i++ {
+		_, _ = book(t, c) // trip Dead's breaker (each is the one delegation)
+	}
+	// Even with Failover=0, an open-breaker refusal is not an attempt:
+	// the single delegation goes to Live.
+	resp, err := book(t, c)
+	if err != nil {
+		t.Fatalf("request after breaker opened: %v", err)
+	}
+	if !strings.HasPrefix(resp.Outputs["addr"], "Live") {
+		t.Fatalf("addr = %q, want Live", resp.Outputs["addr"])
+	}
+}
+
+func TestStartStopHealthChecks(t *testing.T) {
+	c := New("C", Options{Health: &HealthOptions{
+		Interval: time.Millisecond, Jitter: time.Millisecond, Seed: 7,
+	}})
+	down := hotel("Down", service.SimulatedOptions{})
+	if err := c.Join(&Member{Provider: down, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+	down.SetDown(true)
+	c.StartHealthChecks(context.Background())
+	c.StartHealthChecks(context.Background()) // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for c.History().Health("Down") != qos.Dark {
+		if time.Now().After(deadline) {
+			t.Fatal("background probes never darkened the dead member")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.StopHealthChecks()
+	c.StopHealthChecks() // idempotent
+	if got := c.Availability().Probes; got == 0 {
+		t.Fatalf("Probes = %d after background loop ran", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"selfserv/internal/deployer"
 	"selfserv/internal/engine"
 	"selfserv/internal/expr"
+	"selfserv/internal/limits"
 	"selfserv/internal/routing"
 	"selfserv/internal/service"
 	"selfserv/internal/statechart"
@@ -45,6 +46,12 @@ type Options struct {
 	Funcs map[string]expr.Func
 	// HostOptions tune coordinator hosts.
 	HostOptions engine.HostOptions
+	// Limits, when set, applies per-tenant admission control at every
+	// entry point of the platform: composite executions (wrapper
+	// admission) and remote invocations served by hosts. Requests tag
+	// their tenant with the engine.TenantVar input variable; untagged
+	// requests share the anonymous bucket. Nil admits everything.
+	Limits *limits.Limiter
 }
 
 // Platform is a running SELF-SERV instance.
@@ -55,6 +62,7 @@ type Platform struct {
 	dir      *engine.Directory
 	funcs    engine.Funcs
 	hostOpts engine.HostOptions
+	limits   *limits.Limiter
 
 	mu         sync.Mutex
 	hosts      []*engine.Host
@@ -75,6 +83,9 @@ func New(opts Options) *Platform {
 	if hostOpts.Funcs == nil {
 		hostOpts.Funcs = engine.Funcs(opts.Funcs)
 	}
+	if hostOpts.Limits == nil {
+		hostOpts.Limits = opts.Limits
+	}
 	return &Platform{
 		net:        net,
 		ownsNet:    owns,
@@ -82,6 +93,7 @@ func New(opts Options) *Platform {
 		dir:        engine.NewDirectory(),
 		funcs:      engine.Funcs(opts.Funcs),
 		hostOpts:   hostOpts,
+		limits:     opts.Limits,
 		placement:  deployer.Placement{},
 		composites: map[string]*Composite{},
 	}
@@ -92,6 +104,9 @@ func (p *Platform) Registry() *service.Registry { return p.registry }
 
 // Network exposes the underlying transport (for stats in experiments).
 func (p *Platform) Network() transport.Network { return p.net }
+
+// Limits exposes the platform's tenant limiter (nil when unlimited).
+func (p *Platform) Limits() *limits.Limiter { return p.limits }
 
 // Directory exposes the peer directory (read-mostly).
 func (p *Platform) Directory() *engine.Directory { return p.dir }
@@ -159,6 +174,7 @@ func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetLimiter(p.limits)
 	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan, compiled: dep.Compiled}
 	p.mu.Lock()
 	p.composites[sc.Name] = comp

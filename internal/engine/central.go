@@ -307,6 +307,15 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 			if err != nil {
 				return err
 			}
+			// The tenant tag rides the invoke as the reserved TenantVar
+			// entry; serveInvoke moves it into Request.Tenant and strips
+			// it from the provider's params.
+			if tenant := run.vars[TenantVar]; tenant != "" {
+				if params == nil {
+					params = map[string]string{}
+				}
+				params[TenantVar] = tenant
+			}
 			addr, found := c.dir.Lookup(c.plan.Composite, tbl.State)
 			if !found {
 				return fmt.Errorf("engine: state %q is not deployed", tbl.State)

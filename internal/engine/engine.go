@@ -45,6 +45,15 @@ import (
 	"selfserv/internal/routing"
 )
 
+// TenantVar is the reserved variable carrying the requesting tenant's
+// identity through a composite execution. Callers put it in the input
+// bag; it rides the ordinary dataflow (start messages, notification
+// merges) so every coordinator can attribute its service invocations
+// (service.Request.Tenant) to the tenant that started the instance.
+// Variables starting with '$' are engine metadata: they are stripped
+// from result documents and from the params of remote invocations.
+const TenantVar = "$tenant"
+
 // ErrInstanceFault reports that a composite execution failed; the cause
 // is in the message carried by the fault.
 var ErrInstanceFault = errors.New("engine: instance fault")

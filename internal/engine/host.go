@@ -3,10 +3,12 @@ package engine
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
 	"selfserv/internal/expr"
+	"selfserv/internal/limits"
 	"selfserv/internal/message"
 	"selfserv/internal/routing"
 	"selfserv/internal/service"
@@ -24,6 +26,9 @@ type HostOptions struct {
 	// Logf, when set, receives coordinator trace lines (tests and the
 	// hostd binary use it; benchmarks leave it nil).
 	Logf func(format string, args ...any)
+	// Limits, when set, gates remote TypeInvoke requests per tenant
+	// (message variable engine.TenantVar). Nil admits everything.
+	Limits *limits.Limiter
 }
 
 // Host is one node of the peer-to-peer execution fabric. It runs the
@@ -37,6 +42,9 @@ type Host struct {
 	dir      *Directory
 	opts     HostOptions
 	funcEnv  expr.Env // function layer shared by every evaluation
+	// recorder surfaces shed decisions in the transport's destination-
+	// keyed stats (both built-in networks implement it); nil-safe.
+	recorder transport.AvailabilityRecorder
 
 	mu     sync.RWMutex
 	coords map[string]*coordinator // key: composite + "\x00" + stateID
@@ -61,6 +69,9 @@ func NewHost(net transport.Network, addr string, registry *service.Registry, dir
 	}
 	h.ep = ep
 	h.sender = net.Open(ep.Addr())
+	if rec, ok := net.(transport.AvailabilityRecorder); ok {
+		h.recorder = rec
+	}
 	return h, nil
 }
 
@@ -171,8 +182,34 @@ func (h *Host) serveInvoke(ctx context.Context, m *message.Message) {
 	svc, op, ok := strings.Cut(m.To, "/")
 	if !ok {
 		reply.Error = fmt.Sprintf("engine: malformed invoke target %q", m.To)
+	} else if err := h.opts.Limits.Allow(m.Vars[TenantVar]); err != nil {
+		// Per-tenant admission: the shed is decided before the provider
+		// is touched, and surfaces in this host's transport stats.
+		if h.recorder != nil {
+			h.recorder.RecordShed(h.Addr())
+		}
+		reply.Error = err.Error()
 	} else {
-		resp, err := h.registry.Invoke(ctx, service.Request{Service: svc, Operation: op, Params: m.Vars})
+		// Reserved '$'-prefixed variables are engine metadata, not service
+		// parameters: the tenant moves to Request.Tenant, and the invoke
+		// token (unique per firing) becomes the idempotency key so a
+		// retried TypeInvoke can never execute the provider twice.
+		params := m.Vars
+		if _, tagged := params[TenantVar]; tagged {
+			params = make(map[string]string, len(m.Vars))
+			for k, v := range m.Vars {
+				if !strings.HasPrefix(k, "$") {
+					params[k] = v
+				}
+			}
+		}
+		resp, err := h.registry.Invoke(ctx, service.Request{
+			Service:        svc,
+			Operation:      op,
+			Params:         params,
+			Tenant:         m.Vars[TenantVar],
+			IdempotencyKey: m.Composite + "/" + m.Instance + "/" + m.To,
+		})
 		if err != nil {
 			reply.Error = err.Error()
 		} else {
@@ -242,6 +279,7 @@ type coordInstance struct {
 	srcVer  []uint32            // bumped on every write to the matching srcVars bag
 	merged  map[string]string   // cached canonical merge; nil when stale
 	running bool                // an invocation is in flight; new clause checks wait
+	fireSeq uint64              // firings launched so far; keys idempotent retries
 }
 
 func (c *coordinator) instance(id string) *coordInstance {
@@ -375,11 +413,12 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 			inst.merged = nil
 		}
 		inst.running = true
+		inst.fireSeq++
 		// Remember each source bag's version at fire time: finish uses it
 		// to tell data absorbed into this snapshot from data that arrived
 		// while the service ran.
 		firedVer := append([]uint32(nil), inst.srcVer...)
-		go c.fire(ctx, instanceID, snapshot, firedVer)
+		go c.fire(ctx, instanceID, inst.fireSeq, snapshot, firedVer)
 		return
 	}
 }
@@ -390,19 +429,26 @@ func isUndefinedVar(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "undefined variable")
 }
 
-// fire invokes the component service and runs postprocessing. firedVer
-// is the per-source bag version vector captured when the snapshot was
-// taken (see finish).
-func (c *coordinator) fire(ctx context.Context, instanceID string, vars map[string]string, firedVer []uint32) {
+// fire invokes the component service and runs postprocessing. fireSeq
+// numbers this firing within the instance; firedVer is the per-source
+// bag version vector captured when the snapshot was taken (see finish).
+func (c *coordinator) fire(ctx context.Context, instanceID string, fireSeq uint64, vars map[string]string, firedVer []uint32) {
 	c.host.logf("coord %s/%s: firing instance %s", c.composite, c.table.State, instanceID)
 
 	params, err := bindInputs(c.table.Inputs, vars, c.host.funcEnv)
 	if err == nil {
 		var resp service.Response
+		// The idempotency key names the LOGICAL firing — composite,
+		// instance, state, firing number — never the provider that ends
+		// up executing it: a community retrying the invocation on an
+		// alternative member after a failure replays the cached response
+		// instead of executing the operation twice.
 		resp, err = c.host.registry.Invoke(ctx, service.Request{
-			Service:   c.table.Service,
-			Operation: c.table.Operation,
-			Params:    params,
+			Service:        c.table.Service,
+			Operation:      c.table.Operation,
+			Params:         params,
+			Tenant:         vars[TenantVar],
+			IdempotencyKey: c.composite + "/" + instanceID + "/" + c.table.State + "/" + strconv.FormatUint(fireSeq, 10),
 		})
 		if err == nil {
 			bindOutputs(c.table.Outputs, resp.Outputs, vars)

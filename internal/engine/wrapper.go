@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"selfserv/internal/expr"
+	"selfserv/internal/limits"
 	"selfserv/internal/message"
 	"selfserv/internal/routing"
 	"selfserv/internal/transport"
@@ -28,6 +30,14 @@ type Wrapper struct {
 	compiled *routing.CompiledPlan
 	funcs    Funcs
 	funcEnv  expr.Env
+
+	// limiter, when set, gates instance admission per tenant (the
+	// TenantVar input). Swappable at runtime (hostd reconfiguration);
+	// nil admits everything.
+	limiter atomic.Pointer[limits.Limiter]
+	// recorder surfaces shed decisions in the transport's destination-
+	// keyed stats (both built-in networks implement it); nil-safe.
+	recorder transport.AvailabilityRecorder
 
 	seq atomic.Int64
 
@@ -119,9 +129,17 @@ func NewCompiledWrapper(net transport.Network, addr string, dir *Directory, comp
 	}
 	w.ep = ep
 	w.sender = net.Open(ep.Addr())
+	if rec, ok := net.(transport.AvailabilityRecorder); ok {
+		w.recorder = rec
+	}
 	dir.Set(plan.Composite, message.WrapperID, ep.Addr())
 	return w, nil
 }
+
+// SetLimiter installs (or, with nil, removes) the per-tenant admission
+// limiter consulted by Execute/ExecuteInstance. Safe to call while
+// executions are in flight.
+func (w *Wrapper) SetLimiter(l *limits.Limiter) { w.limiter.Store(l) }
 
 // Addr returns the wrapper's transport address.
 func (w *Wrapper) Addr() string { return w.ep.Addr() }
@@ -145,6 +163,15 @@ func (w *Wrapper) Execute(ctx context.Context, inputs map[string]string) (map[st
 // ExecuteInstance is Execute with a caller-chosen instance ID (IDs must
 // be unique per wrapper).
 func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[string]string) (map[string]string, error) {
+	// Admission control happens before ANY instance state is allocated:
+	// a shed request must cost the platform nothing but this check. The
+	// nil limiter admits everything (limits.Limiter is nil-receiver safe).
+	if err := w.limiter.Load().Allow(inputs[TenantVar]); err != nil {
+		if w.recorder != nil {
+			w.recorder.RecordShed(w.ep.Addr())
+		}
+		return nil, fmt.Errorf("engine: composite %q: %w", w.plan.Composite, err)
+	}
 	inst := &wrapperInstance{
 		done:    make(chan struct{}),
 		pending: make([]uint64, w.compiled.FinishMaskWords()),
@@ -225,11 +252,16 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 }
 
 // projectOutputs filters the final bag to declared inputs+outputs; when
-// the plan declares no outputs the whole bag is returned.
+// the plan declares no outputs the whole bag is returned. Reserved
+// '$'-prefixed variables (TenantVar and friends) are engine metadata,
+// never part of the result document.
 func (w *Wrapper) projectOutputs(vars map[string]string) map[string]string {
 	if len(w.plan.Outputs) == 0 {
 		out := make(map[string]string, len(vars))
 		for k, v := range vars {
+			if strings.HasPrefix(k, "$") {
+				continue
+			}
 			out[k] = v
 		}
 		return out

@@ -123,6 +123,100 @@ func TestMembersSortedAndString(t *testing.T) {
 	}
 }
 
+func TestHealthStateVisible(t *testing.T) {
+	h := NewHistory(0.3)
+	if got := h.Health("m"); got != Healthy {
+		t.Fatalf("unknown member health = %v, want healthy", got)
+	}
+	h.SetHealth("m", Dark)
+	if got := h.Health("m"); got != Dark {
+		t.Fatalf("health = %v, want dark", got)
+	}
+	if got := h.Snapshot("m").Health; got != Dark {
+		t.Fatalf("snapshot health = %v, want dark", got)
+	}
+	if s := h.Snapshot("m").String(); !strings.Contains(s, "health=dark") {
+		t.Fatalf("String = %q, want health=dark", s)
+	}
+	for state, selectable := range map[Health]bool{
+		Healthy: true, Suspect: true, Dark: false, Probing: false,
+	} {
+		if state.Selectable() != selectable {
+			t.Fatalf("%v.Selectable() = %v", state, state.Selectable())
+		}
+	}
+}
+
+// TestFlappingMemberNeverRegainsOptimism pins the optimistic-start fix:
+// a member that builds up a failure history, goes dark, and "reconnects
+// with fresh state" must NOT come back at reliability 1 — a reset decays
+// toward the prior, and repeated flap cycles converge there, always
+// below a steadily healthy member.
+func TestFlappingMemberNeverRegainsOptimism(t *testing.T) {
+	h := NewHistory(0.5)
+	// Steady member: long success history, reliability ~1.
+	for i := 0; i < 20; i++ {
+		h.Begin("steady")
+		h.End("steady", time.Millisecond, true)
+	}
+	// Flapper: fails hard, goes dark, then its health state resets on
+	// every reconnect.
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 10; i++ {
+			h.Begin("flappy")
+			h.End("flappy", time.Millisecond, false)
+		}
+		h.SetHealth("flappy", Dark)
+		h.ResetToPrior("flappy")
+		h.SetHealth("flappy", Healthy)
+		rel := h.Snapshot("flappy").Reliability
+		if rel > PriorReliability {
+			t.Fatalf("cycle %d: reset reliability = %v, above the %v prior", cycle, rel, PriorReliability)
+		}
+	}
+	if flap, steady := h.Snapshot("flappy").Reliability, h.Snapshot("steady").Reliability; flap >= steady {
+		t.Fatalf("flapper reliability %v >= steady member %v: flapping must not pay", flap, steady)
+	}
+	// The reset preserved, not wiped, the rest of the history.
+	if n := h.Snapshot("flappy").Executions; n != 50 {
+		t.Fatalf("executions after resets = %d, want 50", n)
+	}
+}
+
+// TestResetToPriorSeedsUnknownMemberAtPrior: resetting a member nobody
+// has observed yet seeds it AT the prior — a reset is an admission of
+// past failure and must never grant the optimistic start of 1.
+func TestResetToPriorSeedsUnknownMemberAtPrior(t *testing.T) {
+	h := NewHistory(0.5)
+	h.ResetToPrior("fresh")
+	if rel := h.Snapshot("fresh").Reliability; rel != PriorReliability {
+		t.Fatalf("reset of unknown member: reliability = %v, want %v", rel, PriorReliability)
+	}
+	// And further successes still earn trust back from the prior.
+	h.Begin("fresh")
+	h.End("fresh", time.Millisecond, true)
+	if rel := h.Snapshot("fresh").Reliability; rel != 0.75 { // 0.5*1 + 0.5*0.5
+		t.Fatalf("reliability after one success = %v, want 0.75", rel)
+	}
+}
+
+// TestResetDecaysFromAboveToo: a reliable member's reset also moves
+// toward the prior (from above), so resets are never an upgrade path in
+// either direction.
+func TestResetDecaysFromAboveToo(t *testing.T) {
+	h := NewHistory(0.5)
+	for i := 0; i < 20; i++ {
+		h.Begin("good")
+		h.End("good", time.Millisecond, true)
+	}
+	before := h.Snapshot("good").Reliability
+	h.ResetToPrior("good")
+	after := h.Snapshot("good").Reliability
+	if !(after < before && after > PriorReliability) {
+		t.Fatalf("reset from above: %v -> %v, want strictly between prior and old value", before, after)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	h := NewHistory(0.3)
 	var wg sync.WaitGroup

@@ -28,6 +28,17 @@ type Request struct {
 	// engine hands out the same map it keeps binding state in, and
 	// skips allocating one entirely for binding-less operations.
 	Params map[string]string
+	// Tenant tags the request with the calling tenant for per-tenant
+	// traffic controls (rate limits, load shedding; see package limits).
+	// Empty means anonymous. Providers treat it as read-only metadata;
+	// it never participates in operation semantics.
+	Tenant string
+	// IdempotencyKey uniquely identifies the LOGICAL invocation this
+	// request belongs to, across retries: a failover retry of the same
+	// composite firing carries the same key, so dedup layers (see
+	// NewIdempotent, community delegation) can recognize and suppress a
+	// duplicate execution. Empty disables deduplication for the request.
+	IdempotencyKey string
 }
 
 // Response carries an operation's outputs.
@@ -53,6 +64,10 @@ var ErrUnknownOperation = errors.New("service: unknown operation")
 
 // ErrUnknownService reports a registry lookup miss.
 var ErrUnknownService = errors.New("service: unknown service")
+
+// ErrProviderDown reports an invocation or probe against a provider whose
+// process is (simulated as) dead; see Simulated.SetDown.
+var ErrProviderDown = errors.New("service: provider down")
 
 // Registry is a thread-safe name -> Provider directory, the in-process
 // equivalent of the paper's "pool of services".

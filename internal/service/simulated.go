@@ -37,6 +37,7 @@ type Simulated struct {
 	invoked  int64
 	failures int64
 	inflight int64
+	down     bool
 }
 
 // NewSimulated returns a provider with no operations; add them with
@@ -90,10 +91,44 @@ func (s *Simulated) Operations() []string {
 	return ops
 }
 
+// SetDown flips the provider's kill switch: while down, every Invoke
+// and Probe fails fast with ErrProviderDown (no latency is simulated —
+// a dead process doesn't sleep). This is the chaos lever availability
+// experiments use to model provider death and recovery mid-composite.
+func (s *Simulated) SetDown(down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = down
+}
+
+// Down reports whether the kill switch is set.
+func (s *Simulated) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// Probe implements the health-check probe contract (see community
+// package's Prober): it succeeds instantly unless the provider is down.
+func (s *Simulated) Probe(context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("service %s: %w", s.name, ErrProviderDown)
+	}
+	return nil
+}
+
 // Invoke implements Provider: it sleeps for the configured service time,
 // then either fails (per FailRate) or runs the operation handler.
 func (s *Simulated) Invoke(ctx context.Context, req Request) (Response, error) {
 	s.mu.Lock()
+	if s.down {
+		s.invoked++
+		s.failures++
+		s.mu.Unlock()
+		return Response{}, fmt.Errorf("service %s.%s: %w", s.name, req.Operation, ErrProviderDown)
+	}
 	fn, ok := s.ops[req.Operation]
 	var extra time.Duration
 	if s.opts.Jitter > 0 {

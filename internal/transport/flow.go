@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"selfserv/internal/circuit"
 )
 
 // This file defines the flow-control and connection-lifecycle contract
@@ -155,6 +157,15 @@ type FlowOptions struct {
 	// sender's bounded write queue; in memory the sender itself), never
 	// drops. 0 means 256.
 	RecvQueueLen int
+	// Breaker enables a per-DESTINATION circuit breaker on the send path
+	// with these settings; nil (the default) disables breakers entirely.
+	// With a breaker, repeated send failures toward one destination
+	// (queue-full sheds, send-deadline expiries, failed first dials) trip
+	// its breaker open, and further sends to it fail fast with
+	// circuit.ErrOpen BEFORE touching the write queue — a wedged peer
+	// costs its callers an error check, not a queue slot and a deadline
+	// wait. Breaker trips are visible in Stats (NodeStats.BreakerOpens).
+	Breaker *circuit.Options
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -254,4 +265,60 @@ func (b *backoff) delay(attempt int) time.Duration {
 	f := 0.5 + 0.5*b.rng.Float64()
 	b.mu.Unlock()
 	return time.Duration(float64(d) * f)
+}
+
+// sendBreakers is the per-destination breaker set shared by both Network
+// implementations (nil when FlowOptions.Breaker is nil — every method is
+// nil-safe, so the send paths never branch). Trips are mirrored into the
+// destination's node stats.
+type sendBreakers struct {
+	group *circuit.Group
+}
+
+func newSendBreakers(flow FlowOptions, book *statsBook) *sendBreakers {
+	if flow.Breaker == nil {
+		return nil
+	}
+	g := circuit.NewGroup(*flow.Breaker)
+	g.OnOpen(func(dest string) { book.node(dest).breakerOpens.Add(1) })
+	return &sendBreakers{group: g}
+}
+
+// allow admits or refuses a send toward to. A refusal wraps
+// circuit.ErrOpen and cost the caller no queue slot.
+func (b *sendBreakers) allow(to string) error {
+	if b == nil {
+		return nil
+	}
+	if err := b.group.Get(to).Allow(); err != nil {
+		return fmt.Errorf("transport: to %s: %w", to, err)
+	}
+	return nil
+}
+
+// record feeds one send outcome to the destination's breaker. Flow
+// refusals (queue full, send deadline), context expiry while queued, and
+// dead-destination dials count as failures; acceptance counts as
+// success; structural errors (closed network, encode) count as neither.
+func (b *sendBreakers) record(to string, err error) {
+	if b == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		b.group.Get(to).Success()
+	case errors.Is(err, ErrQueueFull),
+		errors.Is(err, ErrSendDeadline),
+		errors.Is(err, ErrUnknownAddress),
+		errors.Is(err, context.DeadlineExceeded):
+		b.group.Get(to).Failure()
+	}
+}
+
+// state reports the breaker state toward to (Closed when disabled).
+func (b *sendBreakers) state(to string) circuit.State {
+	if b == nil {
+		return circuit.Closed
+	}
+	return b.group.Get(to).State()
 }

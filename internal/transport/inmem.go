@@ -57,9 +57,10 @@ type InMemOptions struct {
 // frames, so batched ≡ sequential holds under one seed with faults
 // active.
 type InMem struct {
-	opts  InMemOptions
-	flow  FlowOptions
-	stats *statsBook
+	opts     InMemOptions
+	flow     FlowOptions
+	stats    *statsBook
+	breakers *sendBreakers // nil unless Flow.Breaker is set
 
 	mu        sync.RWMutex
 	handlers  map[string]Handler
@@ -98,10 +99,13 @@ func NewInMem(opts InMemOptions) *InMem {
 	if seed == 0 {
 		seed = 1
 	}
+	stats := newStatsBook()
+	flow := opts.Flow.withDefaults()
 	return &InMem{
 		opts:     opts,
-		flow:     opts.Flow.withDefaults(),
-		stats:    newStatsBook(),
+		flow:     flow,
+		stats:    stats,
+		breakers: newSendBreakers(flow, stats),
 		handlers: map[string]Handler{},
 		hver:     map[string]uint64{},
 		peers:    map[string]*inmemPeer{},
@@ -444,7 +448,20 @@ func (n *InMem) sendBatch(ctx context.Context, out *nodeCounters, to string, ms 
 // the frame's logical source (its first message's From) — the receive
 // lane key, chosen to match the TCP read side exactly: stable across
 // connections and reconnects, and distinct for co-located senders.
+// With Flow.Breaker set, the destination's breaker gates the frame
+// BEFORE any queue admission (an open breaker refuses instantly) and is
+// fed the flow-control outcome.
 func (n *InMem) deliverFrame(ctx context.Context, out *nodeCounters, from, to string, data []byte, msgs int) error {
+	if err := n.breakers.allow(to); err != nil {
+		return err
+	}
+	err := n.deliverFrameAdmitted(ctx, out, from, to, data, msgs)
+	n.breakers.record(to, err)
+	return err
+}
+
+// deliverFrameAdmitted is deliverFrame past the breaker gate.
+func (n *InMem) deliverFrameAdmitted(ctx context.Context, out *nodeCounters, from, to string, data []byte, msgs int) error {
 	n.mu.RLock()
 	h, ok := n.handlers[to]
 	hver := n.hver[to]
@@ -654,6 +671,15 @@ func (n *InMem) dropped() bool {
 
 // Stats implements Network.
 func (n *InMem) Stats() Stats { return n.stats.snapshot() }
+
+// RecordFailover implements AvailabilityRecorder.
+func (n *InMem) RecordFailover(addr string) { n.stats.RecordFailover(addr) }
+
+// RecordShed implements AvailabilityRecorder.
+func (n *InMem) RecordShed(addr string) { n.stats.RecordShed(addr) }
+
+// RecordBreakerOpen implements AvailabilityRecorder.
+func (n *InMem) RecordBreakerOpen(addr string) { n.stats.RecordBreakerOpen(addr) }
 
 // Close implements Network. It waits for in-flight asynchronous
 // deliveries — including everything already accepted onto a receive

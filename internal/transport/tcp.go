@@ -45,9 +45,10 @@ var errRetired = errors.New("transport: connection retired")
 // destination into one wire frame per write — cross-round batching (see
 // writeLoop and docs/transport.md).
 type TCP struct {
-	stats *statsBook
-	flow  FlowOptions
-	bo    *backoff
+	stats    *statsBook
+	flow     FlowOptions
+	bo       *backoff
+	breakers *sendBreakers // nil unless flow.Breaker is set
 
 	mu        sync.Mutex
 	listeners map[string]*tcpEndpoint
@@ -71,8 +72,10 @@ func NewTCP(flow ...FlowOptions) *TCP {
 		fo = flow[0]
 	}
 	fo = fo.withDefaults()
+	stats := newStatsBook()
 	t := &TCP{
-		stats:       newStatsBook(),
+		stats:       stats,
+		breakers:    newSendBreakers(fo, stats),
 		flow:        fo,
 		bo:          newBackoff(fo),
 		listeners:   map[string]*tcpEndpoint{},
@@ -228,7 +231,21 @@ func (t *TCP) sendBatch(ctx context.Context, out *nodeCounters, to string, ms []
 // flow-control contract: ErrQueueFull (shed policy), ErrSendDeadline
 // (block policy timed out), ErrUnknownAddress (first dial failed),
 // ErrClosed.
+// With flow.Breaker set, the destination's breaker gates the frame
+// BEFORE connection lookup and queue admission — an open breaker refuses
+// instantly with circuit.ErrOpen, costing no dial, no queue slot, and no
+// deadline wait — and is fed the acceptance/refusal outcome.
 func (t *TCP) sendFrame(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
+	if err := t.breakers.allow(to); err != nil {
+		return err
+	}
+	err := t.sendFrameAdmitted(ctx, out, to, data, msgs)
+	t.breakers.record(to, err)
+	return err
+}
+
+// sendFrameAdmitted is sendFrame past the breaker gate.
+func (t *TCP) sendFrameAdmitted(ctx context.Context, out *nodeCounters, to string, data []byte, msgs int) error {
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
@@ -682,6 +699,15 @@ func (t *TCP) ConnCount() int {
 
 // Stats implements Network.
 func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
+// RecordFailover implements AvailabilityRecorder.
+func (t *TCP) RecordFailover(addr string) { t.stats.RecordFailover(addr) }
+
+// RecordShed implements AvailabilityRecorder.
+func (t *TCP) RecordShed(addr string) { t.stats.RecordShed(addr) }
+
+// RecordBreakerOpen implements AvailabilityRecorder.
+func (t *TCP) RecordBreakerOpen(addr string) { t.stats.RecordBreakerOpen(addr) }
 
 // Close implements Network. Accepted-but-unwritten frames are dropped
 // (the network is going away); writers and the janitor stop.

@@ -156,6 +156,18 @@ type NodeStats struct {
 	// deep receive queue identifies a node whose handlers can't keep up
 	// with fan-in — the receive-side twin of QueueDepth.
 	RecvQueueDepth int64
+	// Failovers counts delegated invocations re-routed away from this
+	// destination after a failure (recorded by the community/engine layer
+	// via AvailabilityRecorder; the transport only keeps the book).
+	Failovers int64
+	// ShedRequests counts requests toward this destination refused by
+	// per-tenant admission control (see package limits; recorded via
+	// AvailabilityRecorder).
+	ShedRequests int64
+	// BreakerOpens counts circuit-breaker trips for the path toward this
+	// destination — transport send breakers (FlowOptions.Breaker) and any
+	// higher-layer breakers reported via AvailabilityRecorder.
+	BreakerOpens int64
 }
 
 // MergedMsgsPerFrame reports the mean number of messages per MERGED wire
@@ -191,6 +203,9 @@ func (s Stats) Total() NodeStats {
 		t.MergedWrites += n.MergedWrites
 		t.RecvLanes += n.RecvLanes
 		t.RecvQueueDepth += n.RecvQueueDepth
+		t.Failovers += n.Failovers
+		t.ShedRequests += n.ShedRequests
+		t.BreakerOpens += n.BreakerOpens
 	}
 	return t
 }
@@ -234,6 +249,12 @@ type nodeCounters struct {
 	// Receive-lane counters for this address's own listening endpoint.
 	recvLanes      atomic.Int64
 	recvQueueDepth atomic.Int64
+	// Availability counters for the path toward this address (breaker
+	// trips from the send path; failovers and sheds reported by higher
+	// layers via AvailabilityRecorder).
+	failovers    atomic.Int64
+	shedRequests atomic.Int64
+	breakerOpens atomic.Int64
 }
 
 // recordMerge counts one merged wire write toward this destination:
@@ -263,6 +284,9 @@ func (c *nodeCounters) snapshot() NodeStats {
 		MergedWrites:   c.mergedWrites.Load(),
 		RecvLanes:      c.recvLanes.Load(),
 		RecvQueueDepth: c.recvQueueDepth.Load(),
+		Failovers:      c.failovers.Load(),
+		ShedRequests:   c.shedRequests.Load(),
+		BreakerOpens:   c.breakerOpens.Load(),
 	}
 }
 
@@ -314,6 +338,26 @@ func (b *statsBook) recordIn(to string, msgs, bytes int) {
 	n.msgsIn.Add(int64(msgs))
 	n.bytesIn.Add(int64(bytes))
 }
+
+// AvailabilityRecorder lets higher layers (communities, engine hosts)
+// attribute availability events — failovers, admission-control sheds,
+// breaker trips — to the destination-keyed node stats, so one Stats
+// snapshot tells the whole churn story. Both Network implementations
+// provide it; callers discover it by type assertion and degrade to
+// no-ops when absent.
+type AvailabilityRecorder interface {
+	// RecordFailover counts one delegation re-routed away from addr.
+	RecordFailover(addr string)
+	// RecordShed counts one request toward addr refused by per-tenant
+	// admission control.
+	RecordShed(addr string)
+	// RecordBreakerOpen counts one higher-layer breaker trip for addr.
+	RecordBreakerOpen(addr string)
+}
+
+func (b *statsBook) RecordFailover(addr string)    { b.node(addr).failovers.Add(1) }
+func (b *statsBook) RecordShed(addr string)        { b.node(addr).shedRequests.Add(1) }
+func (b *statsBook) RecordBreakerOpen(addr string) { b.node(addr).breakerOpens.Add(1) }
 
 func (b *statsBook) snapshot() Stats {
 	b.mu.RLock()

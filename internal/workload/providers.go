@@ -27,10 +27,21 @@ func RegisterTravelProviders(reg *service.Registry, opts service.SimulatedOption
 // RegisterTravelCommunity registers just the AccommodationBooking
 // community (three hotel brands behind a QoS policy with one failover).
 func RegisterTravelCommunity(reg *service.Registry, opts service.SimulatedOptions) (*community.Community, error) {
-	ab := community.New("AccommodationBooking", community.Options{
-		Policy:   community.NewQoS(community.Weights{}),
-		Failover: 1,
-	})
+	return RegisterTravelCommunityWith(reg, opts, community.Options{})
+}
+
+// RegisterTravelCommunityWith is RegisterTravelCommunity with explicit
+// community options — hostd uses it to wire health checks, breakers, and
+// availability observers from its flags. A nil Policy and zero Failover
+// keep the standard QoS-with-one-failover configuration.
+func RegisterTravelCommunityWith(reg *service.Registry, opts service.SimulatedOptions, commOpts community.Options) (*community.Community, error) {
+	if commOpts.Policy == nil {
+		commOpts.Policy = community.NewQoS(community.Weights{})
+	}
+	if commOpts.Failover == 0 {
+		commOpts.Failover = 1
+	}
+	ab := community.New("AccommodationBooking", commOpts)
 	for i, brand := range []string{"GrandHotel", "CityLodge", "HarbourInn"} {
 		m := &community.Member{
 			Provider:   service.NewAccommodationBooking(brand, opts),
