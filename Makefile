@@ -66,3 +66,11 @@ flake: ## liveness/flake hunt: the concurrent packages, race detector, 10 loops
 .PHONY: vet
 vet:
 	$(GO) vet ./...
+
+.PHONY: lint
+lint: ## selfservvet analyzer suite + gofmt, over the whole tree
+	$(GO) run ./cmd/selfservvet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi

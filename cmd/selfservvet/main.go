@@ -1,0 +1,144 @@
+// Command selfservvet is the repo's multichecker: every machine-checked
+// invariant of the engine's concurrency and determinism story in one
+// binary (docs/static-analysis.md).
+//
+// Two modes:
+//
+//   - Standalone (make lint):
+//
+//     go run ./cmd/selfservvet ./...
+//
+//     loads the named package patterns (tests included by default) and
+//     prints findings as file:line:col: message (analyzer), exiting 1
+//     when any survive the //selfservvet:ignore filter.
+//
+//   - Vet tool:
+//
+//     go vet -vettool=$(go env GOPATH)/bin/selfservvet ./...
+//
+//     speaks the cmd/go unitchecker protocol: invoked with a *.cfg
+//     JSON file per package, answers -V=full for the build cache, and
+//     exits 2 when a package has findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"selfserv/internal/analysis/framework"
+	"selfserv/internal/analysis/guardedby"
+	"selfserv/internal/analysis/injectedclock"
+	"selfserv/internal/analysis/lockorder"
+	"selfserv/internal/analysis/reservedvar"
+	"selfserv/internal/analysis/sentinelerr"
+)
+
+// version is the -V=full identity; bump when analyzer behaviour
+// changes so `go vet` invalidates its cached verdicts.
+const version = "v1.0.0"
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*framework.Analyzer{
+	guardedby.Analyzer,
+	injectedclock.Analyzer,
+	lockorder.Analyzer,
+	reservedvar.Analyzer,
+	sentinelerr.Analyzer,
+}
+
+func main() {
+	var (
+		vFlag     = flag.String("V", "", "print version and exit (the go command passes -V=full)")
+		flagsFlag = flag.Bool("flags", false, "print analyzer flags as JSON (unitchecker protocol)")
+		testsFlag = flag.Bool("tests", true, "also analyze _test.go files (standalone mode)")
+		checks    = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Usage = usage
+	flag.Parse()
+
+	if *vFlag != "" {
+		// The go command keys its action cache on this line.
+		fmt.Printf("selfservvet version %s\n", version)
+		return
+	}
+	if *flagsFlag {
+		fmt.Println("[]")
+		return
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	suite, err := selectAnalyzers(*checks)
+	if err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheckerMode(args[0], suite))
+	}
+	os.Exit(standaloneMode(args, suite, *testsFlag))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: selfservvet [-tests=false] [-checks=a,b] [packages]\n")
+	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which selfservvet) [packages]\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+	}
+	flag.PrintDefaults()
+}
+
+func selectAnalyzers(checks string) ([]*framework.Analyzer, error) {
+	if checks == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*framework.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var suite []*framework.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (run with -list for the suite)", name)
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}
+
+func standaloneMode(patterns []string, suite []*framework.Analyzer, tests bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.LoadPackages(".", patterns, tests)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := framework.Run(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s (%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "selfservvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "selfservvet: %v\n", err)
+	os.Exit(2)
+}

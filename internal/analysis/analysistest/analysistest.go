@@ -1,0 +1,150 @@
+// Package analysistest runs one analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against `// want`
+// expectation comments — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, re-implemented on the
+// repo's stdlib-only framework.
+//
+// A fixture line that should be flagged carries a trailing comment:
+//
+//	s.mu.Lock() // want `acquiring .* while holding`
+//	bad()       // want "first" "second"
+//
+// Each quoted (or backquoted) string is a regexp; the diagnostics
+// reported on that line must match them one-for-one, in order.
+// Lines without a want comment must produce no diagnostics. Escape
+// comments (//selfservvet:ignore ... -- reason) are honoured exactly as
+// in the real driver, so fixtures can pin the escape hatch too.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"selfserv/internal/analysis/framework"
+)
+
+var wantRe = regexp.MustCompile("// *want +(.*)$")
+
+// Run loads each fixture package from srcRoot (a testdata/src
+// directory), applies the analyzer, and reports every mismatch between
+// diagnostics and want comments as a test error.
+func Run(t *testing.T, srcRoot string, a *framework.Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	for _, pkgPath := range fixturePkgs {
+		pkg, err := framework.LoadFixture(srcRoot, pkgPath)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkgPath, err)
+			continue
+		}
+		findings, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, pkgPath, err)
+			continue
+		}
+		checkExpectations(t, pkg, findings)
+	}
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// checkExpectations diffs findings against the fixture's want comments.
+func checkExpectations(t *testing.T, pkg *framework.Package, findings []framework.Finding) {
+	t.Helper()
+	wants := map[key][]string{}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWant(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				wants[key{pos.Filename, pos.Line}] = patterns
+			}
+		}
+	}
+	got := map[key][]framework.Finding{}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		got[k] = append(got[k], f)
+	}
+	for k, patterns := range wants {
+		fs := got[k]
+		delete(got, k)
+		if len(fs) != len(patterns) {
+			t.Errorf("%s:%d: want %d diagnostic(s) %q, got %d: %v",
+				k.file, k.line, len(patterns), patterns, len(fs), fs)
+			continue
+		}
+		for i, p := range patterns {
+			re, err := regexp.Compile(p)
+			if err != nil {
+				t.Errorf("%s:%d: bad want regexp %q: %v", k.file, k.line, p, err)
+				continue
+			}
+			if !re.MatchString(fs[i].Message) {
+				t.Errorf("%s:%d: diagnostic %q does not match want %q", k.file, k.line, fs[i].Message, p)
+			}
+		}
+	}
+	for k, fs := range got {
+		for _, f := range fs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, f.Message)
+		}
+	}
+}
+
+// parseWant splits a want payload into its quoted regexp strings.
+func parseWant(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted pattern %q: %w", s[:end+1], err)
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package framework_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"selfserv/internal/analysis/framework"
+)
+
+// TestLoadPackagesOffline pins the loader contract everything else
+// stands on: a module package type-checks from build-cache export data
+// alone, with comments preserved for the annotation-driven analyzers.
+func TestLoadPackagesOffline(t *testing.T) {
+	pkgs, err := framework.LoadPackages("../../..", []string{"./internal/analysis/framework"}, false)
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types == nil || p.TypesInfo == nil || len(p.Files) == 0 {
+		t.Fatalf("package %s loaded without types or files", p.ImportPath)
+	}
+	if p.Types.Scope().Lookup("Analyzer") == nil {
+		t.Errorf("type-checked scope is missing the Analyzer type")
+	}
+	hasComments := false
+	for _, f := range p.Files {
+		if len(f.Comments) > 0 {
+			hasComments = true
+		}
+	}
+	if !hasComments {
+		t.Errorf("files parsed without comments; annotation analyzers would be blind")
+	}
+}
+
+// TestLoadPackagesTestVariants: with tests included, the _test.go files
+// of a package are loaded (as the `pkg [pkg.test]` variant) so
+// invariants hold in test helpers too.
+func TestLoadPackagesTestVariants(t *testing.T) {
+	pkgs, err := framework.LoadPackages("../../..", []string{"./internal/analysis/framework"}, true)
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	sawVariant := false
+	for _, p := range pkgs {
+		if p.TestVariant {
+			sawVariant = true
+			found := false
+			for _, f := range p.Files {
+				name := p.Fset.Position(f.Package).Filename
+				if strings.HasSuffix(name, "_test.go") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("test variant %s has no _test.go files", p.ImportPath)
+			}
+		}
+	}
+	if !sawVariant {
+		t.Fatalf("no test-variant package loaded for a package that has tests")
+	}
+}
+
+// TestIgnoreFilter pins the escape-hatch semantics: a reasoned ignore
+// suppresses its analyzer on that line (and the next), a reasonless one
+// is itself a finding.
+func TestIgnoreFilter(t *testing.T) {
+	pkgs, err := framework.LoadPackages("../../..", []string{"./internal/analysis/framework/testdata/ignorepkg"}, false)
+	if err != nil {
+		t.Fatalf("LoadPackages: %v", err)
+	}
+	flagEveryFunc := &framework.Analyzer{
+		Name: "flagfunc",
+		Doc:  "test analyzer: flags every function declaration",
+		Run: func(pass *framework.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fn, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "function %s flagged", fn.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	findings, err := framework.Run(pkgs, []*framework.Analyzer{flagEveryFunc})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		msgs = append(msgs, f.Analyzer+": "+f.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	if strings.Contains(joined, "function waived flagged") {
+		t.Errorf("escape comment did not suppress the finding:\n%s", joined)
+	}
+	if !strings.Contains(joined, "function kept flagged") {
+		t.Errorf("unwaived finding went missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "selfservvet: malformed escape comment") {
+		t.Errorf("reasonless ignore was not reported:\n%s", joined)
+	}
+}

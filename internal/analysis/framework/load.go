@@ -1,0 +1,298 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TestVariant reports a `pkg [pkg.test]`-style package: the same
+	// import path recompiled with its _test.go files. Diagnostics in
+	// non-test files of a variant duplicate the base package's and are
+	// deduplicated by the runner.
+	TestVariant bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	ForTest    string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given extra arguments and
+// decodes the JSON package stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,CgoFiles,ImportMap,ForTest,Standard,Module,Error"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts an importPath→export-data-file map (with an
+// optional per-package ImportMap indirection) into the lookup function
+// the gc importer wants.
+func exportLookup(exports map[string]string, importMap map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// newInfo allocates a types.Info with every map an analyzer may need.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadPackages loads and type-checks every package of the main module
+// matched by patterns (run from dir), using build-cache export data for
+// dependencies so the whole load works offline. With includeTests the
+// `pkg [pkg.test]` variants (in-package _test.go files) and external
+// `pkg_test` packages are loaded too; generated `.test` mains never are.
+func LoadPackages(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	args := []string{"-export", "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		if p.Module == nil || !p.Module.Main || p.Error != nil {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test main
+		}
+		if len(p.CgoFiles) > 0 {
+			// Cgo packages need generated sources; none exist in this
+			// module, so skipping is a guard, not a gap.
+			continue
+		}
+		pkg, err := typecheck(fset, p, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// typecheck parses p's files and type-checks them against dependency
+// export data.
+func typecheck(fset *token.FileSet, p *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, g := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, g), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", exportLookup(exports, p.ImportMap)),
+	}
+	tpkg, err := conf.Check(strings.TrimSuffix(p.ImportPath, " ["+p.ForTest+".test]"), fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath:  p.ImportPath,
+		Dir:         p.Dir,
+		Fset:        fset,
+		Files:       files,
+		Types:       tpkg,
+		TypesInfo:   info,
+		TestVariant: p.ForTest != "",
+	}, nil
+}
+
+// fixtureImporter resolves imports for analysistest fixtures: import
+// paths that exist as directories under the fixture source root are
+// type-checked from source (recursively); everything else resolves
+// through build-cache export data fetched on demand with
+// `go list -export`.
+type fixtureImporter struct {
+	root string // the testdata/src directory
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	source  map[string]*Package // fixture packages by import path
+	exports map[string]string   // export data files by import path
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, err := fi.load(path); err != nil {
+		return nil, err
+	} else if pkg != nil {
+		return pkg.Types, nil
+	}
+	// Not a fixture package: resolve via export data, pulling the
+	// package (and its deps) into the cache on first sight.
+	fi.mu.Lock()
+	_, known := fi.exports[path]
+	fi.mu.Unlock()
+	if !known {
+		listed, err := goList(fi.root, "-export", "-deps", path)
+		if err != nil {
+			return nil, err
+		}
+		fi.mu.Lock()
+		for _, p := range listed {
+			if p.Export != "" {
+				fi.exports[p.ImportPath] = p.Export
+			}
+		}
+		fi.mu.Unlock()
+	}
+	imp := importer.ForCompiler(fi.fset, "gc", exportLookup(fi.exports, nil))
+	return imp.Import(path)
+}
+
+// load type-checks the fixture package at path (a directory under the
+// fixture root), returning (nil, nil) when no such directory exists.
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	fi.mu.Lock()
+	cached, ok := fi.source[path]
+	fi.mu.Unlock()
+	if ok {
+		if cached == nil {
+			return nil, fmt.Errorf("import cycle through fixture package %q", path)
+		}
+		return cached, nil
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil // not a fixture package
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	fi.mu.Lock()
+	fi.source[path] = nil // cycle marker
+	fi.mu.Unlock()
+	info := newInfo()
+	conf := types.Config{Importer: fi}
+	tpkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("fixture %s: %w", path, err)
+	}
+	pkg := &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       fi.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	fi.mu.Lock()
+	fi.source[path] = pkg
+	fi.mu.Unlock()
+	return pkg, nil
+}
+
+// LoadFixture type-checks the fixture package at srcRoot/<importPath>
+// (analysistest layout: testdata/src/<importPath>/*.go). Imports of
+// sibling fixture packages load from source; stdlib imports load from
+// build-cache export data.
+func LoadFixture(srcRoot, importPath string) (*Package, error) {
+	fi := &fixtureImporter{
+		root:    srcRoot,
+		fset:    token.NewFileSet(),
+		source:  map[string]*Package{},
+		exports: map[string]string{},
+	}
+	pkg, err := fi.load(importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("no fixture package at %s", filepath.Join(srcRoot, importPath))
+	}
+	return pkg, nil
+}

@@ -1,0 +1,11 @@
+// Package ignorepkg exercises the escape-comment filter in
+// framework_test.go.
+package ignorepkg
+
+//selfservvet:ignore flagfunc -- test fixture: waived on purpose
+func waived() {}
+
+func kept() {}
+
+//selfservvet:ignore flagfunc
+func reasonless() {}

@@ -1,0 +1,218 @@
+// Package guardedby enforces the repo's `// guards everything below`
+// mutex convention: every struct field declared after a mutex carrying
+// that comment may only be read while the same object's mutex is held,
+// and only written under the full (write) lock.
+//
+// The check is intra-procedural. Helper functions that run with the
+// lock already held declare it the way the codebase always has: a name
+// ending in "Locked", or a doc comment containing "caller holds".
+// Intentionally lock-free accesses (copy-on-write snapshots, immutable
+// post-publication fields) carry a
+// `//selfservvet:ignore guardedby -- <reason>` escape comment — or,
+// better, move above the mutex field so they are not in the guarded
+// region at all.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"selfserv/internal/analysis/framework"
+	"selfserv/internal/analysis/locks"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &framework.Analyzer{
+	Name: "guardedby",
+	Doc: "check that fields below a 'guards everything below' mutex are accessed under it\n\n" +
+		"Reads require the mutex (RLock suffices for sync.RWMutex); " +
+		"writes require the full lock. Functions named *Locked or " +
+		"documented 'caller holds ...' are exempt.",
+	Run: run,
+}
+
+// Annotation is the comment marker that arms the check for a mutex
+// field.
+const Annotation = "guards everything below"
+
+func run(pass *framework.Pass) error {
+	guards := map[*types.Var]*locks.MutexField{} // guarded field -> its mutex
+	fields := locks.MutexFields(pass.TypesInfo, pass.Files)
+	for i := range fields {
+		mf := &fields[i]
+		if !strings.Contains(mf.Comment, Annotation) {
+			continue
+		}
+		for _, below := range mf.Below {
+			guards[below] = mf
+		}
+	}
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if exemptFunc(fn) {
+				continue
+			}
+			checkFunc(pass, guards, fn)
+		}
+	}
+	return nil
+}
+
+// exemptFunc reports the two caller-holds-the-lock conventions.
+func exemptFunc(fn *ast.FuncDecl) bool {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return true
+	}
+	if fn.Doc == nil {
+		return false
+	}
+	// Normalize line wrapping: "Caller\nholds inst.mu." must match.
+	doc := strings.Join(strings.Fields(strings.ToLower(fn.Doc.Text())), " ")
+	return strings.Contains(doc, "caller holds")
+}
+
+func checkFunc(pass *framework.Pass, guards map[*types.Var]*locks.MutexField, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	writes := writeTargets(fn.Body)
+	fresh := freshIdents(info, fn.Body)
+
+	w := &locks.Walker{
+		Info: info,
+		Visit: func(n ast.Node, held []locks.Held) {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			obj, _ := info.Uses[sel.Sel].(*types.Var)
+			if obj == nil {
+				return
+			}
+			mf, guarded := guards[obj]
+			if !guarded {
+				return
+			}
+			// A freshly constructed, not-yet-shared object needs no
+			// locking.
+			if base, ok := sel.X.(*ast.Ident); ok {
+				if bo := info.Uses[base]; bo != nil && fresh[bo] {
+					return
+				}
+			}
+			key := locks.ExprKey(sel.X) + "." + mf.Field.Name()
+			isWrite := writes[sel]
+			for _, h := range held {
+				if h.Key != key {
+					continue
+				}
+				if isWrite && h.RLock {
+					pass.Reportf(sel.Pos(),
+						"write to %s.%s while holding only %s.RLock (field is below %q — writes need the full lock)",
+						locks.ExprKey(sel.X), obj.Name(), key, Annotation)
+				}
+				return
+			}
+			what := "read of"
+			if isWrite {
+				what = "write to"
+			}
+			pass.Reportf(sel.Pos(),
+				"%s %s.%s without holding %s (field is below the %q mutex)",
+				what, locks.ExprKey(sel.X), obj.Name(), key, Annotation)
+		},
+	}
+	w.Walk(fn.Body)
+}
+
+// writeTargets collects the selector expressions that are assignment
+// targets, inc/dec operands, or have their address taken — the accesses
+// that need the full lock.
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		// Unwrap element/deref chains: s.m[id] = v and *p.f = v both
+		// mutate through the base selector.
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// freshIdents finds local variables bound to a composite literal in
+// this function: objects that cannot be shared yet, so their fields
+// need no lock.
+func freshIdents(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if !isCompositeLit(rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"selfserv/internal/analysis/analysistest"
+	"selfserv/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata/src", guardedby.Analyzer, "guardedby")
+}

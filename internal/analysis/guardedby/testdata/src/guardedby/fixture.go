@@ -1,0 +1,110 @@
+// Fixture for the guardedby analyzer: the `guards everything below`
+// convention from internal/engine's coordInstance/wrapperInstance,
+// including every sanctioned way around it (Locked-suffix helpers,
+// "caller holds" docs, fresh objects, fields above the mutex, and the
+// escape comment).
+package guardedby
+
+import "sync"
+
+type counter struct {
+	id string // above the mutex: not guarded, lock-free by design
+
+	mu sync.Mutex // guards everything below
+	n  int
+	m  map[string]int
+}
+
+func (c *counter) ok() {
+	c.mu.Lock()
+	c.n++
+	c.m["x"] = c.n
+	c.mu.Unlock()
+}
+
+func (c *counter) okDefer() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) okAboveMutex() string {
+	return c.id // declared above mu: unguarded on purpose
+}
+
+func (c *counter) okBranchRelease(stop bool) {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `read of c.n without holding c.mu`
+}
+
+func (c *counter) badWrite() {
+	c.n = 1 // want `write to c.n without holding c.mu`
+}
+
+func (c *counter) badMapWrite() {
+	c.m["x"] = 1 // want `write to c.m without holding c.mu`
+}
+
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.n // want `read of c.n without holding c.mu`
+}
+
+// bumpLocked is exempt by the *Locked naming convention.
+func (c *counter) bumpLocked() { c.n++ }
+
+// applyDelta folds one delta into the counter. Caller holds c.mu.
+func (c *counter) applyDelta(d int) { c.n += d }
+
+// newCounter writes fields of a fresh, unshared object: no lock needed.
+func newCounter() *counter {
+	c := &counter{m: map[string]int{}}
+	c.n = 1
+	return c
+}
+
+// snapshot reads lock-free on purpose, with the documented escape.
+func (c *counter) snapshot() int {
+	//selfservvet:ignore guardedby -- monitoring snapshot; a stale read is acceptable
+	return c.n
+}
+
+type rwbox struct {
+	mu sync.RWMutex // guards everything below
+	v  int
+}
+
+func (b *rwbox) okRead() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func (b *rwbox) okWrite(v int) {
+	b.mu.Lock()
+	b.v = v
+	b.mu.Unlock()
+}
+
+func (b *rwbox) badWriteUnderRLock() {
+	b.mu.RLock()
+	b.v = 1 // want `write to b.v while holding only b.mu.RLock`
+	b.mu.RUnlock()
+}
+
+// applyWrapped bumps the counter. Like real code, its doc wraps: Caller
+// holds c.mu across a line break, and the exemption must still match.
+func (c *counter) applyWrapped(d int) {
+	c.n += d
+}

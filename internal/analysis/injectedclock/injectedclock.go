@@ -1,0 +1,211 @@
+// Package injectedclock keeps deterministic packages deterministic.
+//
+// Two rules:
+//
+//  1. In a package that exposes an injectable clock — any struct field
+//     or package-level variable of type func() time.Time (the
+//     Options.Now convention in circuit, limits, community) — bare
+//     time.Now/time.Since calls are violations: they bypass the
+//     injected clock the deterministic chaos/flake suites depend on.
+//     The one allowed use is the default-wiring site, where time.Now
+//     is assigned to the clock hook itself (circuit.go's
+//     `o.Now = time.Now`).
+//
+//  2. In every package, the global math/rand source (rand.Intn,
+//     rand.Shuffle, ...) is a violation: the repo's convention is an
+//     owned `rand.New(rand.NewSource(seed))` so every randomized
+//     behaviour replays under a seed.
+package injectedclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"selfserv/internal/analysis/framework"
+)
+
+// Analyzer is the injectedclock check.
+var Analyzer = &framework.Analyzer{
+	Name: "injectedclock",
+	Doc: "check that packages with an injectable clock use it, and that rand is always seeded\n\n" +
+		"Bare time.Now/time.Since in a package declaring a func() time.Time " +
+		"hook must route through the hook; math/rand's global source is " +
+		"forbidden everywhere in favour of rand.New(rand.NewSource(seed)).",
+	Run: run,
+}
+
+// globalRandFns are the math/rand package-level functions that consume
+// the shared, unseeded-by-default source. rand.New/NewSource/NewZipf
+// construct owned sources and are fine.
+var globalRandFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+func run(pass *framework.Pass) error {
+	hooks := clockHooks(pass)
+	for _, file := range pass.Files {
+		// Test files may use the wall clock (deadline loops, watchdogs);
+		// the injectable-clock rule is about production code paths. The
+		// seeded-rand rule still applies so suites replay under a seed.
+		isTestFile := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if len(hooks) == 0 || isTestFile {
+					return true
+				}
+				switch obj.Name() {
+				case "Now", "Since":
+					if isDefaultWiring(pass, sel, hooks) {
+						return true
+					}
+					pass.Reportf(sel.Pos(),
+						"bare time.%s in a package with an injectable clock (%s): route through the hook so seeded tests stay deterministic",
+						obj.Name(), hookNames(hooks))
+				}
+			case "math/rand", "math/rand/v2":
+				fn, isFunc := obj.(*types.Func)
+				// Only package-level functions hit the global source;
+				// methods on an owned *rand.Rand are the fix, not the bug.
+				if isFunc && fn.Type().(*types.Signature).Recv() == nil && globalRandFns[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the global source: use an owned rand.New(rand.NewSource(seed)) so behaviour replays under a seed",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// clockHooks finds every struct field and package-level var of type
+// func() time.Time declared in this package.
+func clockHooks(pass *framework.Pass) []*types.Var {
+	var hooks []*types.Var
+	for _, name := range pass.Pkg.Scope().Names() {
+		if v, ok := pass.Pkg.Scope().Lookup(name).(*types.Var); ok && isClockFuncType(v.Type()) {
+			hooks = append(hooks, v)
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				for _, id := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok && isClockFuncType(v.Type()) {
+						hooks = append(hooks, v)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return hooks
+}
+
+// isClockFuncType matches func() time.Time.
+func isClockFuncType(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}
+
+// isDefaultWiring reports whether sel (a time.Now reference) is the
+// value being assigned to one of the package's clock hooks — the single
+// allowed bare use: `o.Now = time.Now`, `Now: time.Now`, or a hook's
+// var initializer.
+func isDefaultWiring(pass *framework.Pass, sel *ast.SelectorExpr, hooks []*types.Var) bool {
+	isHook := func(obj types.Object) bool {
+		for _, h := range hooks {
+			if obj == h {
+				return true
+			}
+		}
+		return false
+	}
+	target := func(e ast.Expr) types.Object {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if o := pass.TypesInfo.Defs[e]; o != nil {
+				return o
+			}
+			return pass.TypesInfo.Uses[e]
+		case *ast.SelectorExpr:
+			return pass.TypesInfo.Uses[e.Sel]
+		}
+		return nil
+	}
+	for _, file := range pass.Files {
+		found := false
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if rhs == sel && i < len(n.Lhs) && isHook(target(n.Lhs[i])) {
+						found = true
+					}
+				}
+			case *ast.KeyValueExpr:
+				if n.Value == sel {
+					if id, ok := n.Key.(*ast.Ident); ok && isHook(target(id)) {
+						found = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if v == sel && i < len(n.Names) && isHook(target(n.Names[i])) {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func hookNames(hooks []*types.Var) string {
+	seen := map[string]bool{}
+	names := ""
+	for _, h := range hooks {
+		if seen[h.Name()] {
+			continue
+		}
+		seen[h.Name()] = true
+		if names != "" {
+			names += ", "
+		}
+		names += h.Name()
+	}
+	return names
+}

@@ -1,0 +1,12 @@
+package injectedclock_test
+
+import (
+	"testing"
+
+	"selfserv/internal/analysis/analysistest"
+	"selfserv/internal/analysis/injectedclock"
+)
+
+func TestInjectedClock(t *testing.T) {
+	analysistest.Run(t, "testdata/src", injectedclock.Analyzer, "injectedclock", "nohook")
+}

@@ -1,0 +1,18 @@
+package injectedclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Test files are exempt from the injectable-clock rule: deadline loops
+// and watchdogs legitimately read the wall clock.
+func testDeadline() bool {
+	deadline := time.Now().Add(time.Second)
+	return time.Now().After(deadline)
+}
+
+// The seeded-rand rule still applies in test files.
+func testShuffle() {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle uses the global source`
+}

@@ -1,0 +1,58 @@
+// Fixture for the injectedclock analyzer: a package that declares a
+// func() time.Time hook (the circuit/limits Options.Now convention)
+// must route every time read through it; the global math/rand source is
+// forbidden everywhere.
+package injectedclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+type options struct {
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// withDefaults is the one sanctioned bare use: wiring the default.
+func (o options) withDefaults() options {
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+type meter struct{ opts options }
+
+func (m *meter) okMeasure(f func()) time.Duration {
+	start := m.opts.Now()
+	f()
+	return m.opts.Now().Sub(start)
+}
+
+func (m *meter) badNow() time.Time {
+	return time.Now() // want `bare time.Now in a package with an injectable clock \(Now\)`
+}
+
+func (m *meter) badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `bare time.Since in a package with an injectable clock`
+}
+
+func okSeeded(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63n(100)
+}
+
+func badGlobalRand() int {
+	return rand.Intn(100) // want `rand.Intn uses the global source`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global source`
+}
+
+// escapedNow is deliberate wall-clock use, documented in place.
+func escapedNow() time.Time {
+	//selfservvet:ignore injectedclock -- operator-facing log timestamp, not engine time
+	return time.Now()
+}

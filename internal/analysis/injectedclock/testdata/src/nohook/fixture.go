@@ -1,0 +1,21 @@
+// A package with NO injectable clock: bare time.Now is fine (the clock
+// rule arms only where a hook exists), but the global rand source is
+// still forbidden.
+package nohook
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time { return time.Now() }
+
+func age(t0 time.Time) time.Duration { return time.Since(t0) }
+
+func badGlobalRand() float64 {
+	return rand.Float64() // want `rand.Float64 uses the global source`
+}
+
+func okOwned(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}

@@ -1,0 +1,106 @@
+// Fixture for the lockorder analyzer: the engine's striped-table shape
+// (internal/engine/shard.go) in miniature. The regression cases pin the
+// exact contract the PR 5 lock-striping refactor had to get right:
+// shard before instance, never two locks of the same level.
+package lockorder
+
+import "sync"
+
+type instance struct {
+	mu sync.Mutex // lockorder:instance — guards n
+	n  int
+}
+
+type shard struct {
+	mu sync.Mutex // lockorder:shard — guards the map shape only
+	m  map[string]*instance
+}
+
+type table struct {
+	shards [4]shard
+}
+
+// okShardThenInstance is the canonical fast path: shard lock for the
+// lookup, released before the instance critical section.
+func (t *table) okShardThenInstance(id string) {
+	s := &t.shards[0]
+	s.mu.Lock()
+	inst := s.m[id]
+	s.mu.Unlock()
+	if inst == nil {
+		return
+	}
+	inst.mu.Lock()
+	inst.n++
+	inst.mu.Unlock()
+}
+
+// okNested acquires the instance under the shard: shard → instance is
+// the documented order, one of each level.
+func (t *table) okNested(id string) {
+	s := &t.shards[1]
+	s.mu.Lock()
+	if inst := s.m[id]; inst != nil {
+		inst.mu.Lock()
+		inst.n++
+		inst.mu.Unlock()
+	}
+	s.mu.Unlock()
+}
+
+// okBranchRelease unlocks on the early-exit branch; the fall-through
+// path still holds the shard, and re-acquiring after a full release is
+// fine.
+func (t *table) okBranchRelease(id string, stop bool) {
+	s := &t.shards[2]
+	s.mu.Lock()
+	if stop {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.m, id)
+	s.mu.Unlock()
+	t.shards[3].mu.Lock()
+	t.shards[3].mu.Unlock()
+}
+
+func (t *table) badTwoShards() {
+	t.shards[0].mu.Lock()
+	t.shards[1].mu.Lock() // want `never hold two level-1 \(shard\) locks at once`
+	t.shards[1].mu.Unlock()
+	t.shards[0].mu.Unlock()
+}
+
+func badTwoInstances(a, b *instance) {
+	a.mu.Lock()
+	b.mu.Lock() // want `never hold two level-2 \(instance\) locks at once`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (t *table) badInstanceThenShard(inst *instance) {
+	inst.mu.Lock()
+	t.shards[0].mu.Lock() // want `acquiring t.shards\[0\].mu \(lockorder:shard\) while holding inst.mu \(lockorder:instance\)`
+	t.shards[0].mu.Unlock()
+	inst.mu.Unlock()
+}
+
+// escapedTwoShards shows the escape hatch: a deliberate, reasoned
+// violation stays visible in the source but does not fail the build.
+func (t *table) escapedTwoShards() {
+	t.shards[0].mu.Lock()
+	t.shards[1].mu.Lock() //selfservvet:ignore lockorder -- rebalance copies between shards under a global stop-the-world
+	t.shards[1].mu.Unlock()
+	t.shards[0].mu.Unlock()
+}
+
+// goroutineResets: a spawned goroutine holds nothing, so its shard lock
+// is clean even though the spawner held an instance.
+func goroutineResets(t *table, inst *instance) {
+	inst.mu.Lock()
+	go func() {
+		t.shards[0].mu.Lock()
+		t.shards[0].mu.Unlock()
+	}()
+	inst.mu.Unlock()
+}

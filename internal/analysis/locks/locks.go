@@ -1,0 +1,480 @@
+// Package locks is the shared substrate of the lockorder and guardedby
+// analyzers: it finds annotated sync.Mutex/sync.RWMutex struct fields
+// and walks function bodies with a control-flow-approximate "currently
+// held" set.
+//
+// The walk is intra-procedural and deliberately conservative in both
+// directions documented on Walker: branch joins keep only locks held on
+// EVERY incoming path, deferred Unlocks are treated as end-of-function
+// (the lock stays held for the walk), and `go`-spawned function
+// literals start with an empty held set while inline/deferred literals
+// inherit a copy. Escape comments (//selfservvet:ignore) cover the
+// residue a static approximation cannot classify.
+package locks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MutexField is one sync.Mutex/sync.RWMutex struct field, with the
+// annotation text and declaration context the analyzers key on.
+type MutexField struct {
+	Field   *types.Var   // the mutex field object
+	Owner   *types.Named // the struct's named type, when it has one
+	Decl    *ast.Field   // the field's declaration
+	Comment string       // doc comment + trailing line comment, joined
+	RW      bool         // sync.RWMutex (RLock/RUnlock exist)
+	// Below lists the same struct's fields declared after this mutex,
+	// in order — the "guards everything below" universe.
+	Below []*types.Var
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex, and
+// which.
+func IsMutexType(t types.Type) (mutex, rw bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return true, false
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
+}
+
+// MutexFields scans the package's struct declarations for mutex-typed
+// fields.
+func MutexFields(info *types.Info, files []*ast.File) []MutexField {
+	var out []MutexField
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var owner *types.Named
+			if obj, ok := info.Defs[ts.Name]; ok && obj != nil {
+				if named, ok := obj.Type().(*types.Named); ok {
+					owner = named
+				}
+			}
+			// One linear pass: remember mutex fields seen so far and
+			// append every later field to their Below sets.
+			var open []*MutexField
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					obj, _ := info.Defs[name].(*types.Var)
+					if obj == nil {
+						continue
+					}
+					for _, mf := range open {
+						mf.Below = append(mf.Below, obj)
+					}
+					if mutex, rw := IsMutexType(obj.Type()); mutex {
+						out = append(out, MutexField{
+							Field:   obj,
+							Owner:   owner,
+							Decl:    f,
+							Comment: commentText(f.Doc, f.Comment),
+							RW:      rw,
+						})
+						open = append(open, &out[len(out)-1])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func commentText(groups ...*ast.CommentGroup) string {
+	var b strings.Builder
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			b.WriteString(c.Text)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Op is one mutex operation recognized in a call expression.
+type Op struct {
+	Call  *ast.CallExpr
+	Recv  ast.Expr   // the mutex expression (x.mu in x.mu.Lock())
+	Field *types.Var // the mutex field, when Recv selects one (else nil)
+	Key   string     // canonical text of Recv, the held-set identity
+	Name  string     // Lock, RLock, Unlock, RUnlock, TryLock, TryRLock
+}
+
+// MutexOp decodes call as a method call on sync.Mutex/sync.RWMutex.
+func MutexOp(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	sel, ok := info.Selections[fun]
+	if !ok || sel.Kind() != types.MethodVal {
+		return Op{}, false
+	}
+	m := sel.Obj()
+	if m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return Op{}, false
+	}
+	switch m.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return Op{}, false
+	}
+	op := Op{Call: call, Recv: fun.X, Name: m.Name(), Key: ExprKey(fun.X)}
+	if recvSel, ok := fun.X.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[recvSel.Sel].(*types.Var); ok && v.IsField() {
+			op.Field = v
+		}
+	}
+	return op, true
+}
+
+// ExprKey renders an expression as a canonical string so two
+// syntactically identical mutex/base expressions compare equal in the
+// held set. Unrecognized forms collapse to a position-free placeholder.
+func ExprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprKey(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprKey(e.X) + "[" + ExprKey(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + ExprKey(e.X)
+	case *ast.ParenExpr:
+		return ExprKey(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + ExprKey(e.X)
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprKey(a)
+		}
+		return ExprKey(e.Fun) + "(" + strings.Join(args, ",") + ")"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// Held is one lock the walk believes is currently held.
+type Held struct {
+	Key   string
+	Field *types.Var // nil for non-field mutexes
+	RLock bool
+	Pos   token.Pos // acquisition site
+}
+
+// Walker drives a held-set walk over one function body.
+type Walker struct {
+	Info *types.Info
+	// Visit, when set, is called for every AST node reached in
+	// execution-approximate order with the locks held at that point.
+	// The held slice is reused — do not retain it.
+	Visit func(n ast.Node, held []Held)
+	// OnAcquire, when set, is called for each Lock/RLock/TryLock with
+	// the locks held BEFORE the acquisition.
+	OnAcquire func(op Op, held []Held)
+}
+
+// Walk processes a function body starting from an empty held set.
+func (w *Walker) Walk(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	held := &heldSet{}
+	w.stmts(body.List, held)
+}
+
+type heldSet struct{ locks []Held }
+
+func (h *heldSet) clone() *heldSet {
+	return &heldSet{locks: append([]Held(nil), h.locks...)}
+}
+
+func (h *heldSet) add(l Held) {
+	for _, e := range h.locks {
+		if e.Key == l.Key {
+			return
+		}
+	}
+	h.locks = append(h.locks, l)
+}
+
+func (h *heldSet) remove(key string) {
+	for i, e := range h.locks {
+		if e.Key == key {
+			h.locks = append(h.locks[:i], h.locks[i+1:]...)
+			return
+		}
+	}
+}
+
+// intersect keeps only locks present in every candidate end state.
+func intersect(states []*heldSet) *heldSet {
+	if len(states) == 0 {
+		return &heldSet{}
+	}
+	out := &heldSet{}
+	for _, l := range states[0].locks {
+		inAll := true
+		for _, s := range states[1:] {
+			found := false
+			for _, e := range s.locks {
+				if e.Key == l.Key {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out.locks = append(out.locks, l)
+		}
+	}
+	return out
+}
+
+// stmts walks a statement list; it reports whether linear control flow
+// terminated (return/branch/panic) before the end of the list.
+func (w *Walker) stmts(list []ast.Stmt, held *heldSet) bool {
+	for _, s := range list {
+		if w.stmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *Walker) stmt(s ast.Stmt, held *heldSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.ReturnStmt:
+		w.exprs(s, held)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		w.exprs(s, held)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := w.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		w.exprs(s.Init, held)
+		w.exprs(s.Cond, held)
+		var ends []*heldSet
+		thenHeld := held.clone()
+		if !w.stmts(s.Body.List, thenHeld) {
+			ends = append(ends, thenHeld)
+		}
+		if s.Else != nil {
+			elseHeld := held.clone()
+			if !w.stmt(s.Else, elseHeld) {
+				ends = append(ends, elseHeld)
+			}
+		} else {
+			ends = append(ends, held.clone())
+		}
+		*held = *intersect(ends)
+		return len(ends) == 0
+	case *ast.ForStmt:
+		w.exprs(s.Init, held)
+		w.exprs(s.Cond, held)
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+		w.exprs(s.Post, body)
+		return false
+	case *ast.RangeStmt:
+		w.exprs(s.X, held)
+		body := held.clone()
+		w.stmts(s.Body.List, body)
+		return false
+	case *ast.SwitchStmt:
+		w.exprs(s.Init, held)
+		w.exprs(s.Tag, held)
+		return w.cases(s.Body, held, false)
+	case *ast.TypeSwitchStmt:
+		w.exprs(s.Init, held)
+		w.exprs(s.Assign, held)
+		return w.cases(s.Body, held, false)
+	case *ast.SelectStmt:
+		return w.cases(s.Body, held, true)
+	case *ast.GoStmt:
+		// Arguments evaluate now, under the current locks; the body
+		// runs on a fresh goroutine that holds nothing.
+		for _, a := range s.Call.Args {
+			w.exprs(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, &heldSet{})
+		}
+		return false
+	case *ast.DeferStmt:
+		if op, ok := MutexOp(w.Info, s.Call); ok {
+			switch op.Name {
+			case "Unlock", "RUnlock":
+				// Deferred release: the lock is held until function
+				// exit, so the walk keeps it.
+				return false
+			}
+		}
+		for _, a := range s.Call.Args {
+			w.exprs(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// Runs at exit; the held set there is unknowable, assume
+			// nothing.
+			w.stmts(lit.Body.List, &heldSet{})
+		}
+		return false
+	default:
+		w.exprs(s, held)
+		return false
+	}
+}
+
+// cases walks the clause bodies of a switch/type-switch/select. Each
+// clause sees a copy of the incoming held set; the outgoing set is the
+// intersection of every non-terminating clause (plus the fall-through
+// state when a switch has no default clause).
+func (w *Walker) cases(body *ast.BlockStmt, held *heldSet, isSelect bool) bool {
+	var ends []*heldSet
+	hasDefault := false
+	for _, cs := range body.List {
+		var clauseBody []ast.Stmt
+		c := held.clone()
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			if cs.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cs.List {
+				w.exprs(e, held)
+			}
+			clauseBody = cs.Body
+		case *ast.CommClause:
+			if cs.Comm == nil {
+				hasDefault = true
+			}
+			w.stmt(cs.Comm, c)
+			clauseBody = cs.Body
+		}
+		if !w.stmts(clauseBody, c) {
+			ends = append(ends, c)
+		}
+	}
+	if !hasDefault && !isSelect {
+		ends = append(ends, held.clone())
+	}
+	if isSelect && len(body.List) == 0 {
+		return true // select{} blocks forever
+	}
+	*held = *intersect(ends)
+	return len(ends) == 0
+}
+
+// exprs visits all expressions in n, mutating the held set at each
+// mutex operation and calling Visit/OnAcquire callbacks.
+func (w *Walker) exprs(n ast.Node, held *heldSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit:
+			// An inline literal (called immediately, or handed to a
+			// synchronous helper like sort.Slice) runs under the
+			// current locks; walk it with a copy so its releases don't
+			// leak out.
+			w.stmts(node.Body.List, held.clone())
+			return false
+		case *ast.CallExpr:
+			if w.Visit != nil {
+				w.Visit(node, held.locks)
+			}
+			if op, ok := MutexOp(w.Info, node); ok {
+				// Visit the receiver chain (minus re-triggering the op)
+				// so field accesses inside it are still observed.
+				w.visitOnly(op.Recv, held)
+				switch op.Name {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					if w.OnAcquire != nil {
+						w.OnAcquire(op, held.locks)
+					}
+					held.add(Held{
+						Key:   op.Key,
+						Field: op.Field,
+						RLock: op.Name == "RLock" || op.Name == "TryRLock",
+						Pos:   node.Pos(),
+					})
+				case "Unlock", "RUnlock":
+					held.remove(op.Key)
+				}
+				return false
+			}
+			return true
+		default:
+			if w.Visit != nil {
+				w.Visit(node, held.locks)
+			}
+			return true
+		}
+	})
+}
+
+// visitOnly runs the Visit callback over a subtree without interpreting
+// mutex operations or function literals.
+func (w *Walker) visitOnly(n ast.Node, held *heldSet) {
+	if n == nil || w.Visit == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		w.Visit(node, held.locks)
+		return true
+	})
+}

@@ -1,0 +1,64 @@
+// Package reservedvar protects the engine's reserved dataflow
+// namespace. '$'-prefixed variables (engine.TenantVar and friends) are
+// engine metadata: they ride notifications, are stripped before
+// provider invocation, and are matched by name in the admission path.
+// A string literal like "$tenant" outside internal/engine silently
+// recreates that coupling by value — a rename of the constant, or a
+// typo ("$Tenant"), then routes traffic to the wrong tenant bucket.
+// Everyone else imports the constant.
+package reservedvar
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"selfserv/internal/analysis/framework"
+	"selfserv/internal/engine"
+)
+
+// EnginePath is the one package allowed to spell reserved names as
+// literals: the package that defines them.
+const EnginePath = "selfserv/internal/engine"
+
+// Reserved maps each reserved dataflow variable literal to the
+// constant that must be used instead. Grows with the engine's reserved
+// namespace.
+var Reserved = map[string]string{
+	engine.TenantVar: "engine.TenantVar",
+}
+
+// Analyzer is the reservedvar check.
+var Analyzer = &framework.Analyzer{
+	Name: "reservedvar",
+	Doc: "check that reserved dataflow variable names are spelled via their engine constants\n\n" +
+		"String literals colliding with engine.TenantVar (and future " +
+		"reserved '$'-names) outside internal/engine must use the " +
+		"constant, so renames and admission-path matching stay coupled.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Path() == EnginePath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if constName, reserved := Reserved[s]; reserved {
+				pass.Reportf(lit.Pos(),
+					"string literal %q collides with the reserved dataflow variable %s: use the constant",
+					s, constName)
+			}
+			return true
+		})
+	}
+	return nil
+}

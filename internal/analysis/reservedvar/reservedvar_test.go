@@ -1,0 +1,23 @@
+package reservedvar_test
+
+import (
+	"testing"
+
+	"selfserv/internal/analysis/analysistest"
+	"selfserv/internal/analysis/reservedvar"
+	"selfserv/internal/engine"
+)
+
+func TestReservedVar(t *testing.T) {
+	analysistest.Run(t, "testdata/src", reservedvar.Analyzer,
+		"reservedvar", "selfserv/internal/engine")
+}
+
+// TestReservedListCoversEngine pins the analyzer's reserved set to the
+// engine's real constants: a new reserved name added to the engine
+// without a matching analyzer entry fails here.
+func TestReservedListCoversEngine(t *testing.T) {
+	if _, ok := reservedvar.Reserved[engine.TenantVar]; !ok {
+		t.Fatalf("reservedvar.Reserved is missing engine.TenantVar (%q)", engine.TenantVar)
+	}
+}

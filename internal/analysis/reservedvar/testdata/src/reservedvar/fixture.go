@@ -1,0 +1,22 @@
+// Fixture for the reservedvar analyzer: reserved dataflow names are
+// spelled via their engine constants outside internal/engine.
+package reservedvar
+
+func badLiteral() string {
+	return "$tenant" // want `string literal "\$tenant" collides with the reserved dataflow variable engine.TenantVar`
+}
+
+func badMapKey() map[string]string {
+	return map[string]string{"$tenant": "acme"} // want `collides with the reserved dataflow variable`
+}
+
+func okOtherDollar() string {
+	return "$other" // not reserved: user dataflow variables are fair game
+}
+
+func okPlain() string { return "tenant" }
+
+// escapedDocExample renders the literal for humans, on purpose.
+func escapedDocExample() string {
+	return "$tenant" //selfservvet:ignore reservedvar -- CLI help text showing the literal syntax
+}

@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"selfserv/internal/analysis/analysistest"
+	"selfserv/internal/analysis/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, "testdata/src", sentinelerr.Analyzer, "sentinelerr")
+}

@@ -1,0 +1,8 @@
+// Package dep supplies a cross-package sentinel for the sentinelerr
+// fixture.
+package dep
+
+import "errors"
+
+// ErrRemote is a sentinel error matched by downstream packages.
+var ErrRemote = errors.New("dep: remote unavailable")

@@ -1,0 +1,64 @@
+// Fixture for the sentinelerr analyzer: the transport/circuit/limits
+// sentinel contract. Sentinels arrive wrapped, so ==/!=/switch-case
+// never match them, and fmt.Errorf without %w breaks the chain.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dep"
+)
+
+var ErrFull = errors.New("queue full")
+
+func badEq(err error) bool {
+	return err == ErrFull // want `ErrFull compared with ==: sentinel errors arrive wrapped`
+}
+
+func badNeq(err error) bool {
+	return err != ErrFull // want `ErrFull compared with !=`
+}
+
+func badCrossPackage(err error) bool {
+	return err == dep.ErrRemote // want `ErrRemote compared with ==`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrFull: // want `switch-case on sentinel ErrFull compares with ==`
+		return "full"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func okIs(err error) bool {
+	return errors.Is(err, ErrFull)
+}
+
+func okNil(err error) bool { return err == nil }
+
+// okEOF: io.EOF is documented to be returned unwrapped; == is its
+// idiom.
+func okEOF(err error) bool { return err == io.EOF }
+
+func badWrap(err error) error {
+	return fmt.Errorf("send failed: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func okWrap(err error) error {
+	return fmt.Errorf("send failed: %w", err)
+}
+
+func okNoErrorArg(n int) error {
+	return fmt.Errorf("bad frame length %d", n)
+}
+
+// escapedBreak deliberately flattens the chain at a public API
+// boundary, with the reason on record.
+func escapedBreak(err error) error {
+	return fmt.Errorf("internal failure: %v", err) //selfservvet:ignore sentinelerr -- public API boundary: callers must not match internal sentinels
+}

@@ -112,6 +112,9 @@ type Options struct {
 	// OnBreakerOpen, if non-nil, observes each member breaker tripping
 	// open.
 	OnBreakerOpen func(member string)
+	// Now is the clock used to time member invocations for the QoS
+	// history; nil uses time.Now. Deterministic tests inject a fake.
+	Now func() time.Time
 }
 
 // Community is a container of alternative services behind one name.
@@ -122,6 +125,7 @@ type Community struct {
 	failov   int
 	backoff  time.Duration
 	sleep    func(ctx context.Context, d time.Duration)
+	now      func() time.Time
 	breakers *circuit.Group // nil when breakers are disabled
 	checker  *checker       // nil when health checks are disabled
 	dedup    *service.Idempotent
@@ -152,6 +156,9 @@ func New(name string, opts Options) *Community {
 			}
 		}
 	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
 	c := &Community{
 		name:    name,
 		policy:  p,
@@ -159,6 +166,7 @@ func New(name string, opts Options) *Community {
 		failov:  opts.Failover,
 		backoff: opts.Backoff,
 		sleep:   sleep,
+		now:     opts.Now,
 		onFail:  opts.OnFailover,
 		members: map[string]*Member{},
 	}
@@ -302,9 +310,9 @@ func (c *Community) invokeOnce(ctx context.Context, req service.Request) (servic
 		}
 		invoked++
 		c.history.Begin(m.Name())
-		start := time.Now()
+		start := c.now()
 		resp, err := m.Provider.Invoke(ctx, req)
-		c.history.End(m.Name(), time.Since(start), err == nil)
+		c.history.End(m.Name(), c.now().Sub(start), err == nil)
 		c.recordOutcome(m.Name(), err == nil)
 		if err == nil {
 			return resp, nil

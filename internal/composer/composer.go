@@ -54,7 +54,7 @@ func (b *Builder) Root() *Scope { return b.root }
 // returned.
 func (b *Builder) Build() (*statechart.Statechart, error) {
 	if len(b.errs) > 0 {
-		return nil, fmt.Errorf("composer: %q: %v", b.chart.Name, b.errs[0])
+		return nil, fmt.Errorf("composer: %q: %w", b.chart.Name, b.errs[0])
 	}
 	if err := statechart.Validate(b.chart); err != nil {
 		return nil, err

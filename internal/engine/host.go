@@ -271,7 +271,7 @@ type coordinator struct {
 // every receiver of the same notifications computes the same bag, so
 // exactly one of a set of complementary guards holds.
 type coordInstance struct {
-	mu      sync.Mutex // guards everything below; see shard.go for lock order
+	mu      sync.Mutex // lockorder:instance — guards everything below; see shard.go for lock order
 	counts  []uint32
 	pending []uint64
 	base    map[string]string

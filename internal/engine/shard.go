@@ -43,7 +43,7 @@ func instShardIdx(id string) uint32 {
 // tableShard is one stripe: a map plus, for capped tables, the
 // insertion order used for FIFO eviction.
 type tableShard[V any] struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // lockorder:shard — level 1, acquired before any instance mutex
 	m     map[string]V
 	order []string
 }

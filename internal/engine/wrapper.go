@@ -61,7 +61,7 @@ type Wrapper struct {
 // last, or complementary guards could all reject and Execute would hang
 // — the wrapper-side twin of the seed-8 AND-join liveness bug.
 type wrapperInstance struct {
-	mu       sync.Mutex // guards everything below; see shard.go for lock order
+	mu       sync.Mutex // lockorder:instance — guards everything below; see shard.go for lock order
 	done     chan struct{}
 	pending  []uint64
 	base     map[string]string   // request inputs + non-finish-universe senders
