@@ -37,6 +37,16 @@ bench-concurrency:
 bench-availability:
 	$(GO) test -bench=BenchmarkE9Availability -benchtime=50x -run '^$$' .
 
+# Short run of the E10 scale-out sweep: spawns real hostd processes at
+# 1/2/4 replicas per service state and measures execs/sec. The run
+# itself asserts the routing-never-RPCs invariant — it FAILS if the
+# wrapper exchanges anything but exactly 2 messages per execution at
+# any replica count. CI smoke; BENCH_scaleout.json records the full
+# series.
+.PHONY: bench-scaleout
+bench-scaleout:
+	$(GO) run ./cmd/bench -exp e10 -n 10
+
 COVER_FLOOR ?= 80
 
 .PHONY: cover

@@ -48,6 +48,7 @@ import (
 	"selfserv/internal/engine"
 	"selfserv/internal/hostapi"
 	"selfserv/internal/limits"
+	"selfserv/internal/placement"
 	"selfserv/internal/service"
 	"selfserv/internal/transport"
 	"selfserv/internal/workload"
@@ -72,6 +73,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	adminAddr := fs.String("admin", "127.0.0.1:0", "admin HTTP listen address")
 	services := fs.String("services", "", "comma-separated services to host (see doc)")
 	latency := fs.Duration("latency", 5*time.Millisecond, "simulated service latency")
+	svcConcurrency := fs.Int("svc-concurrency", 0, "cap concurrent invocations per hosted simulated service — models real provider capacity; extra callers queue (0 = unlimited)")
+	shardSize := fs.Int("placement-shard-size", 0, "shuffle-shard width for tenant-aware replica routing: each tenant's instances spread over at most this many replicas of a state (0 = all replicas)")
+	cells := fs.String("placement-cells", "", "dedicated placement cells, \"<tenant>=<size>,...\": claim <size> replicas exclusively for <tenant>; must be identical on every replica of a deployment")
 	statsEvery := fs.Duration("stats", 0, "log transport traffic (messages vs wire frames, queue depth, reconnects) at this interval; 0 disables")
 	verbose := fs.Bool("v", false, "log coordinator activity")
 
@@ -114,6 +118,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	placementPolicy, err := parsePlacementCells(*cells)
+	if err != nil {
+		return err
+	}
+	placementPolicy.ShardSize = *shardSize
 
 	lg := log.New(out, "", log.LstdFlags)
 
@@ -147,12 +156,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	reg := service.NewRegistry()
-	comm, err := registerServices(reg, *services, *latency, commOpts)
+	comm, err := registerServices(reg, *services, service.SimulatedOptions{
+		BaseLatency:   *latency,
+		MaxConcurrent: *svcConcurrency,
+	}, commOpts)
 	if err != nil {
 		return err
 	}
 
 	dir := engine.NewDirectory()
+	dir.SetPolicy(placementPolicy)
 	opts := engine.HostOptions{
 		Funcs:  engine.Funcs(workload.TravelGuards()),
 		Limits: limiter,
@@ -223,8 +236,7 @@ func logStats(ctx context.Context, lg *log.Logger, tcp *transport.TCP, coordAddr
 // registerServices parses the -services flag. When AccommodationBooking
 // is hosted, its community is built with commOpts (breakers, health
 // checks, availability observers) and returned for lifecycle wiring.
-func registerServices(reg *service.Registry, spec string, latency time.Duration, commOpts community.Options) (*community.Community, error) {
-	opts := service.SimulatedOptions{BaseLatency: latency}
+func registerServices(reg *service.Registry, spec string, opts service.SimulatedOptions, commOpts community.Options) (*community.Community, error) {
 	if spec == "" {
 		return nil, fmt.Errorf("hostd: -services is required (nothing to host)")
 	}
@@ -267,6 +279,34 @@ func registerServices(reg *service.Registry, spec string, latency time.Duration,
 		}
 	}
 	return comm, nil
+}
+
+// parsePlacementCells turns the -placement-cells spec into the
+// dedicated-cell part of a placement policy: comma-separated
+// "<tenant>=<size>" entries, each claiming <size> replicas exclusively
+// for <tenant>. Routing is a pure local computation, so the SAME policy
+// must be configured on every replica of a deployment — mismatched
+// policies would route one instance's notifications to different
+// coordinators.
+func parsePlacementCells(spec string) (placement.Policy, error) {
+	var pol placement.Policy
+	if spec == "" {
+		return pol, nil
+	}
+	pol.Dedicated = map[string]int{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		tenant, sizeSpec, ok := strings.Cut(entry, "=")
+		if !ok || tenant == "" {
+			return pol, fmt.Errorf("hostd: placement cell %q, want <tenant>=<size>", entry)
+		}
+		size, err := strconv.Atoi(sizeSpec)
+		if err != nil || size <= 0 {
+			return pol, fmt.Errorf("hostd: placement cell %q: size must be a positive integer", entry)
+		}
+		pol.Dedicated[tenant] = size
+	}
+	return pol, nil
 }
 
 // parseTenantLimits turns the -tenant-limits spec into a Limiter:

@@ -160,39 +160,59 @@ func cmdCompile(args []string) error {
 	return nil
 }
 
-// hostFlags collects repeated -host Service=adminURL mappings.
-type hostFlags map[string]string
+// hostFlags collects repeated -host Service=adminURL mappings. Repeating
+// a service maps it to MULTIPLE daemons — replica hosts: each state of
+// that service is installed on all of them and the engine routes every
+// (instance, tenant) key to a deterministic replica.
+type hostFlags map[string][]string
 
-func (h hostFlags) String() string { return fmt.Sprint(map[string]string(h)) }
+func (h hostFlags) String() string { return fmt.Sprint(map[string][]string(h)) }
 
 func (h hostFlags) Set(v string) error {
 	svc, url, ok := strings.Cut(v, "=")
 	if !ok {
 		return fmt.Errorf("want Service=adminURL, got %q", v)
 	}
-	h[svc] = url
+	h[svc] = append(h[svc], url)
 	return nil
 }
 
-// resolveRemote builds remote installers for every component service.
+// kvFlags collects repeated k=v pairs (last write wins).
+type kvFlags map[string]string
+
+func (h kvFlags) String() string { return fmt.Sprint(map[string]string(h)) }
+
+func (h kvFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want k=v, got %q", v)
+	}
+	h[k] = val
+	return nil
+}
+
+// resolveRemote builds remote installers for every component service's
+// replica set, dialing each distinct daemon once.
 func resolveRemote(sc *statechart.Statechart, hosts hostFlags) (deployer.Placement, map[string]*hostapi.RemoteInstaller, error) {
 	placement := deployer.Placement{}
 	installers := map[string]*hostapi.RemoteInstaller{}
 	for _, svc := range sc.Services() {
-		adminURL, ok := hosts[svc]
-		if !ok {
+		adminURLs := hosts[svc]
+		if len(adminURLs) == 0 {
 			return nil, nil, fmt.Errorf("no -host mapping for service %q", svc)
 		}
-		ri, ok := installers[adminURL]
-		if !ok {
-			var err error
-			ri, err = hostapi.NewRemoteInstaller(adminURL)
-			if err != nil {
-				return nil, nil, err
+		for _, adminURL := range adminURLs {
+			ri, ok := installers[adminURL]
+			if !ok {
+				var err error
+				ri, err = hostapi.NewRemoteInstaller(adminURL)
+				if err != nil {
+					return nil, nil, err
+				}
+				installers[adminURL] = ri
 			}
-			installers[adminURL] = ri
+			placement[svc] = append(placement[svc], ri)
 		}
-		placement[svc] = ri
 	}
 	return placement, installers, nil
 }
@@ -206,15 +226,15 @@ func deployRemote(sc *statechart.Statechart, hosts hostFlags, wrapperAddr string
 	if err != nil {
 		return nil, nil, err
 	}
-	peers := map[string]string{}
-	for state, addr := range dep.Hosts {
-		peers[state] = addr
+	peers := map[string][]string{}
+	for state, addrs := range dep.Hosts {
+		peers[state] = addrs
 	}
 	if wrapperAddr != "" {
-		peers[message.WrapperID] = wrapperAddr
+		peers[message.WrapperID] = []string{wrapperAddr}
 	}
 	for _, ri := range installers {
-		if err := ri.Client.PushDirectory(sc.Name, peers); err != nil {
+		if err := ri.Client.PushReplicaDirectory(sc.Name, peers); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -243,7 +263,7 @@ func cmdDeploy(args []string) error {
 	}
 	sort.Strings(states)
 	for _, s := range states {
-		fmt.Printf("installed %-12s on %s\n", s, dep.Hosts[s])
+		fmt.Printf("installed %-12s on %s\n", s, strings.Join(dep.Hosts[s], ", "))
 	}
 	fmt.Println("note: the wrapper address is pushed at run time ('selfserv run')")
 	return nil
@@ -252,8 +272,8 @@ func cmdDeploy(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	hosts := hostFlags{}
-	inputs := hostFlags{}
-	fs.Var(hosts, "host", "Service=adminURL mapping (repeatable)")
+	inputs := kvFlags{}
+	fs.Var(hosts, "host", "Service=adminURL mapping (repeatable; repeat a service for replicas)")
 	fs.Var(inputs, "in", "input variable k=v (repeatable)")
 	timeout := fs.Duration("timeout", 30*time.Second, "execution timeout")
 	file, err := parseWithFile(fs, args)
@@ -287,8 +307,8 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	for state, addr := range dep.Hosts {
-		dir.Set(sc.Name, state, addr)
+	for state, addrs := range dep.Hosts {
+		dir.SetReplicas(sc.Name, state, addrs)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)

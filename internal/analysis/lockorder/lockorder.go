@@ -1,4 +1,4 @@
-// Package lockorder enforces the engine's documented lock hierarchy
+// Package lockorder enforces the repo's documented lock hierarchy
 // (internal/engine/shard.go, docs/engine.md): a shard mutex is acquired
 // strictly before an instance mutex, and no code path ever holds two
 // locks of the same level.
@@ -8,6 +8,15 @@
 // bare integer for future hierarchies). Acquiring a lock whose level is
 // less than or equal to the level of any annotated lock already held is
 // a violation.
+//
+// Beyond the engine's shard/instance pair, the control-plane locks are
+// annotated too: "platform" (core.Platform.mu, level 0 — outermost,
+// never held across engine calls), "directory" (engine.Directory.mu,
+// level 3 — serializes copy-on-write rebuilds only; the read path is
+// an atomic snapshot load), and "hostapi" (admin-server bookkeeping,
+// level 4 — leaf). None of these may nest with another lock of the
+// same level, and any cross-level acquisition must follow increasing
+// rank.
 package lockorder
 
 import (
@@ -25,16 +34,20 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "lockorder",
 	Doc: "check the shard-before-instance lock hierarchy\n\n" +
-		"Mutex fields annotated `lockorder:shard` (level 1) or " +
-		"`lockorder:instance` (level 2) must be acquired in strictly " +
-		"increasing level order, and never two of the same level.",
+		"Mutex fields annotated `lockorder:<level>` (platform 0, shard 1, " +
+		"instance 2, directory 3, hostapi 4, or a bare integer) must be " +
+		"acquired in strictly increasing level order, and never two of " +
+		"the same level.",
 	Run: run,
 }
 
-// Named levels of the engine hierarchy; lower acquires first.
+// Named levels of the repo-wide hierarchy; lower acquires first.
 var namedLevels = map[string]int{
-	"shard":    1,
-	"instance": 2,
+	"platform":  0,
+	"shard":     1,
+	"instance":  2,
+	"directory": 3,
+	"hostapi":   4,
 }
 
 var annotationRe = regexp.MustCompile(`lockorder:\s*([A-Za-z0-9_]+)`)
@@ -58,7 +71,7 @@ func run(pass *framework.Pass) error {
 			rank, err = strconv.Atoi(name)
 			if err != nil {
 				pass.Reportf(mf.Decl.Pos(),
-					"unknown lockorder level %q (known: shard, instance, or an integer)", name)
+					"unknown lockorder level %q (known: platform, shard, instance, directory, hostapi, or an integer)", name)
 				continue
 			}
 		}

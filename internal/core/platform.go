@@ -16,6 +16,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,11 +24,17 @@ import (
 	"selfserv/internal/engine"
 	"selfserv/internal/expr"
 	"selfserv/internal/limits"
+	"selfserv/internal/placement"
 	"selfserv/internal/routing"
 	"selfserv/internal/service"
 	"selfserv/internal/statechart"
 	"selfserv/internal/transport"
 )
+
+// ErrClosed reports a Platform method called after Close. A closed
+// platform stays closed: hosts added or composites deployed afterwards
+// would leak listeners that nothing will ever shut down.
+var ErrClosed = errors.New("core: platform is closed")
 
 // Options configure a Platform.
 type Options struct {
@@ -52,6 +59,10 @@ type Options struct {
 	// their tenant with the engine.TenantVar input variable; untagged
 	// requests share the anonymous bucket. Nil admits everything.
 	Limits *limits.Limiter
+	// Placement configures tenant-aware replica routing (shuffle-shard
+	// width, dedicated cells) for services registered on multiple hosts.
+	// The zero value routes purely by instance hash over all replicas.
+	Placement placement.Policy
 }
 
 // Platform is a running SELF-SERV instance.
@@ -64,7 +75,8 @@ type Platform struct {
 	hostOpts engine.HostOptions
 	limits   *limits.Limiter
 
-	mu         sync.Mutex
+	mu         sync.Mutex // lockorder:platform — guards everything below; never held across engine calls that take instance locks
+	closed     bool
 	hosts      []*engine.Host
 	placement  deployer.Placement
 	composites map[string]*Composite
@@ -86,11 +98,13 @@ func New(opts Options) *Platform {
 	if hostOpts.Limits == nil {
 		hostOpts.Limits = opts.Limits
 	}
+	dir := engine.NewDirectory()
+	dir.SetPolicy(opts.Placement)
 	return &Platform{
 		net:        net,
 		ownsNet:    owns,
 		registry:   service.NewRegistry(),
-		dir:        engine.NewDirectory(),
+		dir:        dir,
 		funcs:      engine.Funcs(opts.Funcs),
 		hostOpts:   hostOpts,
 		limits:     opts.Limits,
@@ -112,13 +126,28 @@ func (p *Platform) Limits() *limits.Limiter { return p.limits }
 func (p *Platform) Directory() *engine.Directory { return p.dir }
 
 // AddHost starts a coordinator host listening on addr ("host-1" style
-// names on the in-memory network, "ip:port" on TCP).
+// names on the in-memory network, "ip:port" on TCP). Returns ErrClosed
+// after Close: a host added to a closed platform would never be shut
+// down.
 func (p *Platform) AddHost(addr string) (*engine.Host, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("add host %q: %w", addr, ErrClosed)
+	}
+	p.mu.Unlock()
 	h, err := engine.NewHost(p.net, addr, p.registry, p.dir, p.hostOpts)
 	if err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
+	if p.closed {
+		// Close raced us between the check and the listen: don't leak the
+		// host — shut it down and report the platform closed.
+		p.mu.Unlock()
+		h.Close()
+		return nil, fmt.Errorf("add host %q: %w", addr, ErrClosed)
+	}
 	p.hosts = append(p.hosts, h)
 	p.mu.Unlock()
 	return h, nil
@@ -127,10 +156,25 @@ func (p *Platform) AddHost(addr string) (*engine.Host, error) {
 // RegisterService adds a provider (elementary service or community) to
 // the pool and places it on host: composite states bound to the
 // provider's name will have their coordinators installed there.
+// Registering the same provider on additional hosts makes them replicas
+// — the state's routing table is installed on every one at deploy time
+// and the engine routes each (instance, tenant) key to a deterministic
+// replica (docs/scaleout.md). On a closed platform this is a no-op.
 func (p *Platform) RegisterService(host *engine.Host, prov service.Provider) {
-	p.registry.Register(prov)
 	p.mu.Lock()
-	p.placement[prov.Name()] = host
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.registry.Register(prov)
+	name := prov.Name()
+	for _, h := range p.placement[name] {
+		if h == deployer.Installer(host) {
+			p.mu.Unlock()
+			return // already a replica of this service
+		}
+	}
+	p.placement[name] = append(p.placement[name], host)
 	p.mu.Unlock()
 }
 
@@ -144,17 +188,23 @@ type Composite struct {
 
 // Deploy validates, compiles, and deploys a composite service: routing
 // tables are generated, compiled (every guard parsed exactly once), and
-// installed on the hosts of the component services, and a wrapper is
-// started over the shared compiled plan. Parse errors surface here — a
-// successfully deployed composite can never hit one at runtime.
-// Redeploying an existing name replaces its wrapper.
+// installed on every replica host of the component services, and a
+// wrapper is started over the shared compiled plan. Parse errors
+// surface here — a successfully deployed composite can never hit one at
+// runtime. Redeploying an existing name replaces its wrapper; the
+// previous wrapper is closed only AFTER the replacement is live, so a
+// failed redeploy leaves the previous deployment registered, routable,
+// and executing — never a closed wrapper in the composites map.
 func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("deploy %q: %w", sc.Name, ErrClosed)
+	}
 	placement := make(deployer.Placement, len(p.placement))
 	for k, v := range p.placement {
-		placement[k] = v
+		placement[k] = append([]deployer.Installer(nil), v...)
 	}
-	prev := p.composites[sc.Name]
 	p.wrapperSeq++
 	seq := p.wrapperSeq
 	p.mu.Unlock()
@@ -163,22 +213,39 @@ func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	if err != nil {
 		return nil, err
 	}
-	if prev != nil {
-		prev.wrapper.Close()
-	}
 	// MintAddr turns the logical wrapper name into whatever this
 	// transport listens on (the name itself in-memory, an ephemeral
 	// loopback bind on TCP) — no type-switching on the implementation.
+	// The sequence number keeps replacement wrapper addresses distinct
+	// from the previous wrapper's, which is still serving at this point.
 	addr := p.net.MintAddr(fmt.Sprintf("wrapper/%s/%d", sc.Name, seq))
 	w, err := engine.NewCompiledWrapper(p.net, addr, p.dir, dep.Compiled, p.funcs)
 	if err != nil {
+		// The previous deployment (if any) is untouched: its wrapper was
+		// never closed and the directory's WrapperID entry still points
+		// at it (NewCompiledWrapper publishes its address only after a
+		// successful listen).
 		return nil, err
 	}
 	w.SetLimiter(p.limits)
 	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan, compiled: dep.Compiled}
 	p.mu.Lock()
+	if p.closed {
+		// Close raced the deploy: tear the new wrapper down instead of
+		// leaking it into a closed platform.
+		p.mu.Unlock()
+		w.Close()
+		return nil, fmt.Errorf("deploy %q: %w", sc.Name, ErrClosed)
+	}
+	prev := p.composites[sc.Name]
 	p.composites[sc.Name] = comp
 	p.mu.Unlock()
+	// Close the replaced wrapper only now that the replacement is both
+	// live and registered; in-flight executions on prev fail fast, new
+	// ones land on the replacement.
+	if prev != nil {
+		prev.wrapper.Close()
+	}
 	return comp, nil
 }
 
@@ -190,9 +257,17 @@ func (p *Platform) Composite(name string) (*Composite, bool) {
 	return c, ok
 }
 
-// Close shuts down wrappers, hosts, and (when owned) the network.
+// Close shuts down wrappers, hosts, and (when owned) the network, and
+// marks the platform closed: AddHost and Deploy return ErrClosed
+// afterwards, RegisterService becomes a no-op. Idempotent — a second
+// Close returns nil without touching anything.
 func (p *Platform) Close() error {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
 	comps := p.composites
 	hosts := p.hosts
 	p.composites = map[string]*Composite{}

@@ -22,6 +22,10 @@ import (
 type Installer interface {
 	// Install registers the state's coordinator on the node.
 	Install(composite string, table *routing.Table) error
+	// Uninstall removes the state's coordinator again. Deploy uses it to
+	// roll back the already-installed states of a failed deployment;
+	// uninstalling a state that was never installed must be a no-op.
+	Uninstall(composite, state string)
 	// Addr identifies the node (for error messages and reports).
 	Addr() string
 }
@@ -34,9 +38,23 @@ type CompiledInstaller interface {
 	InstallCompiled(composite string, table *routing.CompiledTable) error
 }
 
-// Placement maps component-service names to the node hosting them. Every
-// service referenced by the statechart must be placed.
-type Placement map[string]Installer
+// Placement maps component-service names to the replica set hosting
+// them. Every service referenced by the statechart must have at least
+// one replica; each state's routing table is installed on EVERY replica
+// of its service, so any replica can coordinate any instance and the
+// engine's deterministic (instance, tenant) routing picks which one
+// does (see internal/placement and docs/scaleout.md).
+type Placement map[string][]Installer
+
+// Single places every service on one node — the pre-scale-out
+// convenience constructor for the common one-host-per-service case.
+func Single(hosts map[string]Installer) Placement {
+	p := make(Placement, len(hosts))
+	for svc, h := range hosts {
+		p[svc] = []Installer{h}
+	}
+	return p
+}
 
 // Deployment is the result of a successful deploy.
 type Deployment struct {
@@ -46,17 +64,28 @@ type Deployment struct {
 	// action pre-parsed, precondition sources interned. Wrappers and the
 	// centralized baseline interpret this shared artifact directly.
 	Compiled *routing.CompiledPlan
-	// Hosts maps each state ID to the address it was installed on.
-	Hosts map[string]string
+	// Hosts maps each state ID to the replica addresses it was installed
+	// on (sorted by install order, which follows the placement's slice
+	// order).
+	Hosts map[string][]string
 }
 
 // Deploy validates and compiles the statechart, then uploads each state's
-// routing table to the host of its component service. Compilation —
-// including parsing every guard, precondition, and action expression —
-// happens HERE, before any host is touched: deployment is the only place
-// a parse error can surface. Deploy fails without side effects if
-// compilation fails or any service is unplaced; partial installation only
-// occurs if a host's Install itself errors.
+// routing table to every replica host of its component service.
+// Compilation — including parsing every guard, precondition, and action
+// expression — happens HERE, before any host is touched: deployment is
+// the only place a parse error can surface. Deploy fails without side
+// effects: if compilation fails or any service is unplaced nothing is
+// touched, and if any replica's Install errors mid-way, the states
+// already installed are rolled back (Installer.Uninstall, reverse
+// order) before the error is returned.
+//
+// Caveat for REdeploys: rollback uninstalls by (composite, state) key,
+// so a failed redeploy of an already-live composite tears down the live
+// coordinators it had replaced up to the failure point. Callers that
+// redeploy in place (core.Platform) install the replacement under the
+// same keys anyway; callers that need the previous deployment to
+// survive a failed redeploy should deploy under a new composite name.
 func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error) {
 	plan, err := routing.Generate(sc)
 	if err != nil {
@@ -77,26 +106,46 @@ func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error)
 	sort.Strings(ids)
 	for _, id := range ids {
 		tbl := plan.Tables[id]
-		if placement[tbl.Service] == nil {
+		if len(placement[tbl.Service]) == 0 {
 			return nil, fmt.Errorf("deployer: composite %q: service %q (state %q) has no placement", sc.Name, tbl.Service, id)
 		}
+		for _, host := range placement[tbl.Service] {
+			if host == nil {
+				return nil, fmt.Errorf("deployer: composite %q: service %q (state %q) has a nil replica", sc.Name, tbl.Service, id)
+			}
+		}
 	}
-	dep := &Deployment{Plan: plan, Compiled: compiled, Hosts: map[string]string{}}
+	// installed records every (state, host) pair that succeeded, in
+	// order, so a failure can unwind them newest-first.
+	type installStep struct {
+		id   string
+		host Installer
+	}
+	var installed []installStep
+	rollback := func() {
+		for i := len(installed) - 1; i >= 0; i-- {
+			installed[i].host.Uninstall(sc.Name, installed[i].id)
+		}
+	}
+	dep := &Deployment{Plan: plan, Compiled: compiled, Hosts: map[string][]string{}}
 	for _, id := range ids {
 		tbl := plan.Tables[id]
-		host := placement[tbl.Service]
-		var err error
-		if ci, ok := host.(CompiledInstaller); ok {
-			// Hand the host the table we already compiled: one parse per
-			// deployment, shared by every instance.
-			err = ci.InstallCompiled(sc.Name, compiled.Tables[id])
-		} else {
-			err = host.Install(sc.Name, tbl)
+		for _, host := range placement[tbl.Service] {
+			var err error
+			if ci, ok := host.(CompiledInstaller); ok {
+				// Hand the host the table we already compiled: one parse
+				// per deployment, shared by every instance and replica.
+				err = ci.InstallCompiled(sc.Name, compiled.Tables[id])
+			} else {
+				err = host.Install(sc.Name, tbl)
+			}
+			if err != nil {
+				rollback()
+				return nil, fmt.Errorf("deployer: install state %q on %s: %w", id, host.Addr(), err)
+			}
+			installed = append(installed, installStep{id, host})
+			dep.Hosts[id] = append(dep.Hosts[id], host.Addr())
 		}
-		if err != nil {
-			return nil, fmt.Errorf("deployer: install state %q on %s: %w", id, host.Addr(), err)
-		}
-		dep.Hosts[id] = host.Addr()
 	}
 	return dep, nil
 }

@@ -11,11 +11,12 @@ import (
 	"selfserv/internal/workload"
 )
 
-// fakeHost records installs without a network.
+// fakeHost records installs (and rollback uninstalls) without a network.
 type fakeHost struct {
-	addr      string
-	installed []string
-	failOn    string
+	addr        string
+	installed   []string
+	uninstalled []string
+	failOn      string
 }
 
 func (f *fakeHost) Addr() string { return f.addr }
@@ -28,12 +29,33 @@ func (f *fakeHost) Install(composite string, t *routing.Table) error {
 	return nil
 }
 
+func (f *fakeHost) Uninstall(composite, state string) {
+	f.uninstalled = append(f.uninstalled, composite+"/"+state)
+}
+
+// live returns the installs that were not rolled back.
+func (f *fakeHost) live() []string {
+	gone := map[string]int{}
+	for _, u := range f.uninstalled {
+		gone[u]++
+	}
+	var out []string
+	for _, in := range f.installed {
+		if gone[in] > 0 {
+			gone[in]--
+			continue
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
 func TestDeployInstallsEveryState(t *testing.T) {
 	sc := workload.Travel()
 	h := &fakeHost{addr: "node-1"}
 	placement := Placement{}
 	for _, svc := range sc.Services() {
-		placement[svc] = h
+		placement[svc] = []Installer{h}
 	}
 	dep, err := Deploy(sc, placement)
 	if err != nil {
@@ -42,10 +64,26 @@ func TestDeployInstallsEveryState(t *testing.T) {
 	if len(dep.Hosts) != 5 || len(h.installed) != 5 {
 		t.Fatalf("hosts = %v installed = %v", dep.Hosts, h.installed)
 	}
-	for state, addr := range dep.Hosts {
-		if addr != "node-1" {
-			t.Errorf("state %s on %s", state, addr)
+	for state, addrs := range dep.Hosts {
+		if len(addrs) != 1 || addrs[0] != "node-1" {
+			t.Errorf("state %s on %v", state, addrs)
 		}
+	}
+}
+
+func TestDeployInstallsOnEveryReplica(t *testing.T) {
+	sc := workload.Chain(2)
+	h1 := &fakeHost{addr: "node-1"}
+	h2 := &fakeHost{addr: "node-2"}
+	dep, err := Deploy(sc, Placement{"svc1": {h1, h2}, "svc2": {h2}})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if len(h1.installed) != 1 || len(h2.installed) != 2 {
+		t.Fatalf("installed: h1=%v h2=%v", h1.installed, h2.installed)
+	}
+	if got := dep.Hosts["s1"]; len(got) != 2 || got[0] != "node-1" || got[1] != "node-2" {
+		t.Fatalf("s1 replicas = %v", got)
 	}
 }
 
@@ -53,7 +91,7 @@ func TestDeployChecksPlacementBeforeInstalling(t *testing.T) {
 	sc := workload.Chain(3)
 	h := &fakeHost{addr: "node-1"}
 	// svc2 unplaced: nothing at all must be installed.
-	_, err := Deploy(sc, Placement{"svc1": h, "svc3": h})
+	_, err := Deploy(sc, Placement{"svc1": {h}, "svc3": {h}})
 	if err == nil || !strings.Contains(err.Error(), "no placement") {
 		t.Fatalf("err = %v", err)
 	}
@@ -65,9 +103,36 @@ func TestDeployChecksPlacementBeforeInstalling(t *testing.T) {
 func TestDeploySurfacesInstallErrors(t *testing.T) {
 	sc := workload.Chain(2)
 	h := &fakeHost{addr: "node-1", failOn: "s2"}
-	_, err := Deploy(sc, Placement{"svc1": h, "svc2": h})
+	_, err := Deploy(sc, Placement{"svc1": {h}, "svc2": {h}})
 	if err == nil || !strings.Contains(err.Error(), "disk full") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestDeployRollsBackOnFailure pins the no-side-effects contract: when
+// a replica's install fails mid-deployment, every state installed up to
+// that point — across ALL hosts — is uninstalled again, newest first.
+func TestDeployRollsBackOnFailure(t *testing.T) {
+	sc := workload.Chain(3)
+	h1 := &fakeHost{addr: "node-1"}
+	h2 := &fakeHost{addr: "node-2", failOn: "s3"}
+	_, err := Deploy(sc, Placement{"svc1": {h1, h2}, "svc2": {h1}, "svc3": {h2}})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v", err)
+	}
+	if live := h1.live(); len(live) != 0 {
+		t.Fatalf("node-1 still has %v after rollback", live)
+	}
+	if live := h2.live(); len(live) != 0 {
+		t.Fatalf("node-2 still has %v after rollback", live)
+	}
+	// Reverse install order: the last successful install is the first
+	// rolled back.
+	var all []string
+	all = append(all, h1.uninstalled...)
+	all = append(all, h2.uninstalled...)
+	if len(all) != len(h1.installed)+len(h2.installed) {
+		t.Fatalf("uninstalled %d of %d installs", len(all), len(h1.installed)+len(h2.installed))
 	}
 }
 

@@ -316,7 +316,7 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 				}
 				params[TenantVar] = tenant
 			}
-			addr, found := c.dir.Lookup(c.plan.Composite, tbl.State)
+			addr, found := c.dir.Route(c.plan.Composite, tbl.State, instance, run.vars[TenantVar])
 			if !found {
 				return fmt.Errorf("engine: state %q is not deployed", tbl.State)
 			}

@@ -104,7 +104,7 @@ func TestInstanceEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	dep, err := deployer.Deploy(sc, deployer.Placement{"svc1": h, "svc2": h})
+	dep, err := deployer.Deploy(sc, deployer.Placement{"svc1": {h}, "svc2": {h}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,6 +42,7 @@ import (
 
 	"selfserv/internal/expr"
 	"selfserv/internal/message"
+	"selfserv/internal/placement"
 	"selfserv/internal/routing"
 )
 
@@ -61,62 +62,191 @@ var ErrInstanceFault = errors.New("engine: instance fault")
 // ErrUnknownComposite reports a start request for an undeployed service.
 var ErrUnknownComposite = errors.New("engine: unknown composite")
 
-// Directory maps (composite, peer ID) to the transport address hosting
-// that peer. Peer IDs are state IDs plus message.WrapperID. It is the
-// runtime equivalent of the "location" column the paper stores in routing
-// tables; the deployer fills it during deployment.
+// Directory maps (composite, peer ID) to the replica set hosting that
+// peer. Peer IDs are state IDs plus message.WrapperID. It is the runtime
+// equivalent of the "location" column the paper stores in routing
+// tables; the deployer fills it during deployment. Since the scale-out
+// work, a peer may be hosted by N replicas: the directory stores a
+// precomputed placement.Group per peer and resolves one concrete
+// replica per routing key via Route (tenant → cell/shuffle-shard,
+// instance → rendezvous). Routing is a pure local computation — never
+// an RPC — so every node holding the same directory contents routes the
+// same key to the same replica.
 //
 // Reads are lock-free: the directory keeps its entire contents in an
 // immutable copy-on-write snapshot swapped atomically on writes. Writes
 // happen a handful of times per composite (deploy, redeploy); lookups
-// happen on every notification send, so the coordinator hot path pays one
-// atomic load and two map reads — no RWMutex.
+// happen on every notification send, so the coordinator hot path pays
+// one atomic load, two map reads, and a few FNV hashes — no RWMutex.
 type Directory struct {
-	mu   sync.Mutex // serializes writers only
-	snap atomic.Pointer[map[string]map[string]string]
+	mu   sync.Mutex // lockorder:directory — serializes writers only; never nested
+	snap atomic.Pointer[dirSnap]
 }
 
-// NewDirectory returns an empty directory.
+// dirSnap is one immutable directory state: the placement policy and,
+// per composite, the replica group of every peer ID. The policy lives
+// in the snapshot so a Route racing a SetPolicy sees a consistent
+// (groups, policy) pair.
+type dirSnap struct {
+	policy placement.Policy
+	comps  map[string]map[string]*placement.Group
+}
+
+// NewDirectory returns an empty directory with the zero (no sharding,
+// no cells) placement policy.
 func NewDirectory() *Directory {
 	d := &Directory{}
-	empty := map[string]map[string]string{}
-	d.snap.Store(&empty)
+	d.snap.Store(&dirSnap{comps: map[string]map[string]*placement.Group{}})
 	return d
 }
 
-// Set records that peer id of composite lives at addr. It rebuilds the
-// affected composite's map copy-on-write, so concurrent readers keep a
-// consistent snapshot.
-func (d *Directory) Set(composite, id, addr string) {
+// update applies fn to a deep-enough copy of the snapshot under the
+// writer lock: the composite map and the changed composite's peer map
+// are fresh, the (immutable) groups are shared.
+func (d *Directory) update(composite string, fn func(byID map[string]*placement.Group, pol placement.Policy)) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	old := *d.snap.Load()
-	next := make(map[string]map[string]string, len(old)+1)
-	for c, byID := range old {
-		next[c] = byID
+	old := d.snap.Load()
+	next := &dirSnap{policy: old.policy, comps: make(map[string]map[string]*placement.Group, len(old.comps)+1)}
+	for c, byID := range old.comps {
+		next.comps[c] = byID
 	}
-	byID := make(map[string]string, len(old[composite])+1)
-	for k, v := range old[composite] {
-		byID[k] = v
+	byID := make(map[string]*placement.Group, len(old.comps[composite])+1)
+	for id, g := range old.comps[composite] {
+		byID[id] = g
 	}
-	byID[id] = addr
-	next[composite] = byID
-	d.snap.Store(&next)
+	fn(byID, old.policy)
+	next.comps[composite] = byID
+	d.snap.Store(next)
 }
 
-// Lookup resolves the address of peer id within composite without taking
-// any lock.
+// SetPolicy installs the placement policy and rebuilds every group
+// under it. Deployment configuration: every node of a deployment must
+// install the same policy, exactly like the same routing tables.
+func (d *Directory) SetPolicy(pol placement.Policy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.snap.Load()
+	next := &dirSnap{policy: pol, comps: make(map[string]map[string]*placement.Group, len(old.comps))}
+	for c, byID := range old.comps {
+		rebuilt := make(map[string]*placement.Group, len(byID))
+		for id, g := range byID {
+			rebuilt[id] = placement.Build(g.Addrs(), pol)
+		}
+		next.comps[c] = rebuilt
+	}
+	d.snap.Store(next)
+}
+
+// Policy returns the directory's current placement policy.
+func (d *Directory) Policy() placement.Policy { return d.snap.Load().policy }
+
+// Set records that peer id of composite lives at addr — replacing any
+// previous replica set with the singleton {addr}. Wrappers (one per
+// composite deployment) and single-host deployments use this.
+func (d *Directory) Set(composite, id, addr string) {
+	d.SetReplicas(composite, id, []string{addr})
+}
+
+// SetReplicas replaces peer id's replica set.
+func (d *Directory) SetReplicas(composite, id string, addrs []string) {
+	d.update(composite, func(byID map[string]*placement.Group, pol placement.Policy) {
+		byID[id] = placement.Build(addrs, pol)
+	})
+}
+
+// AddReplica adds addr to peer id's replica set (idempotent). The
+// replica set is a SET: the order AddReplica calls arrive in does not
+// affect routing, so nodes that learn of replicas in different orders
+// still agree.
+func (d *Directory) AddReplica(composite, id, addr string) {
+	d.update(composite, func(byID map[string]*placement.Group, pol placement.Policy) {
+		var addrs []string
+		if g := byID[id]; g != nil {
+			addrs = append(addrs, g.Addrs()...)
+		}
+		byID[id] = placement.Build(append(addrs, addr), pol)
+	})
+}
+
+// RemoveReplica removes addr from peer id's replica set, dropping the
+// peer entirely when no replicas remain.
+func (d *Directory) RemoveReplica(composite, id, addr string) {
+	d.update(composite, func(byID map[string]*placement.Group, pol placement.Policy) {
+		g := byID[id]
+		if g == nil {
+			return
+		}
+		addrs := make([]string, 0, g.Len())
+		for _, a := range g.Addrs() {
+			if a != addr {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			delete(byID, id)
+			return
+		}
+		byID[id] = placement.Build(addrs, pol)
+	})
+}
+
+// Route resolves the replica of peer id that owns the (instance,
+// tenant) routing key, lock-free. This is THE send-path resolution for
+// coordinator notifications: deterministic across nodes, so all
+// notifications of one instance converge on the same replica's
+// coordinator state (the AND-join counting depends on that).
+func (d *Directory) Route(composite, id, instance, tenant string) (string, bool) {
+	s := d.snap.Load()
+	g, ok := s.comps[composite][id]
+	if !ok {
+		return "", false
+	}
+	return g.Pick(tenant, instance, s.policy)
+}
+
+// Lookup resolves the canonical first replica of peer id without taking
+// any lock. Kept for singleton peers (the wrapper) and as the
+// single-replica compatibility read; replicated peers should be
+// resolved with Route.
 func (d *Directory) Lookup(composite, id string) (string, bool) {
-	addr, ok := (*d.snap.Load())[composite][id]
-	return addr, ok
+	g, ok := d.snap.Load().comps[composite][id]
+	if !ok {
+		return "", false
+	}
+	return g.First()
 }
 
-// Peers returns a copy of the peer->address map for composite.
+// Replicas returns a copy of peer id's replica list (sorted).
+func (d *Directory) Replicas(composite, id string) []string {
+	g, ok := d.snap.Load().comps[composite][id]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), g.Addrs()...)
+}
+
+// Peers returns the peer->first-replica map for composite — the
+// single-host view, kept for displays and single-replica callers.
 func (d *Directory) Peers(composite string) map[string]string {
-	byID := (*d.snap.Load())[composite]
+	byID := d.snap.Load().comps[composite]
 	out := make(map[string]string, len(byID))
-	for id, addr := range byID {
-		out[id] = addr
+	for id, g := range byID {
+		if addr, ok := g.First(); ok {
+			out[id] = addr
+		}
+	}
+	return out
+}
+
+// PeerReplicas returns a copy of the full peer->replicas map for
+// composite (the replicated twin of Peers; what deployers push to
+// remote hosts).
+func (d *Directory) PeerReplicas(composite string) map[string][]string {
+	byID := d.snap.Load().comps[composite]
+	out := make(map[string][]string, len(byID))
+	for id, g := range byID {
+		out[id] = append([]string(nil), g.Addrs()...)
 	}
 	return out
 }

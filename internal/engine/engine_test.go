@@ -52,7 +52,7 @@ func buildFabricOn(t testing.TB, net transport.Network, sc *statechart.Statechar
 		}
 		t.Cleanup(func() { h.Close() })
 		hosts[svc] = h
-		placement[svc] = h
+		placement[svc] = []deployer.Installer{h}
 	}
 	dep, err := deployer.Deploy(sc, placement)
 	if err != nil {
@@ -504,7 +504,7 @@ func TestTCPEndToEndTravel(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer h.Close()
-		placement[svc] = h
+		placement[svc] = []deployer.Installer{h}
 	}
 	dep, err := deployer.Deploy(sc, placement)
 	if err != nil {
@@ -535,7 +535,7 @@ func TestDeployerRejectsUnplacedService(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	_, err = deployer.Deploy(workload.Chain(2), deployer.Placement{"svc1": h})
+	_, err = deployer.Deploy(workload.Chain(2), deployer.Placement{"svc1": {h}})
 	if err == nil || !strings.Contains(err.Error(), "no placement") {
 		t.Fatalf("err = %v", err)
 	}
@@ -568,7 +568,7 @@ func TestHostStates(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer h.Close()
-	dep, err := deployer.Deploy(workload.Chain(2), deployer.Placement{"svc1": h, "svc2": h})
+	dep, err := deployer.Deploy(workload.Chain(2), deployer.Placement{"svc1": {h}, "svc2": {h}})
 	if err != nil {
 		t.Fatal(err)
 	}

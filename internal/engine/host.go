@@ -119,15 +119,21 @@ func (h *Host) InstallCompiled(composite string, table *routing.CompiledTable) e
 	h.mu.Lock()
 	h.coords[coordKey(composite, table.State)] = c
 	h.mu.Unlock()
-	h.dir.Set(composite, table.State, h.Addr())
+	// Join the state's replica set rather than replacing it: N hosts can
+	// install the same table and each call lands its address in the
+	// shared group (order-independent, so concurrent installs agree).
+	h.dir.AddReplica(composite, table.State, h.Addr())
 	return nil
 }
 
-// Uninstall removes a state's coordinator (service retirement).
+// Uninstall removes a state's coordinator (service retirement or the
+// rollback of a failed deploy) and withdraws this host from the state's
+// replica set so no peer routes new notifications here.
 func (h *Host) Uninstall(composite, stateID string) {
 	h.mu.Lock()
 	delete(h.coords, coordKey(composite, stateID))
 	h.mu.Unlock()
+	h.dir.RemoveReplica(composite, stateID, h.Addr())
 }
 
 // States returns the state IDs deployed on this host for composite.
@@ -523,7 +529,10 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		if target.To == message.WrapperID {
 			typ = message.TypeDone
 		}
-		addr, found := c.host.dir.Lookup(c.composite, target.To)
+		// Deterministic replica choice: the (instance, tenant) key picks
+		// the same replica of target.To on every sender, so all of an
+		// instance's notifications converge on one coordinator object.
+		addr, found := c.host.dir.Route(c.composite, target.To, instanceID, vars[TenantVar])
 		if !found {
 			c.sendFault(ctx, instanceID, fmt.Errorf("engine: no address for peer %q of %s", target.To, c.composite))
 			return

@@ -99,7 +99,7 @@ func TestTightCapConcurrentInstances(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { h.Close() })
-	dep, err := deployer.Deploy(sc, deployer.Placement{"svc1": h, "svc2": h})
+	dep, err := deployer.Deploy(sc, deployer.Placement{"svc1": {h}, "svc2": {h}})
 	if err != nil {
 		t.Fatal(err)
 	}

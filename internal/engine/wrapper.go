@@ -214,7 +214,10 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 				return nil, err
 			}
 		}
-		addr, found := w.dir.Lookup(w.plan.Composite, target.To)
+		// Same deterministic (instance, tenant) replica choice the
+		// coordinators make on their send path: the start message must
+		// land on the replica every later notification converges on.
+		addr, found := w.dir.Route(w.plan.Composite, target.To, id, base[TenantVar])
 		if !found {
 			return nil, fmt.Errorf("engine: composite %q: state %q is not deployed", w.plan.Composite, target.To)
 		}
@@ -300,9 +303,16 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 	subscribers := w.compiled.EventSubscribers(event)
 	src := routing.EventSource(event)
 
+	// Routing needs the instance's tenant, which came in with the start
+	// request, not necessarily with this event payload.
+	tenant := payload[TenantVar]
+
 	// The wrapper's own finish clauses may reference the event too.
 	if inst, ok := w.instances.get(instanceID); ok {
 		inst.mu.Lock()
+		if t, ok := inst.base[TenantVar]; ok {
+			tenant = t
+		}
 		if !inst.finished {
 			inst.mergeFrom(w, src, payload)
 			inst.record(w, src)
@@ -318,7 +328,7 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 	// as the start phase).
 	var box outbox
 	for _, state := range subscribers {
-		addr, found := w.dir.Lookup(w.plan.Composite, state)
+		addr, found := w.dir.Route(w.plan.Composite, state, instanceID, tenant)
 		if !found {
 			return fmt.Errorf("engine: event %q: subscriber %q is not deployed", event, state)
 		}

@@ -9,7 +9,9 @@
 //
 //	GET  /info                         -> coordinator transport address, services, states
 //	POST /install?composite=C          -> body: routing table XML; installs a coordinator
+//	POST /uninstall?composite=C&state=S -> removes the state's coordinator (deploy rollback)
 //	POST /directory?composite=C       -> body: "peerID addr" lines; records peer locations
+//	                                     (repeated peerIDs accumulate a replica set)
 //	GET  /healthz                      -> 200 ok
 package hostapi
 
@@ -21,6 +23,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 
 	"selfserv/internal/engine"
 	"selfserv/internal/routing"
@@ -38,10 +41,12 @@ type Info struct {
 
 // Server exposes one engine.Host over HTTP.
 type Server struct {
-	host      *engine.Host
-	dir       *engine.Directory
-	services  func() []string
-	mux       *http.ServeMux
+	host     *engine.Host
+	dir      *engine.Directory
+	services func() []string
+	mux      *http.ServeMux
+
+	mu        sync.Mutex // lockorder:hostapi — guards installed only; HTTP handlers run concurrently
 	installed map[string][]string
 }
 
@@ -57,6 +62,7 @@ func NewServer(host *engine.Host, dir *engine.Directory, services func() []strin
 	}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/install", s.handleInstall)
+	s.mux.HandleFunc("/uninstall", s.handleUninstall)
 	s.mux.HandleFunc("/directory", s.handleDirectory)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -73,7 +79,13 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 		Services:  s.services(),
 		States:    map[string][]string{},
 	}
+	s.mu.Lock()
+	composites := make([]string, 0, len(s.installed))
 	for composite := range s.installed {
+		composites = append(composites, composite)
+	}
+	s.mu.Unlock()
+	for _, composite := range composites {
 		states := s.host.States(composite)
 		sort.Strings(states)
 		info.States[composite] = states
@@ -106,8 +118,38 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	s.mu.Lock()
 	s.installed[composite] = append(s.installed[composite], table.State)
+	s.mu.Unlock()
 	fmt.Fprintf(w, "installed %s/%s\n", composite, table.State)
+}
+
+func (s *Server) handleUninstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	composite := r.URL.Query().Get("composite")
+	state := r.URL.Query().Get("state")
+	if composite == "" || state == "" {
+		http.Error(w, "missing composite or state parameter", http.StatusBadRequest)
+		return
+	}
+	s.host.Uninstall(composite, state)
+	s.mu.Lock()
+	kept := s.installed[composite][:0]
+	for _, st := range s.installed[composite] {
+		if st != state {
+			kept = append(kept, st)
+		}
+	}
+	if len(kept) == 0 {
+		delete(s.installed, composite)
+	} else {
+		s.installed[composite] = kept
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(w, "uninstalled %s/%s\n", composite, state)
 }
 
 func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
@@ -120,8 +162,12 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing composite parameter", http.StatusBadRequest)
 		return
 	}
+	// Group the lines by peer ID first, then install each peer's FULL
+	// replica set atomically: a repeated ID accumulates replicas, and a
+	// re-push replaces the old set instead of merging with it.
 	scanner := bufio.NewScanner(io.LimitReader(r.Body, 1<<20))
-	n := 0
+	replicas := map[string][]string{}
+	var order []string
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -132,14 +178,19 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, fmt.Sprintf("malformed directory line %q", line), http.StatusBadRequest)
 			return
 		}
-		s.dir.Set(composite, fields[0], fields[1])
-		n++
+		if _, seen := replicas[fields[0]]; !seen {
+			order = append(order, fields[0])
+		}
+		replicas[fields[0]] = append(replicas[fields[0]], fields[1])
 	}
 	if err := scanner.Err(); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	fmt.Fprintf(w, "recorded %d peer(s) for %s\n", n, composite)
+	for _, id := range order {
+		s.dir.SetReplicas(composite, id, replicas[id])
+	}
+	fmt.Fprintf(w, "recorded %d peer(s) for %s\n", len(order), composite)
 }
 
 // Client drives a remote host daemon's admin API.
@@ -183,8 +234,26 @@ func (c *Client) Install(composite string, table *routing.Table) error {
 	return c.post(fmt.Sprintf("/install?composite=%s", composite), "text/xml", data)
 }
 
-// PushDirectory records peer locations on the daemon.
+// Uninstall removes one state's coordinator from the daemon (the
+// deployer's rollback path).
+func (c *Client) Uninstall(composite, state string) error {
+	return c.post(fmt.Sprintf("/uninstall?composite=%s&state=%s", composite, state), "text/plain", nil)
+}
+
+// PushDirectory records peer locations on the daemon (one replica per
+// peer; see PushReplicaDirectory for replica sets).
 func (c *Client) PushDirectory(composite string, peers map[string]string) error {
+	replicas := make(map[string][]string, len(peers))
+	for id, addr := range peers {
+		replicas[id] = []string{addr}
+	}
+	return c.PushReplicaDirectory(composite, replicas)
+}
+
+// PushReplicaDirectory records each peer's full replica set on the
+// daemon (repeated "peerID addr" lines on the wire — old daemons that
+// last-write-win on repeats simply keep one replica).
+func (c *Client) PushReplicaDirectory(composite string, peers map[string][]string) error {
 	var sb strings.Builder
 	ids := make([]string, 0, len(peers))
 	for id := range peers {
@@ -192,7 +261,9 @@ func (c *Client) PushDirectory(composite string, peers map[string]string) error 
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		fmt.Fprintf(&sb, "%s %s\n", id, peers[id])
+		for _, addr := range peers[id] {
+			fmt.Fprintf(&sb, "%s %s\n", id, addr)
+		}
 	}
 	return c.post(fmt.Sprintf("/directory?composite=%s", composite), "text/plain", []byte(sb.String()))
 }
@@ -232,6 +303,13 @@ func NewRemoteInstaller(adminURL string) (*RemoteInstaller, error) {
 // Install implements deployer.Installer.
 func (ri *RemoteInstaller) Install(composite string, table *routing.Table) error {
 	return ri.Client.Install(composite, table)
+}
+
+// Uninstall implements deployer.Installer (the rollback path). Errors
+// are swallowed: rollback is best-effort over hosts that may be the
+// very ones that just failed.
+func (ri *RemoteInstaller) Uninstall(composite, state string) {
+	_ = ri.Client.Uninstall(composite, state)
 }
 
 // Addr implements deployer.Installer: the coordinator transport address

@@ -68,7 +68,7 @@ func TestDistributedDeployAndExecute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := deployer.Deploy(sc, deployer.Placement{"svc1": ri1, "svc2": ri2})
+	dep, err := deployer.Deploy(sc, deployer.Placement{"svc1": {ri1}, "svc2": {ri2}})
 	if err != nil {
 		t.Fatalf("Deploy: %v", err)
 	}
@@ -77,8 +77,8 @@ func TestDistributedDeployAndExecute(t *testing.T) {
 	wnet := transport.NewTCP()
 	defer wnet.Close()
 	wdir := engine.NewDirectory()
-	for state, addr := range dep.Hosts {
-		wdir.Set(sc.Name, state, addr)
+	for state, addrs := range dep.Hosts {
+		wdir.SetReplicas(sc.Name, state, addrs)
 	}
 	w, err := engine.NewWrapper(wnet, "127.0.0.1:0", wdir, dep.Plan, nil)
 	if err != nil {
@@ -87,12 +87,12 @@ func TestDistributedDeployAndExecute(t *testing.T) {
 	defer w.Close()
 
 	// Every daemon (and the wrapper) must know all peer locations.
-	peers := map[string]string{message.WrapperID: w.Addr()}
-	for state, addr := range dep.Hosts {
-		peers[state] = addr
+	peers := map[string][]string{message.WrapperID: {w.Addr()}}
+	for state, addrs := range dep.Hosts {
+		peers[state] = addrs
 	}
 	for _, ri := range []*RemoteInstaller{ri1, ri2} {
-		if err := ri.Client.PushDirectory(sc.Name, peers); err != nil {
+		if err := ri.Client.PushReplicaDirectory(sc.Name, peers); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -127,6 +127,68 @@ func mustLookup(t *testing.T, reg *service.Registry, name string) service.Provid
 		t.Fatal(err)
 	}
 	return p
+}
+
+// TestReplicaDirectoryAndUninstall covers the scale-out admin surface:
+// repeated "peerID addr" lines accumulate a replica set (and a re-push
+// replaces it), and /uninstall removes a state's coordinator and its
+// /info entry.
+func TestReplicaDirectoryAndUninstall(t *testing.T) {
+	reg := service.NewRegistry()
+	workload.RegisterChainProviders(reg, 1, service.SimulatedOptions{})
+	net := transport.NewInMem(transport.InMemOptions{})
+	defer net.Close()
+	d := newDaemon(t, net, reg)
+	c := &Client{BaseURL: d.admin.URL}
+
+	if err := c.PushReplicaDirectory("C", map[string][]string{
+		"s1": {"addr-b", "addr-a"},
+		"s2": {"addr-c"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.dir.Replicas("C", "s1"); len(got) != 2 || got[0] != "addr-a" || got[1] != "addr-b" {
+		t.Fatalf("s1 replicas = %v", got)
+	}
+	// Re-push REPLACES the set (a departed replica must disappear).
+	if err := c.PushReplicaDirectory("C", map[string][]string{"s1": {"addr-a"}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.dir.Replicas("C", "s1"); len(got) != 1 || got[0] != "addr-a" {
+		t.Fatalf("s1 replicas after re-push = %v", got)
+	}
+
+	// Install then uninstall a real coordinator through the admin API.
+	plan, err := routing.Generate(workload.Chain(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install("Chain1", plan.Tables["s1"]); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	info, err := c.Info()
+	if err != nil || len(info.States["Chain1"]) != 1 {
+		t.Fatalf("info after install = %+v, %v", info, err)
+	}
+	if err := c.Uninstall("Chain1", "s1"); err != nil {
+		t.Fatalf("Uninstall: %v", err)
+	}
+	info, err = c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, still := info.States["Chain1"]; still {
+		t.Fatalf("state survived uninstall: %+v", info.States)
+	}
+	if _, ok := d.dir.Lookup("Chain1", "s1"); ok {
+		t.Fatal("directory still routes to the uninstalled coordinator")
+	}
+
+	t.Run("uninstall without params", func(t *testing.T) {
+		if err := c.post("/uninstall?composite=C", "text/plain", nil); err == nil {
+			t.Fatal("accepted")
+		}
+	})
 }
 
 func TestAdminErrors(t *testing.T) {

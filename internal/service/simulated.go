@@ -24,12 +24,21 @@ type SimulatedOptions struct {
 	// Seed drives jitter and failures reproducibly. Zero uses a fixed
 	// default.
 	Seed int64
+	// MaxConcurrent caps in-flight invocations: callers beyond the cap
+	// queue (FIFO-ish, via a semaphore) until a slot frees. Zero means
+	// unlimited. This models a real provider's capacity — a thread pool,
+	// a connection limit — and is what makes per-replica throughput
+	// finite in the scale-out experiments: one replica saturates at
+	// MaxConcurrent/BaseLatency invocations per second, N replicas at N
+	// times that.
+	MaxConcurrent int
 }
 
 // Simulated is a configurable in-process elementary service.
 type Simulated struct {
 	name string
 	opts SimulatedOptions
+	sem  chan struct{} // nil when MaxConcurrent == 0
 
 	mu       sync.Mutex
 	ops      map[string]Func
@@ -47,12 +56,16 @@ func NewSimulated(name string, opts SimulatedOptions) *Simulated {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Simulated{
+	s := &Simulated{
 		name: name,
 		opts: opts,
 		ops:  map[string]Func{},
 		rng:  rand.New(rand.NewSource(seed)),
 	}
+	if opts.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, opts.MaxConcurrent)
+	}
+	return s
 }
 
 // Handle registers fn as the implementation of operation op and returns
@@ -146,6 +159,16 @@ func (s *Simulated) Invoke(ctx context.Context, req Request) (Response, error) {
 
 	if !ok {
 		return Response{}, fmt.Errorf("%w: %s.%s", ErrUnknownOperation, s.name, req.Operation)
+	}
+	if s.sem != nil {
+		// Capacity gate BEFORE the service time: a saturated provider
+		// queues new work rather than serving everything concurrently.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			return Response{}, fmt.Errorf("service %s.%s: %w", s.name, req.Operation, ctx.Err())
+		}
 	}
 	if d := s.opts.BaseLatency + extra; d > 0 {
 		timer := time.NewTimer(d)
