@@ -47,6 +47,17 @@ bench-availability:
 bench-scaleout:
 	$(GO) run ./cmd/bench -exp e10 -n 10
 
+# Short fixed-iteration run of the E11 live-redeploy sweep: Chain(8)
+# executed while plan versions swap underneath the driver (in-process
+# platform swap, controlplane-managed fleet rollout, and control plane
+# dead). The run itself asserts the zero-failed-executions and
+# zero-admin-calls-in-hot-path invariants — it FAILS if a live swap
+# drops work or an execution touches the control plane. CI smoke;
+# BENCH_redeploy.json records the full series.
+.PHONY: bench-redeploy
+bench-redeploy:
+	$(GO) test -bench=BenchmarkE11Redeploy -benchtime=300x -run '^$$' .
+
 COVER_FLOOR ?= 80
 
 .PHONY: cover

@@ -13,10 +13,12 @@
 // annotated too: "platform" (core.Platform.mu, level 0 — outermost,
 // never held across engine calls), "directory" (engine.Directory.mu,
 // level 3 — serializes copy-on-write rebuilds only; the read path is
-// an atomic snapshot load), and "hostapi" (admin-server bookkeeping,
-// level 4 — leaf). None of these may nest with another lock of the
-// same level, and any cross-level acquisition must follow increasing
-// rank.
+// an atomic snapshot load), "hostapi" (admin-server bookkeeping, level
+// 4), and "controlplane" (controlplane.ControlPlane.mu, level 5 —
+// leaf; guards the version allocator and last-known-good table, never
+// held across admin pushes). None of these may nest with another lock
+// of the same level, and any cross-level acquisition must follow
+// increasing rank.
 package lockorder
 
 import (
@@ -35,19 +37,20 @@ var Analyzer = &framework.Analyzer{
 	Name: "lockorder",
 	Doc: "check the shard-before-instance lock hierarchy\n\n" +
 		"Mutex fields annotated `lockorder:<level>` (platform 0, shard 1, " +
-		"instance 2, directory 3, hostapi 4, or a bare integer) must be " +
-		"acquired in strictly increasing level order, and never two of " +
-		"the same level.",
+		"instance 2, directory 3, hostapi 4, controlplane 5, or a bare " +
+		"integer) must be acquired in strictly increasing level order, " +
+		"and never two of the same level.",
 	Run: run,
 }
 
 // Named levels of the repo-wide hierarchy; lower acquires first.
 var namedLevels = map[string]int{
-	"platform":  0,
-	"shard":     1,
-	"instance":  2,
-	"directory": 3,
-	"hostapi":   4,
+	"platform":     0,
+	"shard":        1,
+	"instance":     2,
+	"directory":    3,
+	"hostapi":      4,
+	"controlplane": 5,
 }
 
 var annotationRe = regexp.MustCompile(`lockorder:\s*([A-Za-z0-9_]+)`)
@@ -71,7 +74,7 @@ func run(pass *framework.Pass) error {
 			rank, err = strconv.Atoi(name)
 			if err != nil {
 				pass.Reportf(mf.Decl.Pos(),
-					"unknown lockorder level %q (known: platform, shard, instance, directory, hostapi, or an integer)", name)
+					"unknown lockorder level %q (known: platform, shard, instance, directory, hostapi, controlplane, or an integer)", name)
 				continue
 			}
 		}

@@ -1,0 +1,235 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"selfserv/internal/engine"
+	"selfserv/internal/hostapi"
+	"selfserv/internal/service"
+	"selfserv/internal/statechart"
+	"selfserv/internal/transport"
+	"selfserv/internal/workload"
+)
+
+// daemon simulates one hostd process: a coordinator host on the shared
+// in-memory network plus its own admin HTTP server and directory.
+type daemon struct {
+	host  *engine.Host
+	dir   *engine.Directory
+	admin *httptest.Server
+}
+
+// incr is the chain workload's step: x -> x+1.
+func incr(_ context.Context, params map[string]string) (map[string]string, error) {
+	x, err := strconv.Atoi(params["x"])
+	if err != nil {
+		return nil, fmt.Errorf("bad x %q: %w", params["x"], err)
+	}
+	return map[string]string{"x": strconv.Itoa(x + 1)}, nil
+}
+
+// newDaemon's registry holds EXACTLY svc<svcIndex> — each daemon is one
+// component service's host, the way a real fleet partitions providers.
+func newDaemon(t *testing.T, net transport.Network, addr string, svcIndex int) *daemon {
+	t.Helper()
+	reg := service.NewRegistry()
+	s := service.NewSimulated(fmt.Sprintf("svc%d", svcIndex), service.SimulatedOptions{})
+	s.Handle("run", incr)
+	reg.Register(s)
+	dir := engine.NewDirectory()
+	h, err := engine.NewHost(net, addr, reg, dir, engine.HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	admin := httptest.NewServer(hostapi.NewServer(h, dir, reg.Names))
+	t.Cleanup(admin.Close)
+	return &daemon{host: h, dir: dir, admin: admin}
+}
+
+// deployWrapper runs one release end to end the way a caller does:
+// start a wrapper on the compiled plan (so its address exists), Apply
+// the release announcing that address, then seed the wrapper's own
+// directory from the resolved peer set.
+func deployWrapper(t *testing.T, cp *ControlPlane, net transport.Network, addr string, rel *Release) *engine.Wrapper {
+	t.Helper()
+	wdir := engine.NewDirectory()
+	w, err := engine.NewCompiledWrapper(net, addr, wdir, rel.Compiled, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	if err := cp.Apply(rel, w.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for id, addrs := range rel.Peers {
+		wdir.SetReplicasV(rel.Composite, rel.Version, id, addrs)
+	}
+	wdir.SetCurrent(rel.Composite, rel.Version)
+	return w
+}
+
+func execute(t *testing.T, w *engine.Wrapper) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	out, err := w.Execute(ctx, map[string]string{"x": "0"})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return out["x"]
+}
+
+// TestRolloutAndRedeploy drives the full control-plane lifecycle:
+// validate-then-swap rollout, executions off the hot path, a second
+// versioned rollout with the first still serving, and retirement.
+func TestRolloutAndRedeploy(t *testing.T) {
+	sc := workload.Chain(2)
+	net := transport.NewInMem(transport.InMemOptions{})
+	defer net.Close()
+	d1 := newDaemon(t, net, "coord-1", 1) // svc1
+	d2 := newDaemon(t, net, "coord-2", 2) // svc2
+	cp := New(d1.admin.URL, d2.admin.URL)
+
+	rel1, err := cp.Prepare(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel1.Version != 1 {
+		t.Fatalf("first release version = %d, want 1", rel1.Version)
+	}
+	w1 := deployWrapper(t, cp, net, "wrapper-1", rel1)
+	if len(rel1.Skipped) != 0 {
+		t.Fatalf("skipped hosts on a healthy fleet: %v", rel1.Skipped)
+	}
+	if got := execute(t, w1); got != "2" {
+		t.Fatalf("x = %q, want 2", got)
+	}
+
+	// The control plane is never in the hot path: executing more
+	// instances issues zero admin calls.
+	before := cp.AdminCalls()
+	for i := 0; i < 5; i++ {
+		if got := execute(t, w1); got != "2" {
+			t.Fatalf("x = %q, want 2", got)
+		}
+	}
+	if after := cp.AdminCalls(); after != before {
+		t.Fatalf("executions issued %d admin calls; the control plane must stay off the hot path", after-before)
+	}
+
+	// v2 rollout while v1 keeps serving.
+	rel2, err := cp.Prepare(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Version != 2 {
+		t.Fatalf("second release version = %d, want 2", rel2.Version)
+	}
+	w2 := deployWrapper(t, cp, net, "wrapper-2", rel2)
+	if got := execute(t, w2); got != "2" {
+		t.Fatalf("v2 x = %q, want 2", got)
+	}
+	// v1 instances still run on v1 — its coordinators are not retired.
+	if got := execute(t, w1); got != "2" {
+		t.Fatalf("v1 after v2 activation: x = %q, want 2", got)
+	}
+	if lkg := cp.LastKnownGood(sc.Name); lkg == nil || lkg.Version != 2 {
+		t.Fatalf("LastKnownGood = %+v, want v2", lkg)
+	}
+	if cur := d1.dir.Current(sc.Name); cur != 2 {
+		t.Fatalf("daemon current version = %d, want 2", cur)
+	}
+
+	// Retire v1 once drained: its routes and coordinators leave.
+	if err := cp.Retire(sc.Name, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*daemon{d1, d2} {
+		for _, v := range d.dir.Versions(sc.Name) {
+			if v == 1 {
+				t.Fatalf("v1 still routable on %s after retire", d.host.Addr())
+			}
+		}
+	}
+	if got := execute(t, w2); got != "2" {
+		t.Fatalf("v2 after retiring v1: x = %q, want 2", got)
+	}
+}
+
+// TestApplyFailureKeepsLastKnownGood loses a host mid-fleet: the
+// rollout that needs it must fail without activating anything, and the
+// fleet — including with the control plane dead afterwards — keeps
+// serving the last-known-good version.
+func TestApplyFailureKeepsLastKnownGood(t *testing.T) {
+	sc := workload.Chain(2)
+	net := transport.NewInMem(transport.InMemOptions{})
+	defer net.Close()
+	d1 := newDaemon(t, net, "coord-1", 1)
+	d2 := newDaemon(t, net, "coord-2", 2)
+	cp := New(d1.admin.URL, d2.admin.URL)
+
+	rel1, err := cp.Prepare(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := deployWrapper(t, cp, net, "wrapper-1", rel1)
+	if got := execute(t, w1); got != "2" {
+		t.Fatalf("x = %q, want 2", got)
+	}
+
+	// svc2's only host stops answering the ADMIN surface (its
+	// coordinator transport stays up — the process is partitioned from
+	// the control plane, not from its peers).
+	d2.admin.Close()
+
+	rel2, err := cp.Prepare(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cp.Apply(rel2, w1.Addr())
+	if err == nil {
+		t.Fatal("Apply succeeded with a service's only host unreachable")
+	}
+	if !strings.Contains(err.Error(), "last-known-good") {
+		t.Fatalf("Apply error = %v", err)
+	}
+	if len(rel2.Activated) != 0 {
+		t.Fatalf("failed rollout activated hosts: %v", rel2.Activated)
+	}
+	if lkg := cp.LastKnownGood(sc.Name); lkg == nil || lkg.Version != rel1.Version {
+		t.Fatalf("LastKnownGood = %+v, want v%d", lkg, rel1.Version)
+	}
+	if cur := d1.dir.Current(sc.Name); cur != rel1.Version {
+		t.Fatalf("reachable host moved to %d during a failed rollout", cur)
+	}
+
+	// Data-plane autonomy: with the control plane unable to reach half
+	// the fleet (or gone entirely), v1 executions still complete.
+	for i := 0; i < 3; i++ {
+		if got := execute(t, w1); got != "2" {
+			t.Fatalf("execution %d with control plane degraded: x = %q", i, got)
+		}
+	}
+}
+
+// TestPrepareRejectsInvalidChart pins validate-then-swap: a chart that
+// fails validation never produces a release (and so never touches a
+// host).
+func TestPrepareRejectsInvalidChart(t *testing.T) {
+	cp := New("http://127.0.0.1:1")
+	sc := workload.Chain(2)
+	sc.Root.Transitions = append(sc.Root.Transitions, statechart.Transition{From: "s1", To: "missing"})
+	if _, err := cp.Prepare(sc); err == nil {
+		t.Fatal("Prepare accepted an invalid chart")
+	}
+	if cp.AdminCalls() != 0 {
+		t.Fatalf("Prepare touched a host: %d admin calls", cp.AdminCalls())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"selfserv/internal/deployer"
 	"selfserv/internal/engine"
@@ -63,24 +64,40 @@ type Options struct {
 	// width, dedicated cells) for services registered on multiple hosts.
 	// The zero value routes purely by instance hash over all replicas.
 	Placement placement.Policy
+	// DrainTimeout bounds how long a replaced deployment may keep
+	// finishing its in-flight instances after a redeploy before the old
+	// wrapper is force-closed (failing the stragglers loudly — counted
+	// in Wrapper.Abandoned, never silently dropped). Zero means 30s.
+	DrainTimeout time.Duration
 }
 
 // Platform is a running SELF-SERV instance.
 type Platform struct {
-	net      transport.Network
-	ownsNet  bool
-	registry *service.Registry
-	dir      *engine.Directory
-	funcs    engine.Funcs
-	hostOpts engine.HostOptions
-	limits   *limits.Limiter
+	net        transport.Network
+	ownsNet    bool
+	registry   *service.Registry
+	dir        *engine.Directory
+	funcs      engine.Funcs
+	hostOpts   engine.HostOptions
+	limits     *limits.Limiter
+	drainAfter time.Duration
+	// drains lets tests and Close wait for retirement goroutines
+	// (a WaitGroup synchronizes itself; it is not guarded by mu).
+	drains sync.WaitGroup
 
 	mu         sync.Mutex // lockorder:platform — guards everything below; never held across engine calls that take instance locks
 	closed     bool
 	hosts      []*engine.Host
 	placement  deployer.Placement
 	composites map[string]*Composite
-	wrapperSeq int
+	// versions is the per-composite plan-version allocator: Deploy
+	// stamps each (re)deploy of a name with the next number, starting at
+	// 1 (0 stays the unversioned namespace engine-wide).
+	versions map[string]uint64
+	// draining holds replaced composites whose old version is still
+	// finishing in-flight instances; Close force-closes them so a
+	// platform shutdown never waits out a drain deadline.
+	draining map[*Composite]struct{}
 }
 
 // New creates a platform.
@@ -100,6 +117,10 @@ func New(opts Options) *Platform {
 	}
 	dir := engine.NewDirectory()
 	dir.SetPolicy(opts.Placement)
+	drainAfter := opts.DrainTimeout
+	if drainAfter <= 0 {
+		drainAfter = 30 * time.Second
+	}
 	return &Platform{
 		net:        net,
 		ownsNet:    owns,
@@ -108,8 +129,11 @@ func New(opts Options) *Platform {
 		funcs:      engine.Funcs(opts.Funcs),
 		hostOpts:   hostOpts,
 		limits:     opts.Limits,
+		drainAfter: drainAfter,
 		placement:  deployer.Placement{},
 		composites: map[string]*Composite{},
+		versions:   map[string]uint64{},
+		draining:   map[*Composite]struct{}{},
 	}
 }
 
@@ -184,6 +208,7 @@ type Composite struct {
 	wrapper  *engine.Wrapper
 	plan     *routing.Plan
 	compiled *routing.CompiledPlan
+	version  uint64
 }
 
 // Deploy validates, compiles, and deploys a composite service: routing
@@ -191,10 +216,29 @@ type Composite struct {
 // installed on every replica host of the component services, and a
 // wrapper is started over the shared compiled plan. Parse errors
 // surface here — a successfully deployed composite can never hit one at
-// runtime. Redeploying an existing name replaces its wrapper; the
-// previous wrapper is closed only AFTER the replacement is live, so a
-// failed redeploy leaves the previous deployment registered, routable,
-// and executing — never a closed wrapper in the composites map.
+// runtime.
+//
+// Every (re)deploy of a name gets a fresh, monotonically increasing
+// plan version, and the swap is DRAIN-AWARE — the paper's dynamic
+// evolution, done without data loss:
+//
+//  1. Version n+1's tables and wrapper are staged next to version n's
+//     (separate coordinator keys, separate directory tables); v(n)
+//     serves throughout.
+//  2. The directory's current pointer flips to n+1: new ExecuteInstance
+//     calls start on the new plan, in-flight instances stay pinned to
+//     the version they started on and keep executing on v(n)'s
+//     coordinators and routes.
+//  3. v(n) drains in the background: its wrapper rejects new work
+//     (engine.ErrDraining) and waits for the in-flight gauge to reach
+//     zero, bounded by Options.DrainTimeout. Stragglers past the
+//     deadline are failed LOUDLY (their Execute returns an abandonment
+//     error; Wrapper.Abandoned counts them), then v(n)'s coordinators
+//     and routes are retired everywhere.
+//
+// A failed redeploy leaves the previous deployment registered, current,
+// and executing — the new version's partial install is rolled back,
+// never the live one.
 func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -205,48 +249,95 @@ func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 	for k, v := range p.placement {
 		placement[k] = append([]deployer.Installer(nil), v...)
 	}
-	p.wrapperSeq++
-	seq := p.wrapperSeq
+	p.versions[sc.Name]++
+	version := p.versions[sc.Name]
 	p.mu.Unlock()
 
-	dep, err := deployer.Deploy(sc, placement)
+	dep, err := deployer.DeployVersion(sc, placement, version)
 	if err != nil {
 		return nil, err
 	}
 	// MintAddr turns the logical wrapper name into whatever this
 	// transport listens on (the name itself in-memory, an ephemeral
 	// loopback bind on TCP) — no type-switching on the implementation.
-	// The sequence number keeps replacement wrapper addresses distinct
-	// from the previous wrapper's, which is still serving at this point.
-	addr := p.net.MintAddr(fmt.Sprintf("wrapper/%s/%d", sc.Name, seq))
+	// The version keeps replacement wrapper addresses distinct from the
+	// previous wrapper's, which is still serving at this point.
+	addr := p.net.MintAddr(fmt.Sprintf("wrapper/%s/%d", sc.Name, version))
 	w, err := engine.NewCompiledWrapper(p.net, addr, p.dir, dep.Compiled, p.funcs)
 	if err != nil {
 		// The previous deployment (if any) is untouched: its wrapper was
-		// never closed and the directory's WrapperID entry still points
-		// at it (NewCompiledWrapper publishes its address only after a
-		// successful listen).
+		// never closed, the current pointer never moved, and the new
+		// version's coordinators are uninstalled again. Version-scoped
+		// rollback — the fix for the old behavior where a failed redeploy
+		// tore down live state.
+		p.unwindVersion(sc.Name, dep, placement, version)
 		return nil, err
 	}
 	w.SetLimiter(p.limits)
-	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan, compiled: dep.Compiled}
+	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan, compiled: dep.Compiled, version: version}
 	p.mu.Lock()
 	if p.closed {
 		// Close raced the deploy: tear the new wrapper down instead of
 		// leaking it into a closed platform.
 		p.mu.Unlock()
 		w.Close()
+		p.unwindVersion(sc.Name, dep, placement, version)
 		return nil, fmt.Errorf("deploy %q: %w", sc.Name, ErrClosed)
 	}
 	prev := p.composites[sc.Name]
 	p.composites[sc.Name] = comp
-	p.mu.Unlock()
-	// Close the replaced wrapper only now that the replacement is both
-	// live and registered; in-flight executions on prev fail fast, new
-	// ones land on the replacement.
 	if prev != nil {
-		prev.wrapper.Close()
+		p.draining[prev] = struct{}{}
+	}
+	p.mu.Unlock()
+	// THE swap: one atomic pointer move makes version the one new
+	// instances start on. Everything the new version needs (coordinators,
+	// directory tables, wrapper registration) is already in place.
+	p.dir.SetCurrent(sc.Name, version)
+	// The replaced wrapper starts rejecting admissions BEFORE Deploy
+	// returns — no execution can slip onto the old version after the new
+	// one is live — and drains in the background; Deploy returns with
+	// the new version serving.
+	if prev != nil {
+		prev.wrapper.StartDrain()
+		p.drains.Add(1)
+		go p.drainAndRetire(prev)
 	}
 	return comp, nil
+}
+
+// unwindVersion rolls back a staged-but-never-activated plan version:
+// its coordinators leave every replica host and its routing tables
+// leave the directory. The live version is untouched.
+func (p *Platform) unwindVersion(composite string, dep *deployer.Deployment, plc deployer.Placement, version uint64) {
+	for id, tbl := range dep.Plan.Tables {
+		for _, host := range plc[tbl.Service] {
+			host.Uninstall(composite, id, version)
+		}
+	}
+	p.dir.RetireVersion(composite, version)
+}
+
+// drainAndRetire waits (bounded by Options.DrainTimeout) for a replaced
+// composite's in-flight instances, then force-closes its wrapper and
+// retires its plan version from every host and the directory.
+func (p *Platform) drainAndRetire(c *Composite) {
+	defer p.drains.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), p.drainAfter)
+	defer cancel()
+	c.wrapper.Drain(ctx)
+	// Close fails any stragglers loudly (recorded in Wrapper.Abandoned)
+	// and is what wakes THEIR Execute callers; a clean drain makes it a
+	// plain endpoint close.
+	c.wrapper.Close()
+	p.mu.Lock()
+	delete(p.draining, c)
+	hosts := append([]*engine.Host(nil), p.hosts...)
+	p.mu.Unlock()
+	for _, h := range hosts {
+		h.RetireVersion(c.plan.Composite, c.version)
+	}
+	p.dir.RetireVersion(c.plan.Composite, c.version)
 }
 
 // Composite returns a previously deployed composite by name.
@@ -270,12 +361,24 @@ func (p *Platform) Close() error {
 	p.closed = true
 	comps := p.composites
 	hosts := p.hosts
+	draining := make([]*Composite, 0, len(p.draining))
+	for c := range p.draining {
+		draining = append(draining, c)
+	}
 	p.composites = map[string]*Composite{}
 	p.hosts = nil
 	p.mu.Unlock()
 	for _, c := range comps {
 		c.wrapper.Close()
 	}
+	// Force-close wrappers still draining from a redeploy: their
+	// in-flight instances fail loudly NOW, which is also what unblocks
+	// the background drain goroutines — a shutdown never waits out a
+	// drain deadline.
+	for _, c := range draining {
+		c.wrapper.Close()
+	}
+	p.drains.Wait()
 	for _, h := range hosts {
 		h.Close()
 	}
@@ -305,6 +408,49 @@ func (c *Composite) ExecuteInstance(ctx context.Context, id string, inputs map[s
 
 // Name returns the composite service name.
 func (c *Composite) Name() string { return c.plan.Composite }
+
+// Version returns the compiled plan version this deployment serves
+// (1 for a composite's first deploy, +1 per redeploy).
+func (c *Composite) Version() uint64 { return c.version }
+
+// InFlight reports how many executions are currently inside this
+// deployment's wrapper — the gauge a drain-aware swap watches.
+func (c *Composite) InFlight() int { return c.wrapper.InFlight() }
+
+// Abandoned reports how many in-flight instances were failed when this
+// deployment's wrapper was force-closed (drain deadline or shutdown).
+func (c *Composite) Abandoned() uint64 { return c.wrapper.Abandoned() }
+
+// VersionTable describes the live plan versions of one composite: which
+// version new instances start on and which older ones are still
+// draining. The platform's swap observability surface.
+type VersionTable struct {
+	Current uint64   `json:"current"`
+	Live    []uint64 `json:"live"`
+}
+
+// Versions reports composite's version table from the directory.
+func (p *Platform) Versions(composite string) VersionTable {
+	return VersionTable{
+		Current: p.dir.Current(composite),
+		Live:    p.dir.Versions(composite),
+	}
+}
+
+// SwapStats aggregates the hosts' stale-frame counters (re-routed and
+// dropped frames during rollouts); both stay zero outside a swap.
+func (p *Platform) SwapStats() engine.SwapStats {
+	p.mu.Lock()
+	hosts := append([]*engine.Host(nil), p.hosts...)
+	p.mu.Unlock()
+	var total engine.SwapStats
+	for _, h := range hosts {
+		s := h.SwapStats()
+		total.Rerouted += s.Rerouted
+		total.DroppedStale += s.DroppedStale
+	}
+	return total
+}
 
 // Plan exposes the declarative routing plan (for inspection and tooling).
 func (c *Composite) Plan() *routing.Plan { return c.plan }

@@ -22,10 +22,11 @@ import (
 type Installer interface {
 	// Install registers the state's coordinator on the node.
 	Install(composite string, table *routing.Table) error
-	// Uninstall removes the state's coordinator again. Deploy uses it to
+	// Uninstall removes one plan version of the state's coordinator
+	// again (version 0 is the unversioned namespace). Deploy uses it to
 	// roll back the already-installed states of a failed deployment;
 	// uninstalling a state that was never installed must be a no-op.
-	Uninstall(composite, state string)
+	Uninstall(composite, state string, version uint64)
 	// Addr identifies the node (for error messages and reports).
 	Addr() string
 }
@@ -80,13 +81,21 @@ type Deployment struct {
 // already installed are rolled back (Installer.Uninstall, reverse
 // order) before the error is returned.
 //
-// Caveat for REdeploys: rollback uninstalls by (composite, state) key,
-// so a failed redeploy of an already-live composite tears down the live
-// coordinators it had replaced up to the failure point. Callers that
-// redeploy in place (core.Platform) install the replacement under the
-// same keys anyway; callers that need the previous deployment to
-// survive a failed redeploy should deploy under a new composite name.
+// Redeploys are version-scoped: DeployVersion stamps every table with
+// the given plan version, installs land under (composite, state,
+// version) keys, and rollback uninstalls ONLY that version — a failed
+// redeploy of an already-live composite leaves the previous version's
+// coordinators untouched and serving. (Before versioning, rollback
+// uninstalled by (composite, state) and tore down the live coordinators
+// it had replaced up to the failure point.)
 func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error) {
+	return DeployVersion(sc, placement, 0)
+}
+
+// DeployVersion is Deploy with an explicit plan version (0 = the
+// unversioned legacy namespace). core.Platform allocates a fresh,
+// monotonically increasing version per (re)deploy of a composite.
+func DeployVersion(sc *statechart.Statechart, placement Placement, version uint64) (*Deployment, error) {
 	plan, err := routing.Generate(sc)
 	if err != nil {
 		return nil, err
@@ -94,6 +103,7 @@ func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error)
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	plan.SetVersion(version)
 	compiled, err := routing.CompilePlan(plan)
 	if err != nil {
 		return nil, err
@@ -124,7 +134,7 @@ func Deploy(sc *statechart.Statechart, placement Placement) (*Deployment, error)
 	var installed []installStep
 	rollback := func() {
 		for i := len(installed) - 1; i >= 0; i-- {
-			installed[i].host.Uninstall(sc.Name, installed[i].id)
+			installed[i].host.Uninstall(sc.Name, installed[i].id, version)
 		}
 	}
 	dep := &Deployment{Plan: plan, Compiled: compiled, Hosts: map[string][]string{}}

@@ -29,7 +29,7 @@ func (f *fakeHost) Install(composite string, t *routing.Table) error {
 	return nil
 }
 
-func (f *fakeHost) Uninstall(composite, state string) {
+func (f *fakeHost) Uninstall(composite, state string, version uint64) {
 	f.uninstalled = append(f.uninstalled, composite+"/"+state)
 }
 

@@ -316,7 +316,14 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 				}
 				params[TenantVar] = tenant
 			}
-			addr, found := c.dir.Route(c.plan.Composite, tbl.State, instance, run.vars[TenantVar])
+			// Pinned to the hub's own compiled plan version: a redeploy
+			// mid-run must not re-route this instance's invocations.
+			addr, found := "", false
+			if v := c.compiled.Version; v != 0 {
+				addr, found = c.dir.RouteV(c.plan.Composite, v, tbl.State, instance, run.vars[TenantVar])
+			} else {
+				addr, found = c.dir.Route(c.plan.Composite, tbl.State, instance, run.vars[TenantVar])
+			}
 			if !found {
 				return fmt.Errorf("engine: state %q is not deployed", tbl.State)
 			}
@@ -332,6 +339,7 @@ func (c *Central) fireEnabled(ctx context.Context, instance string, run *central
 				From:      "central",
 				To:        tbl.Service + "/" + tbl.Operation,
 				ReplyTo:   c.Addr(),
+				Version:   c.compiled.Version,
 				Vars:      params,
 			}
 			// Same first-use-order linear grouping as outbox.add, but over

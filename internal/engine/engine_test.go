@@ -576,7 +576,7 @@ func TestHostStates(t *testing.T) {
 	if len(states) != 2 {
 		t.Fatalf("States = %v", states)
 	}
-	h.Uninstall("Chain2", "s1")
+	h.Uninstall("Chain2", "s1", 0)
 	if got := h.States("Chain2"); len(got) != 1 || got[0] != "s2" {
 		t.Fatalf("States after Uninstall = %v", got)
 	}

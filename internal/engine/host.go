@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"selfserv/internal/expr"
 	"selfserv/internal/limits"
@@ -47,8 +48,33 @@ type Host struct {
 	recorder transport.AvailabilityRecorder
 
 	mu     sync.RWMutex
-	coords map[string]*coordinator // key: composite + "\x00" + stateID
+	coords map[string]*coordinator // key: coordKey(composite, stateID, version)
+
+	// Swap observability: frames that reached this host under a stale
+	// directory snapshot and were forwarded to the right replica, and
+	// frames that could not be placed at all (version retired everywhere).
+	rerouted     atomic.Uint64
+	droppedStale atomic.Uint64
 }
+
+// SwapStats reports how many stale-snapshot frames this host re-routed
+// and how many it had to drop (faulting the instance). Both should stay
+// zero in a steady state; they only move during a fleet rollout.
+type SwapStats struct {
+	Rerouted     uint64
+	DroppedStale uint64
+}
+
+// SwapStats returns the host's stale-frame counters.
+func (h *Host) SwapStats() SwapStats {
+	return SwapStats{Rerouted: h.rerouted.Load(), DroppedStale: h.droppedStale.Load()}
+}
+
+// reroutedVar marks a frame that was already forwarded once by a host
+// that had no coordinator for it ('$'-prefixed: engine metadata, never
+// a service parameter). One hop is enough to cover the stale-snapshot
+// window; a second miss means the version is gone and the frame drops.
+const reroutedVar = "$rerouted"
 
 // NewHost creates a host listening on addr over net, executing services
 // out of registry and resolving peers through dir.
@@ -114,53 +140,92 @@ func (h *Host) InstallCompiled(composite string, table *routing.CompiledTable) e
 	c := &coordinator{
 		host:      h,
 		composite: composite,
+		version:   table.Version,
 		table:     table,
 	}
 	h.mu.Lock()
-	h.coords[coordKey(composite, table.State)] = c
+	h.coords[coordKey(composite, table.State, table.Version)] = c
 	h.mu.Unlock()
 	// Join the state's replica set rather than replacing it: N hosts can
 	// install the same table and each call lands its address in the
 	// shared group (order-independent, so concurrent installs agree).
-	h.dir.AddReplica(composite, table.State, h.Addr())
+	// The registration is version-scoped: installing v(n+1) never touches
+	// v(n)'s replica set, so draining instances keep their routes.
+	h.dir.AddReplicaV(composite, table.Version, table.State, h.Addr())
 	return nil
 }
 
-// Uninstall removes a state's coordinator (service retirement or the
-// rollback of a failed deploy) and withdraws this host from the state's
-// replica set so no peer routes new notifications here.
-func (h *Host) Uninstall(composite, stateID string) {
+// Uninstall removes one version of a state's coordinator (service
+// retirement or the rollback of a failed deploy) and withdraws this
+// host from that version's replica set so no peer routes new
+// notifications here. Version 0 is the unversioned namespace.
+func (h *Host) Uninstall(composite, stateID string, version uint64) {
 	h.mu.Lock()
-	delete(h.coords, coordKey(composite, stateID))
+	delete(h.coords, coordKey(composite, stateID, version))
 	h.mu.Unlock()
-	h.dir.RemoveReplica(composite, stateID, h.Addr())
+	h.dir.RemoveReplicaV(composite, version, stateID, h.Addr())
 }
 
-// States returns the state IDs deployed on this host for composite.
+// RetireVersion removes every coordinator of composite's given plan
+// version from this host — the final step of a drain, after the last
+// pinned instance completed (or was abandoned at the drain deadline).
+func (h *Host) RetireVersion(composite string, version uint64) {
+	h.mu.Lock()
+	var removed []string
+	for k, c := range h.coords {
+		if comp, state, ok := splitCoordKey(k); ok && comp == composite && c.version == version {
+			delete(h.coords, k)
+			removed = append(removed, state)
+		}
+	}
+	h.mu.Unlock()
+	for _, s := range removed {
+		h.dir.RemoveReplicaV(composite, version, s, h.Addr())
+	}
+}
+
+// States returns the state IDs deployed on this host for composite
+// (deduplicated across plan versions).
 func (h *Host) States(composite string) []string {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
+	seen := map[string]bool{}
 	var out []string
-	prefix := composite + "\x00"
 	for k := range h.coords {
-		if strings.HasPrefix(k, prefix) {
-			out = append(out, strings.TrimPrefix(k, prefix))
+		if comp, state, ok := splitCoordKey(k); ok && comp == composite && !seen[state] {
+			seen[state] = true
+			out = append(out, state)
 		}
 	}
 	return out
 }
 
-func coordKey(composite, stateID string) string { return composite + "\x00" + stateID }
+func coordKey(composite, stateID string, version uint64) string {
+	return composite + "\x00" + stateID + "\x00" + strconv.FormatUint(version, 10)
+}
+
+func splitCoordKey(k string) (composite, stateID string, ok bool) {
+	composite, rest, ok1 := strings.Cut(k, "\x00")
+	stateID, _, ok2 := strings.Cut(rest, "\x00")
+	return composite, stateID, ok1 && ok2
+}
 
 // handle is the host's transport handler.
 func (h *Host) handle(ctx context.Context, m *message.Message) {
 	switch m.Type {
 	case message.TypeStart, message.TypeNotify:
 		h.mu.RLock()
-		c := h.coords[coordKey(m.Composite, m.To)]
+		c := h.coords[coordKey(m.Composite, m.To, m.Version)]
+		if c == nil && m.Version == 0 {
+			// Unversioned sender against a versioned deployment: serve the
+			// frame with the composite's current version.
+			if cur := h.dir.Current(m.Composite); cur != 0 {
+				c = h.coords[coordKey(m.Composite, m.To, cur)]
+			}
+		}
 		h.mu.RUnlock()
 		if c == nil {
-			h.logf("host %s: no coordinator for %s/%s", h.Addr(), m.Composite, m.To)
+			h.redirect(ctx, m)
 			return
 		}
 		c.onNotification(ctx, m)
@@ -174,6 +239,50 @@ func (h *Host) handle(ctx context.Context, m *message.Message) {
 	default:
 		h.logf("host %s: unexpected message %s", h.Addr(), m)
 	}
+}
+
+// redirect handles a start/notify frame that reached a host with no
+// matching coordinator. During a fleet rollout a sender may route under
+// a stale directory snapshot (pushes are atomic per host, not across
+// the fleet): the frame is DETECTED here — the version pin doesn't
+// match any local coordinator — and re-routed once via this host's own
+// directory rather than misdelivered into the wrong version's state. A
+// frame that still has no home (its version was retired everywhere, or
+// it already took its one re-route hop) is dropped loudly: counted,
+// logged, and the instance faulted to its wrapper so the client fails
+// instead of hanging.
+func (h *Host) redirect(ctx context.Context, m *message.Message) {
+	if m.Vars[reroutedVar] == "" {
+		if addr, ok := h.dir.RouteV(m.Composite, m.Version, m.To, m.Instance, m.Vars[TenantVar]); ok && addr != h.Addr() {
+			fwd := m.Clone()
+			fwd.MergeVars(map[string]string{reroutedVar: "1"})
+			if err := h.sender.Send(ctx, addr, fwd); err == nil {
+				h.rerouted.Add(1)
+				h.logf("host %s: re-routed stale frame for %s/%s v%d to %s", h.Addr(), m.Composite, m.To, m.Version, addr)
+				return
+			}
+		}
+	}
+	h.droppedStale.Add(1)
+	h.logf("host %s: no coordinator for %s/%s v%d; dropping %s", h.Addr(), m.Composite, m.To, m.Version, m)
+	if addr, ok := h.lookupWrapper(m.Composite, m.Version); ok {
+		f := fault(m.Composite, m.Instance, m.To, fmt.Errorf("engine: frame for retired plan version %d of %s/%s dropped", m.Version, m.Composite, m.To))
+		f.Version = m.Version
+		if err := h.sender.Send(ctx, addr, f); err != nil {
+			h.logf("host %s: stale-frame fault delivery failed: %v", h.Addr(), err)
+		}
+	}
+}
+
+// lookupWrapper resolves the wrapper endpoint of composite, preferring
+// the exact plan version's registration and falling back to the current
+// one (so a retired version's fault still reaches somebody who can log
+// it against the instance).
+func (h *Host) lookupWrapper(composite string, version uint64) (string, bool) {
+	if addr, ok := h.dir.LookupV(composite, version, message.WrapperID); ok {
+		return addr, true
+	}
+	return h.dir.Lookup(composite, message.WrapperID)
 }
 
 // serveInvoke executes a remote invocation request ("service/operation"
@@ -253,6 +362,7 @@ func (h *Host) logf(format string, args ...any) {
 type coordinator struct {
 	host      *Host
 	composite string
+	version   uint64 // plan version this coordinator belongs to; pins routing
 	table     *routing.CompiledTable
 
 	instances shardedTable[*coordInstance]
@@ -532,9 +642,12 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		// Deterministic replica choice: the (instance, tenant) key picks
 		// the same replica of target.To on every sender, so all of an
 		// instance's notifications converge on one coordinator object.
-		addr, found := c.host.dir.Route(c.composite, target.To, instanceID, vars[TenantVar])
+		// The lookup is pinned to THIS coordinator's plan version: an
+		// in-flight instance keeps flowing through the tables it started
+		// on even while a newer version is live.
+		addr, found := c.host.dir.RouteV(c.composite, c.version, target.To, instanceID, vars[TenantVar])
 		if !found {
-			c.sendFault(ctx, instanceID, fmt.Errorf("engine: no address for peer %q of %s", target.To, c.composite))
+			c.sendFault(ctx, instanceID, fmt.Errorf("engine: no address for peer %q of %s v%d", target.To, c.composite, c.version))
 			return
 		}
 		box.add(addr, &message.Message{
@@ -543,6 +656,7 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 			Instance:  instanceID,
 			From:      c.table.State,
 			To:        target.To,
+			Version:   c.version,
 			Vars:      outVars,
 		})
 	}
@@ -563,12 +677,13 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 
 // sendFault reports a failed firing to the wrapper.
 func (c *coordinator) sendFault(ctx context.Context, instanceID string, cause error) {
-	addr, found := c.host.dir.Lookup(c.composite, message.WrapperID)
+	addr, found := c.host.lookupWrapper(c.composite, c.version)
 	if !found {
 		c.host.logf("coord %s/%s: fault with no wrapper address: %v", c.composite, c.table.State, cause)
 		return
 	}
 	m := fault(c.composite, instanceID, c.table.State, cause)
+	m.Version = c.version
 	if err := c.host.sender.Send(ctx, addr, m); err != nil {
 		c.host.logf("coord %s/%s: fault delivery failed: %v (original: %v)", c.composite, c.table.State, err, cause)
 	}

@@ -104,6 +104,21 @@ func (t *shardedTable[V]) remove(id string) {
 	s.mu.Unlock()
 }
 
+// forEach calls fn on every live entry, one shard at a time. fn runs
+// under the shard mutex: it must stay short, must not touch the table,
+// and may take at most the entry's own instance mutex (shard before
+// instance is the documented lock order).
+func (t *shardedTable[V]) forEach(fn func(id string, v V)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for id, v := range s.m {
+			fn(id, v)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // getOrCreate returns the value for id, building it with mk on first
 // use. max bounds the TOTAL population across all shards (the atomic
 // count): while it is exceeded, the oldest entry of the new entry's

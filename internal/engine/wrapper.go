@@ -45,6 +45,96 @@ type Wrapper struct {
 	// wrapperInstance carries its own mutex, so concurrent Executes and
 	// the termination notices of distinct instances never contend.
 	instances shardedTable[*wrapperInstance]
+
+	// lifecycle is the drain bookkeeping: the in-flight gauge, the
+	// draining flag (set by Drain/Close — new Executes are rejected with
+	// ErrDraining), and the idle channel a drainer blocks on.
+	lifecycle struct {
+		mu       sync.Mutex // lockorder:instance — leaf; never held across sends or instance locks
+		inflight int
+		draining bool
+		idle     chan struct{} // lazily made; closed when draining hits inflight==0
+	}
+	// abandoned counts instances failed by a force-Close with work still
+	// in flight — the loud stat the old silent teardown never kept.
+	abandoned atomic.Uint64
+}
+
+// beginInstance admits one execution into the in-flight gauge, or
+// rejects it when the wrapper is draining.
+func (w *Wrapper) beginInstance() error {
+	lc := &w.lifecycle
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.draining {
+		return fmt.Errorf("engine: composite %q: %w", w.plan.Composite, ErrDraining)
+	}
+	lc.inflight++
+	return nil
+}
+
+// endInstance retires one execution from the gauge and wakes a pending
+// drainer when the last one leaves.
+func (w *Wrapper) endInstance() {
+	lc := &w.lifecycle
+	lc.mu.Lock()
+	lc.inflight--
+	if lc.draining && lc.inflight == 0 && lc.idle != nil {
+		close(lc.idle)
+		lc.idle = nil
+	}
+	lc.mu.Unlock()
+}
+
+// InFlight returns the number of executions currently inside
+// ExecuteInstance — the per-version gauge a drain-aware swap watches.
+func (w *Wrapper) InFlight() int {
+	w.lifecycle.mu.Lock()
+	defer w.lifecycle.mu.Unlock()
+	return w.lifecycle.inflight
+}
+
+// Abandoned returns how many in-flight instances a force-Close failed.
+func (w *Wrapper) Abandoned() uint64 { return w.abandoned.Load() }
+
+// StartDrain flips the wrapper into draining mode without waiting: new
+// executions are rejected with ErrDraining from the moment it returns,
+// while in-flight instances keep running. A deployer calls it
+// synchronously at version-swap time so no execution can slip into the
+// old version after the new one went live; the (possibly backgrounded)
+// Drain/Close that follows does the waiting.
+func (w *Wrapper) StartDrain() {
+	lc := &w.lifecycle
+	lc.mu.Lock()
+	lc.draining = true
+	lc.mu.Unlock()
+}
+
+// Drain stops admitting new executions (they fail with ErrDraining) and
+// blocks until every in-flight instance terminates or ctx is done. It
+// returns the number of instances still in flight when it gave up — 0
+// means a clean drain. Drain does NOT close the endpoint: the draining
+// wrapper keeps receiving the termination notices its instances are
+// waiting for.
+func (w *Wrapper) Drain(ctx context.Context) int {
+	lc := &w.lifecycle
+	lc.mu.Lock()
+	lc.draining = true
+	if lc.inflight == 0 {
+		lc.mu.Unlock()
+		return 0
+	}
+	if lc.idle == nil {
+		lc.idle = make(chan struct{})
+	}
+	idle := lc.idle
+	lc.mu.Unlock()
+	select {
+	case <-idle:
+		return 0
+	case <-ctx.Done():
+		return w.InFlight()
+	}
 }
 
 // wrapperInstance tracks one running execution at the wrapper. Finish
@@ -132,7 +222,14 @@ func NewCompiledWrapper(net transport.Network, addr string, dir *Directory, comp
 	if rec, ok := net.(transport.AvailabilityRecorder); ok {
 		w.recorder = rec
 	}
-	dir.Set(plan.Composite, message.WrapperID, ep.Addr())
+	// A versioned wrapper registers in ITS version's peer table (staged
+	// by the deployer, activated by SetCurrent); an unversioned one keeps
+	// the legacy behavior of writing to the current table.
+	if compiled.Version != 0 {
+		dir.SetV(plan.Composite, compiled.Version, message.WrapperID, ep.Addr())
+	} else {
+		dir.Set(plan.Composite, message.WrapperID, ep.Addr())
+	}
 	return w, nil
 }
 
@@ -147,8 +244,55 @@ func (w *Wrapper) Addr() string { return w.ep.Addr() }
 // Composite returns the composite service name this wrapper fronts.
 func (w *Wrapper) Composite() string { return w.plan.Composite }
 
-// Close unregisters the wrapper.
-func (w *Wrapper) Close() error { return w.ep.Close() }
+// Version returns the compiled plan version this wrapper serves
+// (zero for unversioned deployments).
+func (w *Wrapper) Version() uint64 { return w.compiled.Version }
+
+// Close force-closes the wrapper: admission stops, every instance still
+// in flight is FAILED (its Execute returns an abandonment error), the
+// abandoned count is recorded, and the endpoint closes. The old
+// behavior — tear down the endpoint and strand in-flight instances in a
+// silent hang — was the redeploy data-loss bug; a caller that wants
+// zero abandonment calls Drain first and Close only when InFlight
+// reaches 0. Close returns a non-nil error exactly when it abandoned
+// work.
+func (w *Wrapper) Close() error {
+	lc := &w.lifecycle
+	lc.mu.Lock()
+	lc.draining = true
+	lc.mu.Unlock()
+
+	var failed int
+	w.instances.forEach(func(id string, inst *wrapperInstance) {
+		inst.mu.Lock()
+		if !inst.finished {
+			inst.err = fmt.Errorf("%w: instance %s abandoned: wrapper for %q v%d closed with the instance in flight",
+				ErrInstanceFault, id, w.plan.Composite, w.compiled.Version)
+			inst.finished = true
+			close(inst.done)
+			failed++
+		}
+		inst.mu.Unlock()
+	})
+	if failed > 0 {
+		w.abandoned.Add(uint64(failed))
+	}
+	err := w.ep.Close()
+	if failed > 0 && err == nil {
+		err = fmt.Errorf("engine: composite %q v%d: force-close abandoned %d in-flight instance(s)",
+			w.plan.Composite, w.compiled.Version, failed)
+	}
+	return err
+}
+
+// route resolves a peer address pinned to this wrapper's plan version;
+// unversioned wrappers resolve against the composite's current tables.
+func (w *Wrapper) route(id, instance, tenant string) (string, bool) {
+	if v := w.compiled.Version; v != 0 {
+		return w.dir.RouteV(w.plan.Composite, v, id, instance, tenant)
+	}
+	return w.dir.Route(w.plan.Composite, id, instance, tenant)
+}
 
 // Execute runs one instance of the composite service with the given
 // input variables and returns the final variable bag restricted to the
@@ -172,6 +316,10 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 		}
 		return nil, fmt.Errorf("engine: composite %q: %w", w.plan.Composite, err)
 	}
+	if err := w.beginInstance(); err != nil {
+		return nil, err
+	}
+	defer w.endInstance()
 	inst := &wrapperInstance{
 		done:    make(chan struct{}),
 		pending: make([]uint64, w.compiled.FinishMaskWords()),
@@ -216,8 +364,11 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 		}
 		// Same deterministic (instance, tenant) replica choice the
 		// coordinators make on their send path: the start message must
-		// land on the replica every later notification converges on.
-		addr, found := w.dir.Route(w.plan.Composite, target.To, id, base[TenantVar])
+		// land on the replica every later notification converges on. The
+		// lookup and the message are pinned to this wrapper's plan
+		// version — the instance runs to completion on the version it
+		// started on, whatever deploys happen meanwhile.
+		addr, found := w.route(target.To, id, base[TenantVar])
 		if !found {
 			return nil, fmt.Errorf("engine: composite %q: state %q is not deployed", w.plan.Composite, target.To)
 		}
@@ -227,6 +378,7 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 			Instance:  id,
 			From:      message.WrapperID,
 			To:        target.To,
+			Version:   w.compiled.Version,
 			Vars:      vars,
 		})
 	}
@@ -328,7 +480,7 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 	// as the start phase).
 	var box outbox
 	for _, state := range subscribers {
-		addr, found := w.dir.Route(w.plan.Composite, state, instanceID, tenant)
+		addr, found := w.route(state, instanceID, tenant)
 		if !found {
 			return fmt.Errorf("engine: event %q: subscriber %q is not deployed", event, state)
 		}
@@ -338,6 +490,7 @@ func (w *Wrapper) RaiseEvent(ctx context.Context, instanceID, event string, payl
 			Instance:  instanceID,
 			From:      src,
 			To:        state,
+			Version:   w.compiled.Version,
 			Vars:      payload,
 		})
 	}

@@ -9,10 +9,22 @@
 //
 //	GET  /info                         -> coordinator transport address, services, states
 //	POST /install?composite=C          -> body: routing table XML; installs a coordinator
-//	POST /uninstall?composite=C&state=S -> removes the state's coordinator (deploy rollback)
-//	POST /directory?composite=C       -> body: "peerID addr" lines; records peer locations
-//	                                     (repeated peerIDs accumulate a replica set)
+//	                                     (the table's version attribute scopes it)
+//	POST /uninstall?composite=C&state=S[&version=N] -> removes the state's coordinator
+//	                                     (deploy rollback; version 0 = unversioned)
+//	POST /directory?composite=C[&version=N] -> body: "peerID addr" lines; records peer
+//	                                     locations (repeated peerIDs accumulate a
+//	                                     replica set). Versioned pushes are rejected
+//	                                     with 409 when older than one already applied.
+//	POST /activate?composite=C&version=N -> flips the composite's current version; 409
+//	                                     when N is older than the active version
+//	POST /retire?composite=C&version=N -> drops version N's coordinators and routes
 //	GET  /healthz                      -> 200 ok
+//
+// Versioned pushes make a fleet rollout safe without cross-host
+// transactions: each push is atomic per host, the version stamp totally
+// orders pushes per composite, and a control plane retrying or racing
+// another one can never regress a host to an older snapshot.
 package hostapi
 
 import (
@@ -22,6 +34,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -46,24 +59,32 @@ type Server struct {
 	services func() []string
 	mux      *http.ServeMux
 
-	mu        sync.Mutex // lockorder:hostapi — guards installed only; HTTP handlers run concurrently
+	mu        sync.Mutex // lockorder:hostapi — guards installed/dirVersion only; HTTP handlers run concurrently
 	installed map[string][]string
+	// dirVersion is the newest directory version applied per composite;
+	// older pushes are rejected (409) instead of replacing a newer
+	// snapshot. Unversioned (v0) pushes bypass the check for backward
+	// compatibility.
+	dirVersion map[string]uint64
 }
 
 // NewServer wraps host (with its directory) in an admin API. services
 // reports the local provider names for /info.
 func NewServer(host *engine.Host, dir *engine.Directory, services func() []string) *Server {
 	s := &Server{
-		host:      host,
-		dir:       dir,
-		services:  services,
-		mux:       http.NewServeMux(),
-		installed: map[string][]string{},
+		host:       host,
+		dir:        dir,
+		services:   services,
+		mux:        http.NewServeMux(),
+		installed:  map[string][]string{},
+		dirVersion: map[string]uint64{},
 	}
 	s.mux.HandleFunc("/info", s.handleInfo)
 	s.mux.HandleFunc("/install", s.handleInstall)
 	s.mux.HandleFunc("/uninstall", s.handleUninstall)
 	s.mux.HandleFunc("/directory", s.handleDirectory)
+	s.mux.HandleFunc("/activate", s.handleActivate)
+	s.mux.HandleFunc("/retire", s.handleRetire)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -135,7 +156,11 @@ func (s *Server) handleUninstall(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing composite or state parameter", http.StatusBadRequest)
 		return
 	}
-	s.host.Uninstall(composite, state)
+	version, ok := versionParam(w, r)
+	if !ok {
+		return
+	}
+	s.host.Uninstall(composite, state, version)
 	s.mu.Lock()
 	kept := s.installed[composite][:0]
 	for _, st := range s.installed[composite] {
@@ -160,6 +185,10 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 	composite := r.URL.Query().Get("composite")
 	if composite == "" {
 		http.Error(w, "missing composite parameter", http.StatusBadRequest)
+		return
+	}
+	version, ok := versionParam(w, r)
+	if !ok {
 		return
 	}
 	// Group the lines by peer ID first, then install each peer's FULL
@@ -187,10 +216,95 @@ func (s *Server) handleDirectory(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	for _, id := range order {
-		s.dir.SetReplicas(composite, id, replicas[id])
+	if version != 0 {
+		// Monotonicity gate: the whole push is accepted or rejected BEFORE
+		// any replica set changes, so a stale control plane (retry storm,
+		// two racing rollouts) can never half-apply an older snapshot over
+		// a newer one.
+		s.mu.Lock()
+		if last := s.dirVersion[composite]; version < last {
+			s.mu.Unlock()
+			http.Error(w, fmt.Sprintf("stale directory push: version %d < applied %d", version, last), http.StatusConflict)
+			return
+		}
+		s.dirVersion[composite] = version
+		s.mu.Unlock()
+		for _, id := range order {
+			s.dir.SetReplicasV(composite, version, id, replicas[id])
+		}
+	} else {
+		for _, id := range order {
+			s.dir.SetReplicas(composite, id, replicas[id])
+		}
 	}
 	fmt.Fprintf(w, "recorded %d peer(s) for %s\n", len(order), composite)
+}
+
+// handleActivate flips the composite's current plan version: new
+// instances start on it, in-flight ones keep their pinned version. A
+// stale activation (older than the active version) is a 409.
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	composite, version, ok := s.compositeVersion(w, r)
+	if !ok {
+		return
+	}
+	if !s.dir.SetCurrent(composite, version) {
+		http.Error(w, fmt.Sprintf("stale activation: version %d < current %d", version, s.dir.Current(composite)), http.StatusConflict)
+		return
+	}
+	fmt.Fprintf(w, "activated %s v%d\n", composite, version)
+}
+
+// handleRetire drops a drained plan version: its coordinators leave the
+// host and its routes leave the directory.
+func (s *Server) handleRetire(w http.ResponseWriter, r *http.Request) {
+	composite, version, ok := s.compositeVersion(w, r)
+	if !ok {
+		return
+	}
+	s.host.RetireVersion(composite, version)
+	s.dir.RetireVersion(composite, version)
+	fmt.Fprintf(w, "retired %s v%d\n", composite, version)
+}
+
+// compositeVersion parses the composite and mandatory version params of
+// a POST admin request, writing the error response itself on failure.
+func (s *Server) compositeVersion(w http.ResponseWriter, r *http.Request) (string, uint64, bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return "", 0, false
+	}
+	composite := r.URL.Query().Get("composite")
+	if composite == "" {
+		http.Error(w, "missing composite parameter", http.StatusBadRequest)
+		return "", 0, false
+	}
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		http.Error(w, "missing version parameter", http.StatusBadRequest)
+		return "", 0, false
+	}
+	version, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad version parameter %q", raw), http.StatusBadRequest)
+		return "", 0, false
+	}
+	return composite, version, true
+}
+
+// versionParam parses an optional version query parameter (default 0),
+// writing the error response itself on failure.
+func versionParam(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		return 0, true
+	}
+	version, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad version parameter %q", raw), http.StatusBadRequest)
+		return 0, false
+	}
+	return version, true
 }
 
 // Client drives a remote host daemon's admin API.
@@ -235,9 +349,24 @@ func (c *Client) Install(composite string, table *routing.Table) error {
 }
 
 // Uninstall removes one state's coordinator from the daemon (the
-// deployer's rollback path).
-func (c *Client) Uninstall(composite, state string) error {
-	return c.post(fmt.Sprintf("/uninstall?composite=%s&state=%s", composite, state), "text/plain", nil)
+// deployer's rollback path). Version 0 targets the unversioned
+// namespace; the parameter is omitted on the wire for old daemons.
+func (c *Client) Uninstall(composite, state string, version uint64) error {
+	path := fmt.Sprintf("/uninstall?composite=%s&state=%s", composite, state)
+	if version != 0 {
+		path += fmt.Sprintf("&version=%d", version)
+	}
+	return c.post(path, "text/plain", nil)
+}
+
+// Activate flips the composite's current plan version on the daemon.
+func (c *Client) Activate(composite string, version uint64) error {
+	return c.post(fmt.Sprintf("/activate?composite=%s&version=%d", composite, version), "text/plain", nil)
+}
+
+// Retire drops a drained plan version from the daemon.
+func (c *Client) Retire(composite string, version uint64) error {
+	return c.post(fmt.Sprintf("/retire?composite=%s&version=%d", composite, version), "text/plain", nil)
 }
 
 // PushDirectory records peer locations on the daemon (one replica per
@@ -254,6 +383,13 @@ func (c *Client) PushDirectory(composite string, peers map[string]string) error 
 // daemon (repeated "peerID addr" lines on the wire — old daemons that
 // last-write-win on repeats simply keep one replica).
 func (c *Client) PushReplicaDirectory(composite string, peers map[string][]string) error {
+	return c.PushReplicaDirectoryV(composite, 0, peers)
+}
+
+// PushReplicaDirectoryV is PushReplicaDirectory stamped with a plan
+// version: the daemon stages the snapshot under that version and
+// rejects it (409) if it has already applied a newer one.
+func (c *Client) PushReplicaDirectoryV(composite string, version uint64, peers map[string][]string) error {
 	var sb strings.Builder
 	ids := make([]string, 0, len(peers))
 	for id := range peers {
@@ -265,7 +401,11 @@ func (c *Client) PushReplicaDirectory(composite string, peers map[string][]strin
 			fmt.Fprintf(&sb, "%s %s\n", id, addr)
 		}
 	}
-	return c.post(fmt.Sprintf("/directory?composite=%s", composite), "text/plain", []byte(sb.String()))
+	path := fmt.Sprintf("/directory?composite=%s", composite)
+	if version != 0 {
+		path += fmt.Sprintf("&version=%d", version)
+	}
+	return c.post(path, "text/plain", []byte(sb.String()))
 }
 
 func (c *Client) post(path, contentType string, body []byte) error {
@@ -308,8 +448,8 @@ func (ri *RemoteInstaller) Install(composite string, table *routing.Table) error
 // Uninstall implements deployer.Installer (the rollback path). Errors
 // are swallowed: rollback is best-effort over hosts that may be the
 // very ones that just failed.
-func (ri *RemoteInstaller) Uninstall(composite, state string) {
-	_ = ri.Client.Uninstall(composite, state)
+func (ri *RemoteInstaller) Uninstall(composite, state string, version uint64) {
+	_ = ri.Client.Uninstall(composite, state, version)
 }
 
 // Addr implements deployer.Installer: the coordinator transport address

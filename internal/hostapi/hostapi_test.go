@@ -170,7 +170,7 @@ func TestReplicaDirectoryAndUninstall(t *testing.T) {
 	if err != nil || len(info.States["Chain1"]) != 1 {
 		t.Fatalf("info after install = %+v, %v", info, err)
 	}
-	if err := c.Uninstall("Chain1", "s1"); err != nil {
+	if err := c.Uninstall("Chain1", "s1", 0); err != nil {
 		t.Fatalf("Uninstall: %v", err)
 	}
 	info, err = c.Info()
@@ -189,6 +189,48 @@ func TestReplicaDirectoryAndUninstall(t *testing.T) {
 			t.Fatal("accepted")
 		}
 	})
+}
+
+// TestVersionedPushesRejectStale pins the rollout-ordering guarantee:
+// version-stamped directory pushes and activations are totally ordered
+// per composite, and a host never regresses to an older snapshot no
+// matter how a control plane retries or races.
+func TestVersionedPushesRejectStale(t *testing.T) {
+	reg := service.NewRegistry()
+	net := transport.NewInMem(transport.InMemOptions{})
+	defer net.Close()
+	d := newDaemon(t, net, reg)
+	c := &Client{BaseURL: d.admin.URL}
+
+	if err := c.PushReplicaDirectoryV("C", 2, map[string][]string{"s1": {"addr-v2"}}); err != nil {
+		t.Fatal(err)
+	}
+	err := c.PushReplicaDirectoryV("C", 1, map[string][]string{"s1": {"addr-v1"}})
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("stale directory push: err = %v, want 409", err)
+	}
+	// Same-version re-push is a retry, not a regression: accepted.
+	if err := c.PushReplicaDirectoryV("C", 2, map[string][]string{"s1": {"addr-v2b"}}); err != nil {
+		t.Fatalf("same-version re-push: %v", err)
+	}
+	if got := d.dir.Replicas("C", "s1"); len(got) != 0 {
+		t.Fatalf("unactivated version already routable: %v", got)
+	}
+
+	if err := c.Activate("C", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.dir.Replicas("C", "s1"); len(got) != 1 || got[0] != "addr-v2b" {
+		t.Fatalf("replicas after activate = %v", got)
+	}
+	err = c.Activate("C", 1)
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("stale activation: err = %v, want 409", err)
+	}
+	// Idempotent re-activation of the current version is fine.
+	if err := c.Activate("C", 2); err != nil {
+		t.Fatalf("re-activate current: %v", err)
+	}
 }
 
 func TestAdminErrors(t *testing.T) {

@@ -64,6 +64,12 @@ func unmarshalFast(data []byte) (*Message, bool) {
 				return nil, false
 			}
 			m.Seq = n
+		case "version":
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, false
+			}
+			m.Version = v
 		case "replyTo":
 			m.ReplyTo = val
 		default:

@@ -57,6 +57,10 @@ type Message struct {
 	To   string
 	// Seq is a sender-local sequence number, useful in logs and tests.
 	Seq int
+	// Version pins the message to the compiled-plan version the instance
+	// started on. Zero means "unversioned" (pre-control-plane senders);
+	// zero is omitted on the wire, so legacy documents are byte-identical.
+	Version uint64
 	// Vars is the variable bag. Nil and empty are equivalent.
 	Vars map[string]string
 	// Error describes a fault (TypeFault or failed TypeResult).
@@ -107,6 +111,7 @@ type xmlMessage struct {
 	From      string   `xml:"from,attr,omitempty"`
 	To        string   `xml:"to,attr,omitempty"`
 	Seq       int      `xml:"seq,attr,omitempty"`
+	Version   uint64   `xml:"version,attr,omitempty"`
 	ReplyTo   string   `xml:"replyTo,attr,omitempty"`
 	Error     string   `xml:"error,omitempty"`
 	Vars      []xmlVar `xml:"var"`
@@ -155,6 +160,11 @@ func encodeInto(buf *bytes.Buffer, m *Message) {
 	if m.Seq != 0 {
 		buf.WriteString(` seq="`)
 		buf.WriteString(strconv.Itoa(m.Seq))
+		buf.WriteByte('"')
+	}
+	if m.Version != 0 {
+		buf.WriteString(` version="`)
+		buf.WriteString(strconv.FormatUint(m.Version, 10))
 		buf.WriteByte('"')
 	}
 	writeAttr(buf, ` replyTo="`, m.ReplyTo)
@@ -236,6 +246,7 @@ func marshalXML(m *Message) ([]byte, error) {
 		From:      m.From,
 		To:        m.To,
 		Seq:       m.Seq,
+		Version:   m.Version,
 		ReplyTo:   m.ReplyTo,
 		Error:     m.Error,
 	}
@@ -290,6 +301,7 @@ func unmarshalXML(data []byte) (*Message, error) {
 		From:      doc.From,
 		To:        doc.To,
 		Seq:       doc.Seq,
+		Version:   doc.Version,
 		ReplyTo:   doc.ReplyTo,
 		Error:     doc.Error,
 	}

@@ -132,6 +132,13 @@ type CompiledTable struct {
 	// identity, logs, and re-serialization).
 	Table *Table
 
+	// Version is the deployment version copied from the declarative
+	// table. Coordinators stamp every outgoing notification with it and
+	// hosts key their coordinator table by it, so instances started on
+	// version v keep exchanging v-routed notifications while a newer
+	// version serves fresh traffic (docs/controlplane.md).
+	Version uint64
+
 	State     string
 	Service   string
 	Operation string
@@ -175,6 +182,7 @@ func CompileTable(tbl *Table) (*CompiledTable, error) {
 	}
 	ct := &CompiledTable{
 		Table:     tbl,
+		Version:   tbl.Version,
 		State:     tbl.State,
 		Service:   tbl.Service,
 		Operation: tbl.Operation,
@@ -216,6 +224,12 @@ func CompileTable(tbl *Table) (*CompiledTable, error) {
 type CompiledPlan struct {
 	// Plan is the declarative source of this compilation.
 	Plan *Plan
+
+	// Version is the deployment version copied from the declarative
+	// plan (see Plan.Version). Wrappers pin every instance they start to
+	// it; the platform's redeploy path drains version v(n) while v(n+1)
+	// serves new executions.
+	Version uint64
 
 	Tables map[string]*CompiledTable
 	Start  []CompiledTarget
@@ -259,6 +273,7 @@ func CompilePlan(plan *Plan) (*CompiledPlan, error) {
 	}
 	cp := &CompiledPlan{
 		Plan:      plan,
+		Version:   plan.Version,
 		Tables:    make(map[string]*CompiledTable, len(plan.Tables)),
 		finish:    newSourceInterner(),
 		eventSubs: map[string][]string{},

@@ -95,6 +95,12 @@ func (c Clause) covers(received map[string]int) bool {
 
 // Table is the routing knowledge of one basic state's coordinator.
 type Table struct {
+	// Version is the deployment version of the plan this table belongs
+	// to. Version 0 is the unversioned (pre-control-plane) namespace;
+	// versioned deployments stamp every table with the plan's version so
+	// hosts can keep coordinators of several plan versions side by side
+	// while the older versions drain (docs/controlplane.md).
+	Version uint64
 	// State is the basic state this table belongs to.
 	State string
 	// Service and Operation to invoke, with parameter bindings, copied
@@ -114,6 +120,12 @@ type Table struct {
 type Plan struct {
 	// Composite is the composite service name.
 	Composite string
+	// Version is this deployment's monotonically increasing version.
+	// Generate leaves it 0 (the unversioned namespace); the deployer
+	// stamps it (SetVersion) before compiling, so the compiled plan, all
+	// its tables, and every runtime message of an instance carry the
+	// version the instance started on (docs/controlplane.md).
+	Version uint64
 	// Inputs and Outputs mirror the composite signature.
 	Inputs  []statechart.Param
 	Outputs []statechart.Param
@@ -125,6 +137,18 @@ type Plan struct {
 	// Finish lists the clauses of states whose termination notices the
 	// wrapper must collect before the instance is complete.
 	Finish []Clause
+}
+
+// SetVersion stamps the plan AND every table with the deployment
+// version, so the per-state artifacts uploaded to hosts agree with the
+// wrapper's plan about which version an instance runs on. Call before
+// CompilePlan: compilation copies the version into the immutable
+// compiled artifacts.
+func (p *Plan) SetVersion(v uint64) {
+	p.Version = v
+	for _, tbl := range p.Tables {
+		tbl.Version = v
+	}
 }
 
 // Generate compiles a validated statechart into a Plan. The chart must

@@ -19,6 +19,7 @@ import (
 type xmlPlan struct {
 	XMLName xml.Name    `xml:"routingPlan"`
 	Name    string      `xml:"composite,attr"`
+	Version uint64      `xml:"version,attr,omitempty"`
 	Inputs  []xmlParam  `xml:"input"`
 	Outputs []xmlParam  `xml:"output"`
 	Start   []xmlTarget `xml:"start>notify"`
@@ -33,6 +34,7 @@ type xmlParam struct {
 
 type xmlTable struct {
 	State     string       `xml:"state,attr"`
+	Version   uint64       `xml:"version,attr,omitempty"`
 	Service   string       `xml:"service,attr"`
 	Operation string       `xml:"operation,attr"`
 	Inputs    []xmlBinding `xml:"in"`
@@ -66,7 +68,7 @@ type xmlAssign struct {
 
 // MarshalPlan encodes a whole plan as an indented XML document.
 func MarshalPlan(p *Plan) ([]byte, error) {
-	doc := xmlPlan{Name: p.Composite}
+	doc := xmlPlan{Name: p.Composite, Version: p.Version}
 	for _, prm := range p.Inputs {
 		doc.Inputs = append(doc.Inputs, xmlParam(prm))
 	}
@@ -100,7 +102,7 @@ func UnmarshalPlan(data []byte) (*Plan, error) {
 	if err := xml.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("routing: unmarshal plan: %w", err)
 	}
-	p := &Plan{Composite: doc.Name, Tables: map[string]*Table{}}
+	p := &Plan{Composite: doc.Name, Version: doc.Version, Tables: map[string]*Table{}}
 	for _, prm := range doc.Inputs {
 		p.Inputs = append(p.Inputs, statechart.Param(prm))
 	}
@@ -169,6 +171,7 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 func toXMLTable(t *Table) xmlTable {
 	xt := xmlTable{
 		State:     t.State,
+		Version:   t.Version,
 		Service:   t.Service,
 		Operation: t.Operation,
 	}
@@ -190,6 +193,7 @@ func toXMLTable(t *Table) xmlTable {
 func fromXMLTable(xt xmlTable) *Table {
 	t := &Table{
 		State:     xt.State,
+		Version:   xt.Version,
 		Service:   xt.Service,
 		Operation: xt.Operation,
 	}
