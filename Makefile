@@ -7,7 +7,7 @@ verify: ## tier-1 gate: everything builds, all tests pass
 
 .PHONY: race
 race: ## tier-1 plus the race detector on the concurrent packages
-	$(GO) test -race ./internal/engine/ ./internal/transport/ ./internal/core/ ./internal/message/
+	$(GO) test -race ./internal/engine/ ./internal/transport/ ./internal/core/ ./internal/message/ ./internal/journal/
 
 .PHONY: bench
 bench: ## full E1-E7 experiment harness (compare against BENCH_baseline.json)
@@ -47,6 +47,18 @@ bench-availability:
 bench-scaleout:
 	$(GO) run ./cmd/bench -exp e10 -n 10
 
+# Short fixed-iteration run of the E12 durability sweep: Chain(8)
+# executions with and without a journal at every commit point, the
+# AND-join passivate/rehydrate cycle (µs per disk round-trip), and
+# crashed-platform recovery time vs journal length. Everything runs
+# fsync-off — the sweep measures the journal's code paths, not CI
+# runners' disks. The run itself FAILS if a tight-cap cycle rehydrates
+# nothing or a replay loses a finished execution. CI smoke;
+# BENCH_durability.json records the full series.
+.PHONY: bench-durability
+bench-durability:
+	$(GO) test -bench=BenchmarkE12Durability -benchtime=20x -run '^$$' .
+
 # Short fixed-iteration run of the E11 live-redeploy sweep: Chain(8)
 # executed while plan versions swap underneath the driver (in-process
 # platform swap, controlplane-managed fleet rollout, and control plane
@@ -62,9 +74,9 @@ COVER_FLOOR ?= 80
 
 .PHONY: cover
 cover: ## coverage floor on the concurrency- and availability-critical packages
-	$(GO) test -coverprofile=cover.out ./internal/transport/ ./internal/engine/ ./internal/community/ ./internal/qos/ ./internal/circuit/ ./internal/limits/
+	$(GO) test -coverprofile=cover.out ./internal/transport/ ./internal/engine/ ./internal/community/ ./internal/qos/ ./internal/circuit/ ./internal/limits/ ./internal/journal/
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "transport+engine+community+qos+circuit+limits coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	echo "transport+engine+community+qos+circuit+limits+journal coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
@@ -80,9 +92,13 @@ fuzz: ## short fuzz pass over the wire decoders and the frame merge
 flake: ## liveness/flake hunt: the concurrent packages, race detector, 10 loops
 	# Covers the 64-way concurrent-Execute stress test (engine
 	# stress_test.go), the receive-lane FIFO contract (transport
-	# faults_test.go), the churn chaos suite (core churn_test.go), and
-	# the community failover/health races (community churn_test.go).
-	$(GO) test -race -count=10 ./internal/engine/ ./internal/transport/ ./internal/core/ ./internal/community/
+	# faults_test.go), the churn chaos suite (core churn_test.go), the
+	# community failover/health races (community churn_test.go), and the
+	# durability suite — crash recovery mid-Chain(8) over both
+	# transports, passivate/rehydrate byte-identity (core
+	# durability_test.go, engine passivate_test.go), and journal
+	# torn-tail repair (journal package).
+	$(GO) test -race -count=10 ./internal/engine/ ./internal/transport/ ./internal/core/ ./internal/community/ ./internal/journal/
 
 .PHONY: vet
 vet:

@@ -32,7 +32,9 @@ import (
 	"selfserv/internal/discovery"
 	"selfserv/internal/engine"
 	"selfserv/internal/hostapi"
+	"selfserv/internal/journal"
 	"selfserv/internal/limits"
+	"selfserv/internal/message"
 	"selfserv/internal/routing"
 	"selfserv/internal/service"
 	"selfserv/internal/statechart"
@@ -974,4 +976,249 @@ func BenchmarkE11Redeploy(b *testing.B) {
 		}
 		e11Report(b, failed, lats)
 	})
+}
+
+// e12Chain deploys Chain(n) on a single-host platform with the given
+// options and runs b.N sequential executions, reporting the journal's
+// append and fsync cost per execution. The journal-on and journal-off
+// cells of E12 differ only in opts.Durability.
+func e12Chain(b *testing.B, n int, opts core.Options) {
+	p := core.New(opts)
+	b.Cleanup(func() { p.Close() })
+	if err := p.DurabilityError(); err != nil {
+		b.Fatal(err)
+	}
+	h, err := p.AddHost("e12-host")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := workload.Chain(n)
+	for _, svc := range sc.Services() {
+		s := service.NewSimulated(svc, service.SimulatedOptions{})
+		s.Handle("run", incStep)
+		p.RegisterService(h, service.NewIdempotent(s, 0))
+	}
+	comp, err := p.Deploy(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	in := map[string]string{"x": "0"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := comp.Execute(ctx, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := p.DurabilityStats().Journal
+	b.ReportMetric(float64(st.Appends)/float64(b.N), "appends/op")
+	b.ReportMetric(float64(st.Syncs)/float64(b.N), "syncs/op")
+}
+
+// e12JoinCycle is one two-phase AND-join drive in the exact shape the
+// engine's passivation contract test pins (passivate_test.go): 40
+// instance IDs pigeonhole over the 32-way striped table, so at cap 1 at
+// least 8 half-armed joins passivate to disk in phase one and MUST
+// rehydrate when phase two completes the clause. Returns the phase-two
+// wall time and the host's rehydration count.
+func e12JoinCycle(b *testing.B, cap int) (time.Duration, uint64) {
+	b.Helper()
+	const instances = 40
+	net := transport.NewInMem(transport.InMemOptions{Synchronous: true})
+	defer net.Close()
+	fired := make(chan struct{}, instances)
+	reg := service.NewRegistry()
+	s := service.NewSimulated("SvcJoin", service.SimulatedOptions{})
+	s.Handle("run", func(context.Context, map[string]string) (map[string]string, error) {
+		fired <- struct{}{}
+		return map[string]string{}, nil
+	})
+	reg.Register(s)
+	j, err := journal.Open(journal.Options{Dir: b.TempDir(), Fsync: journal.FsyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	dir := engine.NewDirectory()
+	h, err := engine.NewHost(net, "e12-pass-host", reg, dir, engine.HostOptions{
+		MaxInstancesPerState: cap,
+		Journal:              j,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	err = h.Install("C", &routing.Table{
+		State:     "join",
+		Service:   "SvcJoin",
+		Operation: "run",
+		Inputs: []statechart.Binding{
+			{Param: "x", Var: "x"},
+			{Param: "y", Var: "y"},
+		},
+		Preconditions: []routing.Clause{
+			{Sources: []string{"s1", "s2"}},
+		},
+		Postprocessings: []routing.Target{{To: message.WrapperID}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Listen("e12-pass-sink", func(context.Context, *message.Message) {}); err != nil {
+		b.Fatal(err)
+	}
+	dir.Set("C", message.WrapperID, "e12-pass-sink")
+	notify := func(instance, from string, vars map[string]string) {
+		err := net.Send(context.Background(), "e12-pass-host", &message.Message{
+			Type: message.TypeNotify, Composite: "C", Instance: instance,
+			From: from, To: "join", Vars: vars,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Phase 1: half-arm every join; the synchronous network makes each
+	// cap-hit passivation complete before the next Send returns.
+	for k := 1; k <= instances; k++ {
+		notify(fmt.Sprintf("i%d", k), "s1", map[string]string{"x": fmt.Sprint(k)})
+	}
+	// Phase 2 (timed): complete the clause; passivated instances go
+	// through the journal's passive index on this path.
+	t0 := time.Now()
+	for k := 1; k <= instances; k++ {
+		notify(fmt.Sprintf("i%d", k), "s2", map[string]string{"y": fmt.Sprint(2 * k)})
+	}
+	for got := 0; got < instances; got++ {
+		<-fired
+	}
+	return time.Since(t0), h.Rehydrated()
+}
+
+// e12BuildJournal runs execs Chain(chain) executions against a durable
+// platform over dir and then kills it — leaving a journal of known
+// length for the recovery cell to replay.
+func e12BuildJournal(b *testing.B, dir string, chain, execs int) {
+	b.Helper()
+	p := core.New(core.Options{Durability: journal.Options{Dir: dir, Fsync: journal.FsyncOff}})
+	if err := p.DurabilityError(); err != nil {
+		b.Fatal(err)
+	}
+	h, err := p.AddHost("e12-rec-host")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := workload.Chain(chain)
+	for _, svc := range sc.Services() {
+		s := service.NewSimulated(svc, service.SimulatedOptions{})
+		s.Handle("run", incStep)
+		p.RegisterService(h, service.NewIdempotent(s, 0))
+	}
+	comp, err := p.Deploy(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for e := 0; e < execs; e++ {
+		if _, err := comp.Execute(ctx, map[string]string{"x": "0"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Crash()
+}
+
+// BenchmarkE12Durability is the durability sweep behind
+// BENCH_durability.json. Cells:
+//
+//   - throughput/journal-off|journal-on: Chain(8) executions back to
+//     back, with and without a fsync-off journal at every commit point
+//     — the write-path cost of durable instances (appends/op makes the
+//     per-execution record count explicit).
+//   - rehydrate/tight-cap|roomy-cap: the two-phase AND-join drive from
+//     the engine's passivation contract test; tight-cap forces ≥8
+//     disk round-trips per cycle and reports µs per rehydration,
+//     roomy-cap is the same drive with passivation never triggered.
+//   - recovery/len-*: rebuild a crashed platform over journals of
+//     increasing length and time Recover — replay cost as a function
+//     of journal size.
+//
+// All cells run fsync-off: the suite measures the journal's code
+// paths, not the disk (FsyncBatch/FsyncAlways are configuration, and
+// CI runners' fsync latency is pure noise).
+func BenchmarkE12Durability(b *testing.B) {
+	const n = 8
+
+	b.Run("throughput/journal-off", func(b *testing.B) {
+		e12Chain(b, n, core.Options{})
+	})
+	b.Run("throughput/journal-on", func(b *testing.B) {
+		e12Chain(b, n, core.Options{
+			Durability: journal.Options{Dir: b.TempDir(), Fsync: journal.FsyncOff},
+		})
+	})
+
+	b.Run("rehydrate/tight-cap", func(b *testing.B) {
+		var rehydrated uint64
+		var inDisk time.Duration
+		for i := 0; i < b.N; i++ {
+			el, re := e12JoinCycle(b, 1)
+			if re == 0 {
+				b.Fatal("E12: tight cap rehydrated nothing; the pigeonhole guarantee is broken")
+			}
+			inDisk += el
+			rehydrated += re
+		}
+		b.ReportMetric(float64(rehydrated)/float64(b.N), "rehydrated/op")
+		b.ReportMetric(float64(inDisk.Microseconds())/float64(rehydrated), "µs/rehydrate")
+	})
+	b.Run("rehydrate/roomy-cap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, re := e12JoinCycle(b, 80); re != 0 {
+				b.Fatalf("E12: roomy cap rehydrated %d instances, want 0", re)
+			}
+		}
+	})
+
+	for _, execs := range []int{32, 128} {
+		b.Run(fmt.Sprintf("recovery/len-%d", execs), func(b *testing.B) {
+			const chain = 4
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				e12BuildJournal(b, dir, chain, execs)
+				// Life B: fresh providers, same journal directory, the
+				// chart re-deployed (reproducing plan version 1 — the
+				// version the journal records name).
+				p := core.New(core.Options{Durability: journal.Options{Dir: dir, Fsync: journal.FsyncOff}})
+				if err := p.DurabilityError(); err != nil {
+					b.Fatal(err)
+				}
+				h, err := p.AddHost("e12-rec-host")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc := workload.Chain(chain)
+				for _, svc := range sc.Services() {
+					s := service.NewSimulated(svc, service.SimulatedOptions{})
+					s.Handle("run", incStep)
+					p.RegisterService(h, service.NewIdempotent(s, 0))
+				}
+				if _, err := p.Deploy(sc); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				stats, err := p.Recover(ctx)
+				b.StopTimer()
+				if err != nil {
+					b.Fatalf("Recover: %v", err)
+				}
+				if stats.Finished != execs {
+					b.Fatalf("E12: replay saw %d finished executions, want %d", stats.Finished, execs)
+				}
+				p.Close()
+				b.StartTimer()
+			}
+		})
+	}
 }

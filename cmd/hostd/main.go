@@ -27,6 +27,19 @@
 // members back to life (-health-interval, -health-jitter), and
 // per-tenant admission control (-tenant-limits). Shed requests,
 // failovers, and breaker opens appear on the -stats line.
+//
+// Durable instances (docs/durability.md): -journal-dir turns on the
+// per-shard write-ahead journal (cap-hit eviction becomes passivation,
+// crash recovery becomes possible), -fsync picks the durability/latency
+// trade (always, batch, off), -snapshot-every tunes how often an
+// instance's full bag is snapshotted between rounds, and the admin
+// API's POST /recover replays the journal once the control plane has
+// reinstalled the daemon's tables. -drain-timeout bounds how long a
+// replaced deployment may finish in-flight instances after a redeploy.
+// The daemon runs on a core.Platform, so the -stats line also carries
+// the swap counters (rerouted/dropped-stale/abandoned/in-flight) and
+// the durability counters (evicted/passivated/rehydrated, journal
+// appends).
 package main
 
 import (
@@ -45,8 +58,10 @@ import (
 
 	"selfserv/internal/circuit"
 	"selfserv/internal/community"
+	"selfserv/internal/core"
 	"selfserv/internal/engine"
 	"selfserv/internal/hostapi"
+	"selfserv/internal/journal"
 	"selfserv/internal/limits"
 	"selfserv/internal/placement"
 	"selfserv/internal/service"
@@ -98,6 +113,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	healthInterval := fs.Duration("health-interval", 0, "actively probe the hosted community's members at this interval; 0 disables health checks")
 	healthJitter := fs.Duration("health-jitter", 0, "random extra delay added to each health-check round (0 = interval/10)")
 	tenantLimits := fs.String("tenant-limits", "", "per-tenant admission control, \"default=<rate>[:<burst>],<tenant>=<rate>[:<burst>],...\" in requests/second; empty disables")
+
+	drainTimeout := fs.Duration("drain-timeout", 0, "bound on how long a replaced deployment may keep finishing in-flight instances after a redeploy before stragglers are failed loudly (0 = 30s)")
+	journalDir := fs.String("journal-dir", "", "durability journal directory: every coordinator commit point is journaled, cap-hit eviction becomes passivation, and POST /recover can replay after a crash; empty disables durability")
+	fsyncMode := fs.String("fsync", "batch", "journal fsync mode: \"always\" syncs every append, \"batch\" syncs once per flushed batch, \"off\" leaves syncing to the OS (fast CI)")
+	snapshotEvery := fs.Int("snapshot-every", 0, "journal a full instance snapshot every N firing rounds, bounding replay length (0 = 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,44 +175,70 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			Jitter:   *healthJitter,
 		}
 	}
-	reg := service.NewRegistry()
-	comm, err := registerServices(reg, *services, service.SimulatedOptions{
+	fsync, err := journal.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return fmt.Errorf("hostd: %w", err)
+	}
+
+	// The daemon's machinery — host, directory, registry, drain-aware
+	// swaps, and the durability journal — is a core.Platform over the
+	// shared TCP transport. The platform does not own the network (hostd
+	// closes it) and hostd never calls Deploy: tables arrive through the
+	// admin API like before.
+	hostOpts := engine.HostOptions{Limits: limiter}
+	if *verbose {
+		hostOpts.Logf = lg.Printf
+	}
+	p := core.New(core.Options{
+		Network:      tcp,
+		Funcs:        workload.TravelGuards(),
+		HostOptions:  hostOpts,
+		Placement:    placementPolicy,
+		DrainTimeout: *drainTimeout,
+		Durability: journal.Options{
+			Dir:           *journalDir,
+			Fsync:         fsync,
+			SnapshotEvery: *snapshotEvery,
+		},
+	})
+	defer p.Close()
+	if err := p.DurabilityError(); err != nil {
+		lg.Printf("hostd: WARNING: journal %s failed to open (%v); running journal-less — instances are NOT durable", *journalDir, err)
+	}
+
+	comm, err := registerServices(p.Registry(), *services, service.SimulatedOptions{
 		BaseLatency:   *latency,
 		MaxConcurrent: *svcConcurrency,
 	}, commOpts)
 	if err != nil {
 		return err
 	}
-
-	dir := engine.NewDirectory()
-	dir.SetPolicy(placementPolicy)
-	opts := engine.HostOptions{
-		Funcs:  engine.Funcs(workload.TravelGuards()),
-		Limits: limiter,
-	}
-	if *verbose {
-		opts.Logf = lg.Printf
-	}
-	host, err := engine.NewHost(tcp, *coordAddr, reg, dir, opts)
+	host, err := p.AddHost(*coordAddr)
 	if err != nil {
 		return err
 	}
-	defer host.Close()
 	if comm != nil && *healthInterval > 0 {
 		comm.StartHealthChecks(ctx)
 		defer comm.StopHealthChecks()
 	}
 
-	admin := hostapi.NewServer(host, dir, reg.Names)
+	admin := hostapi.NewServer(host, p.Directory(), p.Registry().Names)
+	if p.Journal() != nil {
+		admin.SetRecoverFunc(p.Recover)
+	}
 	ln, err := net.Listen("tcp", *adminAddr)
 	if err != nil {
 		return err
 	}
 	if *statsEvery > 0 {
-		go logStats(ctx, lg, tcp, host.Addr(), *statsEvery)
+		go logStats(ctx, lg, p, tcp, host.Addr(), *statsEvery)
 	}
-	lg.Printf("hostd: coordination on %s, admin on http://%s, services %v",
-		host.Addr(), ln.Addr(), reg.Names())
+	durable := "off"
+	if p.Journal() != nil {
+		durable = fmt.Sprintf("%s (fsync %s)", *journalDir, *fsyncMode)
+	}
+	lg.Printf("hostd: coordination on %s, admin on http://%s, services %v, durability %s",
+		host.Addr(), ln.Addr(), p.Registry().Names(), durable)
 
 	srv := &http.Server{Handler: admin}
 	go func() {
@@ -208,8 +254,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // logStats periodically reports this host's transport counters. The
 // msgs-out/frames-out gap is the Network v2 coalescing win; queue depth,
 // blocked sends, and reconnects are the flow-control observables (the
-// totals aggregate the per-destination counters).
-func logStats(ctx context.Context, lg *log.Logger, tcp *transport.TCP, coordAddr string, every time.Duration) {
+// totals aggregate the per-destination counters). The platform line
+// carries the redeploy-swap counters (rerouted/dropped-stale stale
+// frames, in-flight executions, abandoned stragglers) and the
+// durable-instance counters (evictions, passivations, rehydrations,
+// journal appends/syncs).
+func logStats(ctx context.Context, lg *log.Logger, p *core.Platform, tcp *transport.TCP, coordAddr string, every time.Duration) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
@@ -220,15 +270,22 @@ func logStats(ctx context.Context, lg *log.Logger, tcp *transport.TCP, coordAddr
 			st := tcp.Stats()
 			ns := st.Nodes[coordAddr]
 			total := st.Total()
+			swap := p.SwapStats()
+			dur := p.DurabilityStats()
 			lg.Printf("hostd: traffic in=%d out=%d frames-out=%d bytes-in=%d bytes-out=%d"+
 				" queue-depth=%d send-blocked=%d reconnects=%d frames-merged=%d merged-msgs-per-frame=%.1f"+
 				" recv-lanes=%d recv-queue-depth=%d conns=%d"+
-				" failovers=%d shed=%d breaker-opens=%d",
+				" failovers=%d shed=%d breaker-opens=%d"+
+				" rerouted=%d dropped-stale=%d in-flight=%d abandoned=%d"+
+				" evicted=%d passivated=%d rehydrated=%d journal-appends=%d journal-syncs=%d",
 				ns.MsgsIn, ns.MsgsOut, ns.FramesOut, ns.BytesIn, ns.BytesOut,
 				total.QueueDepth, total.SendBlocked, total.Reconnects,
 				total.FramesMerged, total.MergedMsgsPerFrame(),
 				ns.RecvLanes, ns.RecvQueueDepth, tcp.ConnCount(),
-				total.Failovers, total.ShedRequests, total.BreakerOpens)
+				total.Failovers, total.ShedRequests, total.BreakerOpens,
+				swap.Rerouted, swap.DroppedStale, p.InFlight(), p.Abandoned(),
+				dur.Evicted, dur.Passivated, dur.Rehydrated,
+				dur.Journal.Appends, dur.Journal.Syncs)
 		}
 	}
 }

@@ -7,6 +7,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"regexp"
@@ -42,6 +43,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-services", "NoSuchService"},       // unknown service
 		{"-services", "echo:only-two-parts"}, // malformed echo spec
 		{"-services", "inc:X", "-queue-policy", "banana"}, // bad policy
+		{"-services", "inc:X", "-fsync", "sometimes"},     // bad fsync mode
 		{"-no-such-flag"}, // unknown flag
 	}
 	for _, args := range cases {
@@ -177,6 +179,77 @@ func TestRunWithAvailabilityFlags(t *testing.T) {
 	for _, want := range []string{"failovers=", "shed="} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("stats line missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWithDurabilityFlags(t *testing.T) {
+	// The durable-instance controls end to end: journal directory, fsync
+	// mode, snapshot cadence, drain timeout, the admin /recover resource
+	// reporting a configured journal, and the stats line carrying the
+	// swap + durability counters.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out logBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-coord", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+			"-services", "inc:Inc",
+			"-journal-dir", t.TempDir(), "-fsync", "off",
+			"-snapshot-every", "4", "-drain-timeout", "5s",
+			"-stats", "10ms",
+		}, &out)
+	}()
+
+	var admin string
+	deadline := time.Now().Add(5 * time.Second)
+	for admin == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never logged its admin address; log:\n%s", out.String())
+		}
+		if m := adminRe.FindStringSubmatch(out.String()); m != nil {
+			admin = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/recover", admin))
+	if err != nil {
+		t.Fatalf("GET /recover: %v", err)
+	}
+	var st struct {
+		Configured bool `json:"configured"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /recover: %v", err)
+	}
+	resp.Body.Close()
+	if !st.Configured {
+		t.Fatal("/recover reports no journal despite -journal-dir")
+	}
+
+	deadline = time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "passivated=") {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats line never carried durability counters; log:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down within 5s of cancel")
+	}
+	for _, want := range []string{"rerouted=", "in-flight=", "abandoned=", "evicted=", "journal-appends=", "durability"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("log missing %q:\n%s", want, out.String())
 		}
 	}
 }

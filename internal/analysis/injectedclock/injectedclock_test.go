@@ -8,5 +8,5 @@ import (
 )
 
 func TestInjectedClock(t *testing.T) {
-	analysistest.Run(t, "testdata/src", injectedclock.Analyzer, "injectedclock", "nohook")
+	analysistest.Run(t, "testdata/src", injectedclock.Analyzer, "injectedclock", "nohook", "journalish")
 }

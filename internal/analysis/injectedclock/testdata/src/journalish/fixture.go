@@ -1,0 +1,53 @@
+// Fixture mirroring internal/journal's shape: Options.Now stamps
+// records, so every timestamp and every randomized backoff in the
+// package must route through the injected hook / an owned seeded
+// source. This is the durability determinism contract — replaying a
+// journal under a seeded clock must reproduce byte-identical records.
+package journalish
+
+import (
+	"math/rand"
+	"time"
+)
+
+type options struct {
+	// Now stamps records (observability only). Defaults to time.Now.
+	Now func() time.Time
+}
+
+type record struct {
+	Kind string
+	Time int64
+}
+
+type journal struct{ opts options }
+
+func open(opts options) *journal {
+	if opts.Now == nil {
+		opts.Now = time.Now // default wiring: the one sanctioned bare use
+	}
+	return &journal{opts: opts}
+}
+
+// okAppend stamps through the hook — what internal/journal does.
+func (j *journal) okAppend(kind string) record {
+	return record{Kind: kind, Time: j.opts.Now().UnixNano()}
+}
+
+// badAppend bypasses the hook: replay under a fixed clock would see a
+// different byte stream every run.
+func (j *journal) badAppend(kind string) record {
+	return record{Kind: kind, Time: time.Now().UnixNano()} // want `bare time.Now in a package with an injectable clock \(Now\)`
+}
+
+// okBackoff: retry jitter from an owned seeded source replays.
+func okBackoff(seed int64, base time.Duration) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return base + time.Duration(rng.Int63n(int64(base)))
+}
+
+// badBackoff: global-source jitter makes fsync retry timing
+// unreproducible.
+func badBackoff(base time.Duration) time.Duration {
+	return base + time.Duration(rand.Int63n(int64(base))) // want `rand.Int63n uses the global source`
+}

@@ -14,10 +14,13 @@
 // never held across engine calls), "directory" (engine.Directory.mu,
 // level 3 — serializes copy-on-write rebuilds only; the read path is
 // an atomic snapshot load), "hostapi" (admin-server bookkeeping, level
-// 4), and "controlplane" (controlplane.ControlPlane.mu, level 5 —
-// leaf; guards the version allocator and last-known-good table, never
-// held across admin pushes). None of these may nest with another lock
-// of the same level, and any cross-level acquisition must follow
+// 4), "controlplane" (controlplane.ControlPlane.mu, level 5 — guards
+// the version allocator and last-known-good table, never held across
+// admin pushes), and "journal" (journal.Journal's per-shard mutex,
+// level 6 — the durability leaf: commit points append while holding an
+// instance lock, so the journal ranks below every other repo mutex and
+// may never acquire one). None of these may nest with another lock of
+// the same level, and any cross-level acquisition must follow
 // increasing rank.
 package lockorder
 
@@ -37,9 +40,9 @@ var Analyzer = &framework.Analyzer{
 	Name: "lockorder",
 	Doc: "check the shard-before-instance lock hierarchy\n\n" +
 		"Mutex fields annotated `lockorder:<level>` (platform 0, shard 1, " +
-		"instance 2, directory 3, hostapi 4, controlplane 5, or a bare " +
-		"integer) must be acquired in strictly increasing level order, " +
-		"and never two of the same level.",
+		"instance 2, directory 3, hostapi 4, controlplane 5, journal 6, " +
+		"or a bare integer) must be acquired in strictly increasing level " +
+		"order, and never two of the same level.",
 	Run: run,
 }
 
@@ -51,6 +54,7 @@ var namedLevels = map[string]int{
 	"directory":    3,
 	"hostapi":      4,
 	"controlplane": 5,
+	"journal":      6,
 }
 
 var annotationRe = regexp.MustCompile(`lockorder:\s*([A-Za-z0-9_]+)`)
@@ -74,7 +78,7 @@ func run(pass *framework.Pass) error {
 			rank, err = strconv.Atoi(name)
 			if err != nil {
 				pass.Reportf(mf.Decl.Pos(),
-					"unknown lockorder level %q (known: platform, shard, instance, directory, hostapi, controlplane, or an integer)", name)
+					"unknown lockorder level %q (known: platform, shard, instance, directory, hostapi, controlplane, journal, or an integer)", name)
 				continue
 			}
 		}

@@ -20,6 +20,14 @@ type table struct {
 	shards [4]shard
 }
 
+// journalShard is the durability leaf (internal/journal): commit
+// points append while the instance lock is held, so the journal mutex
+// ranks below everything and may never acquire another repo lock.
+type journalShard struct {
+	mu  sync.Mutex // lockorder:journal — leaf; taken under instance locks
+	buf []byte
+}
+
 // okShardThenInstance is the canonical fast path: shard lock for the
 // lookup, released before the instance critical section.
 func (t *table) okShardThenInstance(id string) {
@@ -83,6 +91,33 @@ func (t *table) badInstanceThenShard(inst *instance) {
 	t.shards[0].mu.Lock() // want `acquiring t.shards\[0\].mu \(lockorder:shard\) while holding inst.mu \(lockorder:instance\)`
 	t.shards[0].mu.Unlock()
 	inst.mu.Unlock()
+}
+
+// okAppendAtCommitPoint is the engine's commit-point shape: the
+// instance lock is held while the snapshot is journaled. instance (2)
+// before journal (6) is increasing order.
+func okAppendAtCommitPoint(inst *instance, js *journalShard) {
+	inst.mu.Lock()
+	js.mu.Lock()
+	js.buf = append(js.buf, byte(inst.n))
+	js.mu.Unlock()
+	inst.mu.Unlock()
+}
+
+// badRehydrateUnderJournal inverts the hierarchy: replay must release
+// the journal shard before touching any engine lock.
+func badRehydrateUnderJournal(inst *instance, js *journalShard) {
+	js.mu.Lock()
+	inst.mu.Lock() // want `acquiring inst.mu \(lockorder:instance\) while holding js.mu \(lockorder:journal\)`
+	inst.mu.Unlock()
+	js.mu.Unlock()
+}
+
+func badTwoJournalShards(a, b *journalShard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `never hold two level-6 \(journal\) locks at once`
+	b.mu.Unlock()
+	a.mu.Unlock()
 }
 
 // escapedTwoShards shows the escape hatch: a deliberate, reasoned

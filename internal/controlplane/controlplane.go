@@ -290,6 +290,44 @@ func (cp *ControlPlane) Rollout(sc *statechart.Statechart, wrapperAddr string) (
 	return rel, nil
 }
 
+// Recover replays the durability journal on every host of the fleet —
+// the second half of recovery-aware activation. The restart playbook
+// for a durable fleet (docs/durability.md) is: bring the daemons back
+// up over their journal directories, Apply (or Rollout) the composite
+// so every host holds its tables and the release is ACTIVATED, then
+// Recover so each daemon replays its journal into live coordinators.
+// Replay before activation would rebuild instances with nowhere to
+// land; the order is enforced by convention here, by commit-point
+// replay idempotency on the daemon.
+//
+// Journal-less daemons (409) are skipped, not fatal: a mixed fleet
+// recovers whatever was durable. Unreachable hosts and failed replays
+// are collected into the returned error; the per-host outcomes are in
+// the returned map regardless.
+func (cp *ControlPlane) Recover() (map[string]*hostapi.RecoveryStatus, error) {
+	statuses := make(map[string]*hostapi.RecoveryStatus, len(cp.order))
+	var errs []error
+	for _, u := range cp.order {
+		st, err := cp.hosts[u].Recover()
+		if st != nil {
+			statuses[u] = st
+		}
+		if err != nil {
+			if st == nil {
+				// Distinguish "runs journal-less" (a clean 409 with no
+				// status body) from a real failure by probing the status
+				// endpoint; an unreachable host fails that too.
+				if probe, perr := cp.hosts[u].RecoveryStatus(); perr == nil && !probe.Configured {
+					statuses[u] = probe
+					continue
+				}
+			}
+			errs = append(errs, fmt.Errorf("%s: %w", u, err))
+		}
+	}
+	return statuses, errors.Join(errs...)
+}
+
 // Retire drops a drained version from the fleet (coordinators and
 // routes). Best-effort: unreachable hosts are collected into the
 // returned error but do not stop the sweep — they will reject nothing,

@@ -1,0 +1,314 @@
+package core_test
+
+// The durability contract suite (docs/durability.md), run over BOTH
+// transports like the churn suite. These pin the acceptance criteria of
+// the durable-instance layer:
+//
+//   - A platform killed mid-Chain(8) and rebuilt over the same journal
+//     directory completes the interrupted composite with ZERO duplicate
+//     provider invocations (journal replay + idempotency priming +
+//     sequence-deduped redelivery) and zero lost instances.
+//   - Passivated-then-rehydrated instances produce byte-identical
+//     outcomes to never-passivated runs, and passivation fully replaces
+//     lossy eviction while a journal is configured.
+//   - Without a journal, cap-hit eviction is LOUD: counted in the
+//     Evicted stat and logged.
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"selfserv/internal/core"
+	"selfserv/internal/journal"
+	"selfserv/internal/service"
+	"selfserv/internal/workload"
+)
+
+// durabilityOpts configures a journal in dir, fsync off (the suite
+// kills processes, not kernels; CI must not pay fsync latency).
+func durabilityOpts(dir string) core.Options {
+	return core.Options{
+		Durability: journal.Options{Dir: dir, Fsync: journal.FsyncOff},
+	}
+}
+
+// TestDurabilityCrashRecoveryMidChain is THE crash-recovery contract:
+// platform A runs Chain(8) and is killed while state 5's provider is
+// executing; platform B — fresh provider objects, same journal dir,
+// same chart re-deployed — recovers, finishes the instance, and no
+// provider anywhere executed twice for a completed invocation. States
+// 1–4 completed in life A and must NOT re-execute in life B (their
+// rounds replay from the journal); state 5 was in doubt at the kill and
+// legally re-executes once; states 6–8 run only in life B.
+func TestDurabilityCrashRecoveryMidChain(t *testing.T) {
+	const n = 8
+	for _, impl := range churnImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			dir := t.TempDir()
+
+			// --- life A -------------------------------------------------
+			pA := impl.newPlatform(t, durabilityOpts(dir))
+			if err := pA.DurabilityError(); err != nil {
+				t.Fatalf("journal: %v", err)
+			}
+			hA1, err := pA.AddHost(impl.hostAddr(1))
+			if err != nil {
+				t.Fatalf("AddHost: %v", err)
+			}
+			hA2, err := pA.AddHost(impl.hostAddr(2))
+			if err != nil {
+				t.Fatalf("AddHost: %v", err)
+			}
+			reached5 := make(chan struct{})
+			gate := make(chan struct{})
+			defer close(gate) // release life A's stuck provider goroutine
+			var reachedOnce sync.Once
+			aSims := map[int]*service.Simulated{}
+			for i := 1; i <= n; i++ {
+				s := service.NewSimulated(fmt.Sprintf("svc%d", i), service.SimulatedOptions{})
+				if i == 5 {
+					s.Handle("run", func(ctx context.Context, params map[string]string) (map[string]string, error) {
+						reachedOnce.Do(func() { close(reached5) })
+						<-gate // the kill lands while this invocation is in flight
+						return incr(ctx, params)
+					})
+				} else {
+					s.Handle("run", incr)
+				}
+				aSims[i] = s
+				host := hA1
+				if i%2 == 0 {
+					host = hA2
+				}
+				pA.RegisterService(host, service.NewIdempotent(s, 0))
+			}
+			compA, err := pA.Deploy(workload.Chain(n))
+			if err != nil {
+				t.Fatalf("Deploy: %v", err)
+			}
+			ctxA, cancelA := context.WithCancel(context.Background())
+			defer cancelA()
+			execDone := make(chan struct{})
+			go func() {
+				defer close(execDone)
+				// The client of life A: its Execute dies with the process.
+				compA.ExecuteInstance(ctxA, "crash-1", map[string]string{"x": "0"})
+			}()
+			select {
+			case <-reached5:
+			case <-churnCtx(t).Done():
+				t.Fatal("state 5 never reached")
+			}
+			pA.Crash() // kill: endpoints and journal close, nothing drains
+			cancelA()
+			<-execDone
+
+			// --- life B -------------------------------------------------
+			pB := impl.newPlatform(t, durabilityOpts(dir))
+			if err := pB.DurabilityError(); err != nil {
+				t.Fatalf("reopen journal: %v", err)
+			}
+			hB1, err := pB.AddHost(impl.hostAddr(3))
+			if err != nil {
+				t.Fatalf("AddHost: %v", err)
+			}
+			hB2, err := pB.AddHost(impl.hostAddr(4))
+			if err != nil {
+				t.Fatalf("AddHost: %v", err)
+			}
+			bSims := map[int]*service.Simulated{}
+			for i := 1; i <= n; i++ {
+				s := service.NewSimulated(fmt.Sprintf("svc%d", i), service.SimulatedOptions{})
+				s.Handle("run", incr)
+				bSims[i] = s
+				host := hB1
+				if i%2 == 0 {
+					host = hB2
+				}
+				pB.RegisterService(host, service.NewIdempotent(s, 0))
+			}
+			// Re-deploying the same chart on a fresh platform reproduces
+			// plan version 1 — the version the journal records name.
+			compB, err := pB.Deploy(workload.Chain(n))
+			if err != nil {
+				t.Fatalf("redeploy: %v", err)
+			}
+			ctx := churnCtx(t)
+			stats, err := pB.Recover(ctx)
+			if err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			if stats.Wrappers != 1 {
+				t.Errorf("recovered wrappers = %d, want 1 (stats: %s)", stats.Wrappers, stats)
+			}
+			found := false
+			for _, id := range compB.Recovered() {
+				if id == "crash-1" {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("instance crash-1 lost: recovered = %v", compB.Recovered())
+			}
+			out, err := compB.WaitRecovered(ctx, "crash-1")
+			if err != nil {
+				t.Fatalf("WaitRecovered: %v", err)
+			}
+			if out["x"] != strconv.Itoa(n) {
+				t.Fatalf("x = %q, want %d", out["x"], n)
+			}
+
+			// Zero duplicate invocations across both lives: completed steps
+			// ran exactly once, in exactly one life. Step 5 — in doubt at
+			// the kill, its outcome never journaled — re-executes in B.
+			for i := 1; i <= 4; i++ {
+				if inv, _, _ := aSims[i].Counters(); inv != 1 {
+					t.Errorf("life A svc%d invoked %d times, want 1", i, inv)
+				}
+				if inv, _, _ := bSims[i].Counters(); inv != 0 {
+					t.Errorf("life B svc%d invoked %d times, want 0 (round was journaled)", i, inv)
+				}
+			}
+			for i := 5; i <= n; i++ {
+				if inv, _, _ := bSims[i].Counters(); inv != 1 {
+					t.Errorf("life B svc%d invoked %d times, want 1", i, inv)
+				}
+			}
+			for i := 6; i <= n; i++ {
+				if inv, _, _ := aSims[i].Counters(); inv != 0 {
+					t.Errorf("life A svc%d invoked %d times, want 0", i, inv)
+				}
+			}
+		})
+	}
+}
+
+// TestDurabilityPassivateByteIdentical pins the platform-level
+// passivation contract: with a journal and a cap of 1, enough
+// concurrent executions pigeonhole instance IDs into the engine's
+// 32-way striped tables, so cap-hit passivations are GUARANTEED — and
+// every outcome stays byte-identical to a run with a cap nothing ever
+// hits. Passivation fully replaces lossy eviction: Evicted stays zero.
+// (Transparent rehydration of a passivated instance is pinned
+// deterministically at the engine layer by
+// TestPassivateRehydrateANDJoinDeterministic; Chain instances receive
+// exactly one frame each, so they passivate but are never revisited.)
+func TestDurabilityPassivateByteIdentical(t *testing.T) {
+	const chain, execs = 4, 48
+	for _, impl := range churnImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			run := func(cap int, dir string) ([]map[string]string, core.DurabilityStats) {
+				opts := durabilityOpts(dir)
+				opts.HostOptions.MaxInstancesPerState = cap
+				p := impl.newPlatform(t, opts)
+				h, err := p.AddHost(impl.hostAddr(1))
+				if err != nil {
+					t.Fatalf("AddHost: %v", err)
+				}
+				for i := 1; i <= chain; i++ {
+					s := service.NewSimulated(fmt.Sprintf("svc%d", i), service.SimulatedOptions{})
+					s.Handle("run", incr)
+					p.RegisterService(h, service.NewIdempotent(s, 0))
+				}
+				comp, err := p.Deploy(workload.Chain(chain))
+				if err != nil {
+					t.Fatalf("Deploy: %v", err)
+				}
+				ctx := churnCtx(t)
+				// Sequential: every instance from an earlier execution is
+				// idle (and hydrated) by the time a later one's bookkeeping
+				// collides with it, so the cap-hit scan always finds a
+				// passivatable victim — the pigeonhole guarantee is exact,
+				// not scheduling-dependent.
+				outs := make([]map[string]string, execs)
+				for e := 0; e < execs; e++ {
+					out, err := comp.Execute(ctx, map[string]string{"x": strconv.Itoa(e * 10)})
+					if err != nil {
+						t.Fatalf("execution %d: %v", e, err)
+					}
+					outs[e] = out
+				}
+				return outs, p.DurabilityStats()
+			}
+
+			tight, tightStats := run(1, t.TempDir())
+			roomy, roomyStats := run(execs*chain*2, t.TempDir())
+			if !reflect.DeepEqual(tight, roomy) {
+				t.Errorf("outcomes diverge:\n tight: %v\n roomy: %v", tight, roomy)
+			}
+			if tightStats.Evicted != 0 {
+				t.Errorf("tight-cap run evicted %d live instances; passivation must replace eviction", tightStats.Evicted)
+			}
+			if tightStats.Passivated == 0 {
+				t.Errorf("tight-cap run passivated nothing (cap 1, %d concurrent executions)", execs)
+			}
+			if roomyStats.Passivated != 0 {
+				t.Errorf("roomy-cap run passivated %d instances, want 0", roomyStats.Passivated)
+			}
+		})
+	}
+}
+
+// TestDurabilityEvictionIsLoudWithoutJournal pins the satellite
+// contract for the journal-less path: a cap-hit eviction of a live
+// instance is counted in the Evicted stat and logged loudly, never a
+// silent FIFO drop.
+func TestDurabilityEvictionIsLoudWithoutJournal(t *testing.T) {
+	for _, impl := range churnImpls() {
+		t.Run(impl.name, func(t *testing.T) {
+			var mu sync.Mutex
+			var logs []string
+			opts := core.Options{}
+			opts.HostOptions.MaxInstancesPerState = 1
+			opts.HostOptions.Logf = func(format string, args ...any) {
+				mu.Lock()
+				logs = append(logs, fmt.Sprintf(format, args...))
+				mu.Unlock()
+			}
+			p := impl.newPlatform(t, opts)
+			h, err := p.AddHost(impl.hostAddr(1))
+			if err != nil {
+				t.Fatalf("AddHost: %v", err)
+			}
+			for i := 1; i <= 2; i++ {
+				s := service.NewSimulated(fmt.Sprintf("svc%d", i), service.SimulatedOptions{})
+				s.Handle("run", incr)
+				p.RegisterService(h, s)
+			}
+			comp, err := p.Deploy(workload.Chain(2))
+			if err != nil {
+				t.Fatalf("Deploy: %v", err)
+			}
+			ctx := churnCtx(t)
+			// Sequential executions: instance bookkeeping is striped over a
+			// 32-way table with shard-local caps, so 40 instance IDs
+			// pigeonhole at least one stripe past the cap of 1 and evict an
+			// earlier (idle, finished) instance.
+			for e := 0; e < 40; e++ {
+				if _, err := comp.Execute(ctx, map[string]string{"x": "0"}); err != nil {
+					t.Fatalf("execution %d: %v", e, err)
+				}
+			}
+			if got := p.DurabilityStats().Evicted; got == 0 {
+				t.Errorf("Evicted = %d, want > 0", got)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			loud := false
+			for _, l := range logs {
+				if strings.Contains(l, "EVICTED") {
+					loud = true
+					break
+				}
+			}
+			if !loud {
+				t.Errorf("no loud eviction log line; got %d log lines", len(logs))
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"selfserv/internal/deployer"
 	"selfserv/internal/engine"
 	"selfserv/internal/expr"
+	"selfserv/internal/journal"
 	"selfserv/internal/limits"
 	"selfserv/internal/placement"
 	"selfserv/internal/routing"
@@ -69,6 +70,15 @@ type Options struct {
 	// wrapper is force-closed (failing the stragglers loudly — counted
 	// in Wrapper.Abandoned, never silently dropped). Zero means 30s.
 	DrainTimeout time.Duration
+	// Durability configures the write-ahead journal behind durable
+	// instances (docs/durability.md): every coordinator and wrapper on
+	// this platform journals its commit points, cap-hit eviction becomes
+	// passivation, and Recover can rebuild in-flight instances after a
+	// crash. An empty Dir disables durability entirely (the default:
+	// everything stays in RAM, as before). A journal that fails to open
+	// surfaces from DurabilityError and Recover; the platform still runs,
+	// journal-less, so a bad disk degrades durability, not availability.
+	Durability journal.Options
 }
 
 // Platform is a running SELF-SERV instance.
@@ -81,6 +91,8 @@ type Platform struct {
 	hostOpts   engine.HostOptions
 	limits     *limits.Limiter
 	drainAfter time.Duration
+	jnl        *journal.Journal // nil when durability is off or the open failed
+	durErr     error            // why the journal is nil despite Durability.Dir being set
 	// drains lets tests and Close wait for retirement goroutines
 	// (a WaitGroup synchronizes itself; it is not guarded by mu).
 	drains sync.WaitGroup
@@ -121,9 +133,17 @@ func New(opts Options) *Platform {
 	if drainAfter <= 0 {
 		drainAfter = 30 * time.Second
 	}
+	var jnl *journal.Journal
+	var durErr error
+	if opts.Durability.Dir != "" {
+		jnl, durErr = journal.Open(opts.Durability)
+		hostOpts.Journal = jnl // nil on failure: hosts run journal-less
+	}
 	return &Platform{
 		net:        net,
 		ownsNet:    owns,
+		jnl:        jnl,
+		durErr:     durErr,
 		registry:   service.NewRegistry(),
 		dir:        dir,
 		funcs:      engine.Funcs(opts.Funcs),
@@ -148,6 +168,111 @@ func (p *Platform) Limits() *limits.Limiter { return p.limits }
 
 // Directory exposes the peer directory (read-mostly).
 func (p *Platform) Directory() *engine.Directory { return p.dir }
+
+// Journal exposes the durability journal (nil when durability is off or
+// the journal failed to open — see DurabilityError).
+func (p *Platform) Journal() *journal.Journal { return p.jnl }
+
+// DurabilityError reports why the platform is running journal-less
+// despite Options.Durability.Dir being set (nil otherwise).
+func (p *Platform) DurabilityError() error { return p.durErr }
+
+// Recover replays the durability journal into this platform's hosts and
+// wrappers, rebuilding the instances a previous process left in flight.
+// It must be called AFTER the fleet is reassembled — same hosts, same
+// providers (wrapped in service.Idempotent where exactly-once matters),
+// and the same composites re-deployed so plan versions line up (a fresh
+// platform's version allocator restarts at 1, so re-deploying the same
+// charts in the same order reproduces the versions the journal names).
+// Rebuilt executions are listed by Composite.Recovered and awaited with
+// Composite.WaitRecovered.
+func (p *Platform) Recover(ctx context.Context) (engine.RecoveryStats, error) {
+	if p.durErr != nil {
+		return engine.RecoveryStats{}, fmt.Errorf("core: recover: %w", p.durErr)
+	}
+	if p.jnl == nil {
+		return engine.RecoveryStats{}, fmt.Errorf("core: recover: durability is not configured")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return engine.RecoveryStats{}, fmt.Errorf("recover: %w", ErrClosed)
+	}
+	hosts := append([]*engine.Host(nil), p.hosts...)
+	wrappers := make([]*engine.Wrapper, 0, len(p.composites))
+	for _, c := range p.composites {
+		wrappers = append(wrappers, c.wrapper)
+	}
+	p.mu.Unlock()
+	return engine.Recover(ctx, p.jnl, hosts, wrappers)
+}
+
+// DurabilityStats aggregates the fleet's durable-instance counters: the
+// hosts' eviction/passivation/rehydration counts and the journal's own
+// append/sync/compaction figures.
+type DurabilityStats struct {
+	Evicted    uint64
+	Passivated uint64
+	Rehydrated uint64
+	Journal    journal.Stats
+}
+
+// DurabilityStats reports the platform's durable-instance counters
+// (all zero when durability is off).
+func (p *Platform) DurabilityStats() DurabilityStats {
+	p.mu.Lock()
+	hosts := append([]*engine.Host(nil), p.hosts...)
+	p.mu.Unlock()
+	var s DurabilityStats
+	for _, h := range hosts {
+		s.Evicted += h.Evicted()
+		s.Passivated += h.Passivated()
+		s.Rehydrated += h.Rehydrated()
+	}
+	if p.jnl != nil {
+		s.Journal = p.jnl.Stats()
+	}
+	return s
+}
+
+// InFlight totals the in-flight execution gauges of every live
+// deployment (draining versions included — their instances are still
+// running).
+func (p *Platform) InFlight() int {
+	p.mu.Lock()
+	comps := make([]*Composite, 0, len(p.composites)+len(p.draining))
+	for _, c := range p.composites {
+		comps = append(comps, c)
+	}
+	for c := range p.draining {
+		comps = append(comps, c)
+	}
+	p.mu.Unlock()
+	total := 0
+	for _, c := range comps {
+		total += c.wrapper.InFlight()
+	}
+	return total
+}
+
+// Abandoned totals the abandoned-instance counters of every live
+// deployment.
+func (p *Platform) Abandoned() uint64 {
+	p.mu.Lock()
+	comps := make([]*Composite, 0, len(p.composites)+len(p.draining))
+	for _, c := range p.composites {
+		comps = append(comps, c)
+	}
+	for c := range p.draining {
+		comps = append(comps, c)
+	}
+	p.mu.Unlock()
+	var total uint64
+	for _, c := range comps {
+		total += c.wrapper.Abandoned()
+	}
+	return total
+}
 
 // AddHost starts a coordinator host listening on addr ("host-1" style
 // names on the in-memory network, "ip:port" on TCP). Returns ErrClosed
@@ -274,6 +399,7 @@ func (p *Platform) Deploy(sc *statechart.Statechart) (*Composite, error) {
 		return nil, err
 	}
 	w.SetLimiter(p.limits)
+	w.SetJournal(p.jnl)
 	comp := &Composite{platform: p, wrapper: w, plan: dep.Plan, compiled: dep.Compiled, version: version}
 	p.mu.Lock()
 	if p.closed {
@@ -382,10 +508,55 @@ func (p *Platform) Close() error {
 	for _, h := range hosts {
 		h.Close()
 	}
+	// The journal closes after the hosts: no coordinator can append once
+	// its endpoint is gone.
+	if p.jnl != nil {
+		p.jnl.Close()
+	}
 	if p.ownsNet {
 		return p.net.Close()
 	}
 	return nil
+}
+
+// Crash simulates a process kill for the durability fault suite: every
+// wrapper and host endpoint closes immediately — no drain, no
+// abandonment records, no completion records — and the journal closes,
+// leaving the on-disk state exactly as a killed process would. The
+// platform is closed afterwards (Close becomes a no-op). Unlike Close,
+// Crash does not wait for background drain goroutines: a crashed
+// process waits for nothing.
+func (p *Platform) Crash() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	comps := p.composites
+	hosts := p.hosts
+	draining := make([]*Composite, 0, len(p.draining))
+	for c := range p.draining {
+		draining = append(draining, c)
+	}
+	p.composites = map[string]*Composite{}
+	p.hosts = nil
+	p.mu.Unlock()
+	for _, c := range comps {
+		c.wrapper.Kill()
+	}
+	for _, c := range draining {
+		c.wrapper.Kill()
+	}
+	for _, h := range hosts {
+		h.Close()
+	}
+	if p.jnl != nil {
+		p.jnl.Close()
+	}
+	if p.ownsNet {
+		p.net.Close()
+	}
 }
 
 // Execute runs one instance of the composite.
@@ -404,6 +575,17 @@ func (c *Composite) RaiseEvent(ctx context.Context, instanceID, event string, pa
 // can be raised against it while it runs.
 func (c *Composite) ExecuteInstance(ctx context.Context, id string, inputs map[string]string) (map[string]string, error) {
 	return c.wrapper.ExecuteInstance(ctx, id, inputs)
+}
+
+// Recovered lists the execution IDs Recover rebuilt into this
+// deployment's wrapper.
+func (c *Composite) Recovered() []string { return c.wrapper.Recovered() }
+
+// WaitRecovered blocks until a recovery-rebuilt execution terminates
+// and returns its outputs — the crashed process's Execute, completed by
+// this one.
+func (c *Composite) WaitRecovered(ctx context.Context, id string) (map[string]string, error) {
+	return c.wrapper.WaitRecovered(ctx, id)
 }
 
 // Name returns the composite service name.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"selfserv/internal/expr"
+	"selfserv/internal/journal"
 	"selfserv/internal/limits"
 	"selfserv/internal/message"
 	"selfserv/internal/routing"
@@ -30,6 +31,13 @@ type HostOptions struct {
 	// Limits, when set, gates remote TypeInvoke requests per tenant
 	// (message variable engine.TenantVar). Nil admits everything.
 	Limits *limits.Limiter
+	// Journal, when set, makes every coordinator on this host durable:
+	// arrivals, invocations, and firing rounds are journaled at their
+	// commit points, cap-hit eviction becomes passivation (state goes to
+	// the journal, not the floor), and outbound notifications carry
+	// per-instance sequence numbers so crash-recovery redelivery can be
+	// deduplicated. Nil keeps the pre-durability in-RAM behavior.
+	Journal *journal.Journal
 }
 
 // Host is one node of the peer-to-peer execution fabric. It runs the
@@ -55,6 +63,14 @@ type Host struct {
 	// frames that could not be placed at all (version retired everywhere).
 	rerouted     atomic.Uint64
 	droppedStale atomic.Uint64
+
+	// Durability observability: instances whose state was LOST to a
+	// cap-hit eviction (no journal, or the passivation write failed),
+	// instances passivated to the journal, and passivated instances
+	// rehydrated back into RAM on a later frame.
+	evicted    atomic.Uint64
+	passivated atomic.Uint64
+	rehydrated atomic.Uint64
 }
 
 // SwapStats reports how many stale-snapshot frames this host re-routed
@@ -69,6 +85,20 @@ type SwapStats struct {
 func (h *Host) SwapStats() SwapStats {
 	return SwapStats{Rerouted: h.rerouted.Load(), DroppedStale: h.droppedStale.Load()}
 }
+
+// Evicted counts live instances dropped at the cap with their state
+// LOST — the pre-durability FIFO eviction. With a journal configured
+// this should stay zero (cap hits passivate instead); every increment
+// is also logged loudly, because a lost instance stalls or faults its
+// composite.
+func (h *Host) Evicted() uint64 { return h.evicted.Load() }
+
+// Passivated counts instances serialized to the journal at a cap hit.
+func (h *Host) Passivated() uint64 { return h.passivated.Load() }
+
+// Rehydrated counts passivated instances restored into RAM by a later
+// notification.
+func (h *Host) Rehydrated() uint64 { return h.rehydrated.Load() }
 
 // reroutedVar marks a frame that was already forwarded once by a host
 // that had no coordinator for it ('$'-prefixed: engine metadata, never
@@ -198,6 +228,15 @@ func (h *Host) States(composite string) []string {
 		}
 	}
 	return out
+}
+
+// coordinatorFor returns the coordinator installed for one (composite,
+// state, version), or nil. Recovery uses it to route replayed journal
+// records to their owners.
+func (h *Host) coordinatorFor(composite, stateID string, version uint64) *coordinator {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.coords[coordKey(composite, stateID, version)]
 }
 
 func coordKey(composite, stateID string, version uint64) string {
@@ -396,18 +435,192 @@ type coordInstance struct {
 	merged  map[string]string   // cached canonical merge; nil when stale
 	running bool                // an invocation is in flight; new clause checks wait
 	fireSeq uint64              // firings launched so far; keys idempotent retries
+
+	// Durability bookkeeping, used only when the host has a journal.
+	// lastSeen is the per-interned-source high-water mark of received
+	// message sequence numbers: recovery redelivery may repeat a message
+	// the crashed process already applied (and journaled), and the mark
+	// drops the duplicate. sendSeq numbers this instance's outbound
+	// notifications. hydrated is false until the instance has checked the
+	// journal's passive index for an earlier life to restore.
+	lastSeen []uint64
+	sendSeq  uint64
+	hydrated bool
 }
 
 func (c *coordinator) instance(id string) *coordInstance {
+	j := c.host.opts.Journal
 	return c.instances.getOrCreate(id, c.host.opts.MaxInstancesPerState, func() *coordInstance {
-		return &coordInstance{
-			counts:  make([]uint32, c.table.NumSources()),
-			pending: make([]uint64, c.table.MaskWords()),
-			base:    map[string]string{},
-			srcVars: make([]map[string]string, c.table.NumSources()),
-			srcVer:  make([]uint32, c.table.NumSources()),
+		inst := &coordInstance{
+			counts:   make([]uint32, c.table.NumSources()),
+			pending:  make([]uint64, c.table.MaskWords()),
+			base:     map[string]string{},
+			srcVars:  make([]map[string]string, c.table.NumSources()),
+			srcVer:   make([]uint32, c.table.NumSources()),
+			hydrated: j == nil,
 		}
-	})
+		if j != nil {
+			inst.lastSeen = make([]uint64, c.table.NumSources())
+		}
+		return inst
+	}, c.onEvict)
+}
+
+// onEvict is consulted by the instance table when a cap-hit create
+// needs room: it runs under the shard mutex, so it may only TryLock the
+// victim (see shard.go's lock-order note). A victim with an invocation
+// in flight — or one whose mutex is busy — is vetoed. Otherwise, with a
+// journal configured, the victim's full state is serialized as a
+// passivation record (rehydrated transparently by its next frame); with
+// no journal, the state is LOST, counted, and logged loudly.
+func (c *coordinator) onEvict(id string, inst *coordInstance) bool {
+	if !inst.mu.TryLock() {
+		return false
+	}
+	defer inst.mu.Unlock()
+	if inst.running {
+		return false
+	}
+	// A freshly created object whose first notification has not yet been
+	// applied (or whose passive state has not been read back) must not be
+	// selected: passivating it would append an EMPTY snapshot that
+	// shadows the instance's real record in the journal's passive index,
+	// losing every arrival it had accumulated. The creator is about to
+	// lock it anyway; veto and let the scan pick an older entry.
+	if !inst.hydrated {
+		return false
+	}
+	if j := c.host.opts.Journal; j != nil {
+		if err := j.Append(c.snapshotLocked(journal.KindPassivate, id, inst)); err == nil {
+			c.host.passivated.Add(1)
+			c.host.logf("coord %s/%s: passivated instance %s at cap %d",
+				c.composite, c.table.State, id, c.host.opts.MaxInstancesPerState)
+			return true
+		} else {
+			c.host.logf("coord %s/%s: passivation write for %s failed (%v); falling back to LOSSY eviction",
+				c.composite, c.table.State, id, err)
+		}
+	}
+	c.host.evicted.Add(1)
+	c.host.logf("coord %s/%s: EVICTED live instance %s at cap %d — its state is lost and the execution will stall or fault",
+		c.composite, c.table.State, id, c.host.opts.MaxInstancesPerState)
+	return true
+}
+
+// snapshotLocked serializes inst as a snapshot or passivation record.
+// Per-source state is keyed by source NAME so a restart that recompiles
+// the plan (possibly interning in a different order) can still map it
+// back. Caller holds inst.mu; Append marshals synchronously, so sharing
+// the live maps with the record is safe.
+func (c *coordinator) snapshotLocked(kind string, instanceID string, inst *coordInstance) *journal.Record {
+	var counts map[string]uint32
+	var bags map[string]map[string]string
+	var seen map[string]uint64
+	for i := 0; i < c.table.NumSources(); i++ {
+		name := c.table.SourceName(i)
+		if inst.counts[i] > 0 {
+			if counts == nil {
+				counts = map[string]uint32{}
+			}
+			counts[name] = inst.counts[i]
+		}
+		if inst.srcVars[i] != nil {
+			if bags == nil {
+				bags = map[string]map[string]string{}
+			}
+			bags[name] = inst.srcVars[i]
+		}
+		if inst.lastSeen != nil && inst.lastSeen[i] > 0 {
+			if seen == nil {
+				seen = map[string]uint64{}
+			}
+			seen[name] = inst.lastSeen[i]
+		}
+	}
+	return &journal.Record{
+		Kind:      kind,
+		Composite: c.composite,
+		State:     c.table.State,
+		Instance:  instanceID,
+		Version:   c.version,
+		Vars:      inst.base,
+		Counts:    counts,
+		SrcVars:   bags,
+		LastSeen:  seen,
+		FireSeq:   inst.fireSeq,
+		SendSeq:   inst.sendSeq,
+	}
+}
+
+// restoreLocked loads a snapshot/passivation record into inst (fresh or
+// being rebuilt by recovery). Sources that are no longer interned —
+// plan drift across a restart — fold their bags into the base layer,
+// which at worst re-delivers their variables out of canonical order but
+// never loses data. Caller holds inst.mu.
+func (c *coordinator) restoreLocked(inst *coordInstance, r *journal.Record) {
+	for k, v := range r.Vars {
+		inst.base[k] = v
+	}
+	for name, n := range r.Counts {
+		if idx, ok := c.table.SourceIndex(name); ok {
+			inst.counts[idx] = n
+			if n > 0 {
+				inst.pending[idx>>6] |= 1 << (idx & 63)
+			}
+		}
+	}
+	for name, bag := range r.SrcVars {
+		idx, ok := c.table.SourceIndex(name)
+		if !ok {
+			for k, v := range bag {
+				inst.base[k] = v
+			}
+			continue
+		}
+		m := make(map[string]string, len(bag))
+		for k, v := range bag {
+			m[k] = v
+		}
+		inst.srcVars[idx] = m
+		inst.srcVer[idx]++
+	}
+	if inst.lastSeen != nil {
+		for name, s := range r.LastSeen {
+			if idx, ok := c.table.SourceIndex(name); ok {
+				inst.lastSeen[idx] = s
+			}
+		}
+	}
+	inst.fireSeq = r.FireSeq
+	inst.sendSeq = r.SendSeq
+	inst.merged = nil
+}
+
+// rehydrateLocked gives a freshly created instance its earlier life
+// back, if the journal holds a passivation record for it. Runs at most
+// once per in-RAM object; caller holds inst.mu and has confirmed table
+// membership.
+func (c *coordinator) rehydrateLocked(instanceID string, inst *coordInstance) {
+	if inst.hydrated {
+		return
+	}
+	inst.hydrated = true
+	j := c.host.opts.Journal
+	if j == nil {
+		return
+	}
+	r, ok, err := j.TakePassive(c.composite, c.table.State, instanceID)
+	if err != nil {
+		c.host.logf("coord %s/%s: rehydrate %s: %v", c.composite, c.table.State, instanceID, err)
+		return
+	}
+	if !ok {
+		return
+	}
+	c.restoreLocked(inst, r)
+	c.host.rehydrated.Add(1)
+	c.host.logf("coord %s/%s: rehydrated instance %s (fireSeq %d)",
+		c.composite, c.table.State, instanceID, inst.fireSeq)
 }
 
 // mergedVarsLocked returns the instance's variable bag (mergeLayers
@@ -442,9 +655,52 @@ func (c *coordinator) onNotification(ctx context.Context, m *message.Message) {
 		inst = c.instance(m.Instance)
 		inst.mu.Lock()
 	}
+	// A fresh in-RAM object may be the reincarnation of a passivated
+	// instance: restore it from the journal before applying the frame.
+	c.rehydrateLocked(m.Instance, inst)
+	j := c.host.opts.Journal
 	// Senders outside the interned universe appear in no precondition
 	// clause and can never contribute to coverage; their variables go to
 	// the base layer, the count is dropped.
+	if idx, ok := c.table.SourceIndex(m.From); ok {
+		// Durable dedup: recovery redelivers the journaled outbound
+		// messages of every restored round conservatively — a message the
+		// crashed process already delivered (and whose effect this
+		// instance already journaled) comes again, and counting it twice
+		// would double-arm the AND-join. Sequence-stamped messages at or
+		// below the sender's high-water mark are duplicates; unstamped
+		// messages (Seq 0: journal-less sender, or a pre-durability peer)
+		// pass untouched.
+		if j != nil && m.Seq != 0 && inst.lastSeen != nil {
+			if seq := uint64(m.Seq); seq <= inst.lastSeen[idx] {
+				c.host.logf("coord %s/%s: dropped duplicate frame %s seq %d from %s (seen %d)",
+					c.composite, c.table.State, m.Instance, m.Seq, m.From, inst.lastSeen[idx])
+				inst.mu.Unlock()
+				return
+			} else {
+				inst.lastSeen[idx] = seq
+			}
+		}
+	}
+	// Write-ahead commit point: the arrival becomes durable before its
+	// effects do. An append failure degrades durability, never liveness —
+	// the frame is still applied.
+	if j != nil {
+		rec := &journal.Record{
+			Kind:      journal.KindArrival,
+			Composite: c.composite,
+			State:     c.table.State,
+			Instance:  m.Instance,
+			Version:   c.version,
+			Src:       m.From,
+			Seq:       uint64(m.Seq),
+			Vars:      m.Vars,
+		}
+		if err := j.Append(rec); err != nil {
+			c.host.logf("coord %s/%s: journal arrival append for %s failed: %v",
+				c.composite, c.table.State, m.Instance, err)
+		}
+	}
 	if idx, ok := c.table.SourceIndex(m.From); ok {
 		bag := inst.srcVars[idx]
 		if bag == nil {
@@ -503,9 +759,15 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 			continue
 		}
 		// Consume the notifications of the matched clause so loops re-arm.
+		// With a journal, remember WHICH sources were decremented (by
+		// name): the round record replays the same decrements on recovery.
+		var consumed []string
 		for _, idx := range clause.SourceIndexes() {
 			if inst.counts[idx] > 0 {
 				inst.counts[idx]--
+				if c.host.opts.Journal != nil {
+					consumed = append(consumed, c.table.SourceName(idx))
+				}
 			}
 			if inst.counts[idx] == 0 {
 				inst.pending[idx>>6] &^= 1 << (idx & 63)
@@ -534,7 +796,7 @@ func (c *coordinator) maybeFireLocked(ctx context.Context, instanceID string, in
 		// to tell data absorbed into this snapshot from data that arrived
 		// while the service ran.
 		firedVer := append([]uint32(nil), inst.srcVer...)
-		go c.fire(ctx, instanceID, inst.fireSeq, snapshot, firedVer)
+		go c.fire(ctx, instanceID, inst.fireSeq, snapshot, firedVer, consumed)
 		return
 	}
 }
@@ -547,35 +809,65 @@ func isUndefinedVar(err error) bool {
 
 // fire invokes the component service and runs postprocessing. fireSeq
 // numbers this firing within the instance; firedVer is the per-source
-// bag version vector captured when the snapshot was taken (see finish).
-func (c *coordinator) fire(ctx context.Context, instanceID string, fireSeq uint64, vars map[string]string, firedVer []uint32) {
+// bag version vector captured when the snapshot was taken (see finish);
+// consumed names the sources whose counts the matched clause
+// decremented (journaling only — nil otherwise).
+func (c *coordinator) fire(ctx context.Context, instanceID string, fireSeq uint64, vars map[string]string, firedVer []uint32, consumed []string) {
 	c.host.logf("coord %s/%s: firing instance %s", c.composite, c.table.State, instanceID)
 
 	params, err := bindInputs(c.table.Inputs, vars, c.host.funcEnv)
+	var key string
 	if err == nil {
 		var resp service.Response
 		// The idempotency key names the LOGICAL firing — composite,
 		// instance, state, firing number — never the provider that ends
 		// up executing it: a community retrying the invocation on an
 		// alternative member after a failure replays the cached response
-		// instead of executing the operation twice.
+		// instead of executing the operation twice. The same property
+		// carries across a CRASH: recovery replays the journal up to the
+		// last completed round, so a re-fired interrupted round computes
+		// the same fireSeq, presents the same key, and — with the journaled
+		// invoke outcome primed back into service.Idempotent — replays the
+		// completed invocation instead of executing it a second time.
+		key = c.composite + "/" + instanceID + "/" + c.table.State + "/" + strconv.FormatUint(fireSeq, 10)
 		resp, err = c.host.registry.Invoke(ctx, service.Request{
 			Service:        c.table.Service,
 			Operation:      c.table.Operation,
 			Params:         params,
 			Tenant:         vars[TenantVar],
-			IdempotencyKey: c.composite + "/" + instanceID + "/" + c.table.State + "/" + strconv.FormatUint(fireSeq, 10),
+			IdempotencyKey: key,
 		})
 		if err == nil {
 			bindOutputs(c.table.Outputs, resp.Outputs, vars)
+			// Commit point: the invocation's outcome is durable before its
+			// effects propagate. Only successes are recorded — Idempotent
+			// forgets failures, and so does the journal, so a crash between
+			// a failed attempt and its retry re-executes (correct).
+			if j := c.host.opts.Journal; j != nil {
+				rec := &journal.Record{
+					Kind:      journal.KindInvoke,
+					Composite: c.composite,
+					State:     c.table.State,
+					Instance:  instanceID,
+					Version:   c.version,
+					Service:   c.table.Service,
+					Key:       key,
+					Outputs:   resp.Outputs,
+					FireSeq:   fireSeq,
+				}
+				if jerr := j.Append(rec); jerr != nil {
+					c.host.logf("coord %s/%s: journal invoke append for %s failed: %v",
+						c.composite, c.table.State, instanceID, jerr)
+				}
+			}
 		}
 	}
 
 	if err != nil {
-		c.finish(ctx, instanceID, nil, firedVer, err)
+		c.finish(ctx, instanceID, nil, firedVer, fireSeq, nil, err)
 		return
 	}
-	c.finish(ctx, instanceID, vars, firedVer, nil)
+	c.finish(ctx, instanceID, vars, firedVer, fireSeq, consumed, nil)
 }
 
 // finish merges results, re-checks pending clauses (loops), and runs the
@@ -584,8 +876,12 @@ func (c *coordinator) fire(ctx context.Context, instanceID string, fireSeq uint6
 // whose guard holds into a per-destination outbox, flushed once at the
 // end of the round — peers co-hosted at one address share a single wire
 // frame (per-destination FIFO order preserved).
-func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, firedVer []uint32, invokeErr error) {
+func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[string]string, firedVer []uint32, fireSeq uint64, consumed []string, invokeErr error) {
+	j := c.host.opts.Journal
 	inst, _ := c.instances.get(instanceID)
+	var box outbox
+	built := false
+	var postErr error
 	if inst != nil {
 		inst.mu.Lock()
 		if vars != nil {
@@ -598,15 +894,62 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 			// written DURING the firing keeps its contents and still
 			// overrides base, so a loop's fresh notification beats our
 			// now-older results.
+			var cleared []string
 			for i, bag := range inst.srcVars {
 				if bag != nil && inst.srcVer[i] == firedVer[i] {
 					inst.srcVars[i] = nil
+					if j != nil {
+						cleared = append(cleared, c.table.SourceName(i))
+					}
 				}
 			}
 			for k, v := range vars {
 				inst.base[k] = v
 			}
 			inst.merged = nil
+			if j != nil {
+				// Commit point: the round record must be journaled INSIDE
+				// the same critical section as the absorption above. The
+				// journal serializes an instance's records (one WAL shard),
+				// so an arrival journaled after this record is an arrival
+				// applied after it — replay clears exactly the bags this
+				// round absorbed, never a fresher one that interleaved. The
+				// outbox is therefore also BUILT here (postprocessing is
+				// pure evaluation plus a directory read — instance before
+				// directory is fine), so each outbound message's sequence
+				// stamp is covered by the record; the flush still happens
+				// outside the lock, after it.
+				var msgs []journal.OutMsg
+				box, msgs, postErr = c.postRound(instanceID, inst, vars)
+				built = true
+				if postErr == nil {
+					rec := &journal.Record{
+						Kind:      journal.KindRound,
+						Composite: c.composite,
+						State:     c.table.State,
+						Instance:  instanceID,
+						Version:   c.version,
+						FireSeq:   fireSeq,
+						Consumed:  consumed,
+						Cleared:   cleared,
+						Vars:      vars,
+						SendSeq:   inst.sendSeq,
+						Msgs:      msgs,
+					}
+					if err := j.Append(rec); err != nil {
+						c.host.logf("coord %s/%s: journal round append for %s failed: %v",
+							c.composite, c.table.State, instanceID, err)
+					}
+					// Periodic snapshot: bounds replay work (and, after
+					// compaction, journal size) for long-lived instances.
+					if every := j.SnapshotEvery(); every > 0 && fireSeq%uint64(every) == 0 {
+						if err := j.Append(c.snapshotLocked(journal.KindSnapshot, instanceID, inst)); err != nil {
+							c.host.logf("coord %s/%s: journal snapshot append for %s failed: %v",
+								c.composite, c.table.State, instanceID, err)
+						}
+					}
+				}
+			}
 		}
 		inst.running = false
 		inst.mu.Unlock()
@@ -617,48 +960,14 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		return
 	}
 
-	var box outbox
-	for _, target := range c.table.Postprocessings {
-		ok, err := evalGuard(target.Condition, vars, c.host.funcEnv)
-		if err != nil {
-			c.sendFault(ctx, instanceID, err)
-			return
-		}
-		if !ok {
-			continue
-		}
-		outVars := vars
-		if len(target.Actions) > 0 {
-			outVars, err = applyActions(target.Actions, vars, c.host.funcEnv)
-			if err != nil {
-				c.sendFault(ctx, instanceID, err)
-				return
-			}
-		}
-		typ := message.TypeNotify
-		if target.To == message.WrapperID {
-			typ = message.TypeDone
-		}
-		// Deterministic replica choice: the (instance, tenant) key picks
-		// the same replica of target.To on every sender, so all of an
-		// instance's notifications converge on one coordinator object.
-		// The lookup is pinned to THIS coordinator's plan version: an
-		// in-flight instance keeps flowing through the tables it started
-		// on even while a newer version is live.
-		addr, found := c.host.dir.RouteV(c.composite, c.version, target.To, instanceID, vars[TenantVar])
-		if !found {
-			c.sendFault(ctx, instanceID, fmt.Errorf("engine: no address for peer %q of %s v%d", target.To, c.composite, c.version))
-			return
-		}
-		box.add(addr, &message.Message{
-			Type:      typ,
-			Composite: c.composite,
-			Instance:  instanceID,
-			From:      c.table.State,
-			To:        target.To,
-			Version:   c.version,
-			Vars:      outVars,
-		})
+	if !built {
+		// Journal-less path (or the instance vanished): build the outbox
+		// from the snapshot without holding any lock, as before.
+		box, _, postErr = c.postRound(instanceID, nil, vars)
+	}
+	if postErr != nil {
+		c.sendFault(ctx, instanceID, postErr)
+		return
 	}
 	if err := box.flush(ctx, c.host.sender); err != nil {
 		c.sendFault(ctx, instanceID, fmt.Errorf("engine: notify peers of %s: %w", c.table.State, err))
@@ -673,6 +982,65 @@ func (c *coordinator) finish(ctx context.Context, instanceID string, vars map[st
 		c.maybeFireLocked(ctx, instanceID, inst)
 		inst.mu.Unlock()
 	}
+}
+
+// postRound runs the postprocessing phase on the round's final bag:
+// each target's precompiled condition is evaluated and the
+// notifications of the peers whose guard holds are collected into a
+// per-destination outbox. When inst is non-nil (the journaling path;
+// caller holds inst.mu), every message is stamped with the instance's
+// next send sequence number and also returned in journal form — To is
+// the LOGICAL peer, not its address, because recovery re-resolves
+// addresses through the directory of the restarted fleet.
+func (c *coordinator) postRound(instanceID string, inst *coordInstance, vars map[string]string) (outbox, []journal.OutMsg, error) {
+	var box outbox
+	var logged []journal.OutMsg
+	for _, target := range c.table.Postprocessings {
+		ok, err := evalGuard(target.Condition, vars, c.host.funcEnv)
+		if err != nil {
+			return box, nil, err
+		}
+		if !ok {
+			continue
+		}
+		outVars := vars
+		if len(target.Actions) > 0 {
+			outVars, err = applyActions(target.Actions, vars, c.host.funcEnv)
+			if err != nil {
+				return box, nil, err
+			}
+		}
+		typ := message.TypeNotify
+		if target.To == message.WrapperID {
+			typ = message.TypeDone
+		}
+		// Deterministic replica choice: the (instance, tenant) key picks
+		// the same replica of target.To on every sender, so all of an
+		// instance's notifications converge on one coordinator object.
+		// The lookup is pinned to THIS coordinator's plan version: an
+		// in-flight instance keeps flowing through the tables it started
+		// on even while a newer version is live.
+		addr, found := c.host.dir.RouteV(c.composite, c.version, target.To, instanceID, vars[TenantVar])
+		if !found {
+			return box, nil, fmt.Errorf("engine: no address for peer %q of %s v%d", target.To, c.composite, c.version)
+		}
+		m := &message.Message{
+			Type:      typ,
+			Composite: c.composite,
+			Instance:  instanceID,
+			From:      c.table.State,
+			To:        target.To,
+			Version:   c.version,
+			Vars:      outVars,
+		}
+		if inst != nil {
+			inst.sendSeq++
+			m.Seq = int(inst.sendSeq)
+			logged = append(logged, journal.OutMsg{Type: string(typ), To: target.To, Seq: inst.sendSeq, Vars: outVars})
+		}
+		box.add(addr, m)
+	}
+	return box, logged, nil
 }
 
 // sendFault reports a failed firing to the wrapper.

@@ -1,0 +1,469 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"selfserv/internal/journal"
+	"selfserv/internal/message"
+	"selfserv/internal/service"
+)
+
+// This file implements crash recovery: rebuilding the in-flight
+// instances a dead process left in its journal and driving them to
+// completion (docs/durability.md). The contract is exactly-once at the
+// provider boundary and at-least-once on the wire:
+//
+//   - Every invocation that COMPLETED before the crash is primed back
+//     into the provider's service.Idempotent cache under its original
+//     key, so a re-fired round replays the cached response instead of
+//     executing the operation again.
+//   - Every outbound message of a journaled round is REDELIVERED —
+//     conservatively, because the journal cannot know which sends
+//     reached the wire before the crash — and the receivers'
+//     per-source sequence marks (coordInstance.lastSeen) drop the ones
+//     the first life already applied.
+//
+// Recovery runs after the restarted fleet has re-installed its routing
+// tables and re-registered its providers: replayed records whose
+// (composite, state, version) has no coordinator are counted as skipped
+// rather than failing the whole replay, so a partial redeploy degrades
+// visibly instead of fatally. Addresses are NOT taken from the journal —
+// a restarted fleet listens somewhere new — every redelivery re-resolves
+// its logical peer through the live directory.
+
+// RecoveryStats summarizes one journal replay.
+type RecoveryStats struct {
+	// Coordinators is the number of live coordinator instances rebuilt
+	// into RAM (and re-checked for satisfiable clauses).
+	Coordinators int
+	// Wrappers is the number of wrapper executions rebuilt; unfinished
+	// ones had their start phase re-sent and run to completion.
+	Wrappers int
+	// Passive is the number of instances left passivated on disk (their
+	// next frame rehydrates them; recovery does not touch them).
+	Passive int
+	// Finished is the number of journaled executions that had already
+	// completed (wrapper done records) and were not rebuilt.
+	Finished int
+	// Redelivered is the number of outbound messages re-sent from
+	// journaled rounds and start phases.
+	Redelivered int
+	// Primed is the number of completed invocation outcomes seeded into
+	// idempotency caches.
+	Primed int
+	// Skipped is the number of journal records that had no installed
+	// coordinator or wrapper to replay into (plan not redeployed, or
+	// redeployed under a different version).
+	Skipped int
+}
+
+func (s RecoveryStats) String() string {
+	return fmt.Sprintf("coords=%d wrappers=%d passive=%d finished=%d redelivered=%d primed=%d skipped=%d",
+		s.Coordinators, s.Wrappers, s.Passive, s.Finished, s.Redelivered, s.Primed, s.Skipped)
+}
+
+// replayedCoord accumulates one coordinator instance's journaled life.
+type replayedCoord struct {
+	c       *coordinator
+	id      string
+	inst    *coordInstance
+	msgs    []journal.OutMsg // outbound messages owed redelivery
+	invokes []*journal.Record
+	passive bool // last effective record was a passivation
+}
+
+// replayedWrap accumulates one wrapper execution's journaled life.
+type replayedWrap struct {
+	w        *Wrapper
+	id       string
+	inputs   map[string]string
+	arrivals []*journal.Record
+	done     bool
+}
+
+// Recover replays j into the given hosts and wrappers. It must run
+// after tables are installed and providers registered, and before (or
+// concurrently with — the engine's locking covers it) new traffic.
+func Recover(ctx context.Context, j *journal.Journal, hosts []*Host, wrappers []*Wrapper) (RecoveryStats, error) {
+	var stats RecoveryStats
+	coords := map[string]*replayedCoord{}
+	wraps := map[string]*replayedWrap{}
+
+	findCoord := func(composite, state string, version uint64) *coordinator {
+		for _, h := range hosts {
+			if c := h.coordinatorFor(composite, state, version); c != nil {
+				return c
+			}
+		}
+		return nil
+	}
+	findWrap := func(composite string, version uint64) *Wrapper {
+		for _, w := range wrappers {
+			if w.plan.Composite == composite && w.compiled.Version == version {
+				return w
+			}
+		}
+		return nil
+	}
+
+	err := j.Replay(func(r *journal.Record) error {
+		switch r.Kind {
+		case journal.KindWStart, journal.KindWArrival, journal.KindWDone:
+			key := r.Composite + "\x00" + strconv.FormatUint(r.Version, 10) + "\x00" + r.Instance
+			rw := wraps[key]
+			if rw == nil {
+				w := findWrap(r.Composite, r.Version)
+				if w == nil {
+					stats.Skipped++
+					return nil
+				}
+				rw = &replayedWrap{w: w, id: r.Instance}
+				wraps[key] = rw
+			}
+			switch r.Kind {
+			case journal.KindWStart:
+				rw.inputs = r.Vars
+			case journal.KindWArrival:
+				rw.arrivals = append(rw.arrivals, r)
+			case journal.KindWDone:
+				rw.done = true
+			}
+			return nil
+		}
+
+		key := r.Composite + "\x00" + r.State + "\x00" + strconv.FormatUint(r.Version, 10) + "\x00" + r.Instance
+		rc := coords[key]
+		if rc == nil {
+			c := findCoord(r.Composite, r.State, r.Version)
+			if c == nil {
+				stats.Skipped++
+				return nil
+			}
+			rc = &replayedCoord{c: c, id: r.Instance, inst: newReplayInstance(c)}
+			coords[key] = rc
+		}
+		c, inst := rc.c, rc.inst
+		// The replay instance is process-private until recovery installs
+		// it into a shard, but the guarded-field contract is
+		// machine-checked (selfservvet guardedby): take the uncontended
+		// instance lock exactly as live commit points do.
+		inst.mu.Lock()
+		defer inst.mu.Unlock()
+		switch r.Kind {
+		case journal.KindArrival:
+			rc.passive = false
+			if idx, ok := c.table.SourceIndex(r.Src); ok {
+				bag := inst.srcVars[idx]
+				if bag == nil {
+					bag = make(map[string]string, len(r.Vars))
+					inst.srcVars[idx] = bag
+				}
+				for k, v := range r.Vars {
+					bag[k] = v
+				}
+				inst.srcVer[idx]++
+				inst.counts[idx]++
+				inst.pending[idx>>6] |= 1 << (idx & 63)
+				if r.Seq > inst.lastSeen[idx] {
+					inst.lastSeen[idx] = r.Seq
+				}
+			} else {
+				for k, v := range r.Vars {
+					inst.base[k] = v
+				}
+			}
+		case journal.KindInvoke:
+			rc.invokes = append(rc.invokes, r)
+		case journal.KindRound:
+			rc.passive = false
+			// Re-apply the round exactly as finish committed it: consume
+			// the matched clause's counts, drop the bags the snapshot
+			// absorbed, fold the results into base, and advance the
+			// sequence counters. The round's sends are owed redelivery.
+			for _, name := range r.Consumed {
+				if idx, ok := c.table.SourceIndex(name); ok {
+					if inst.counts[idx] > 0 {
+						inst.counts[idx]--
+					}
+					if inst.counts[idx] == 0 {
+						inst.pending[idx>>6] &^= 1 << (idx & 63)
+					}
+				}
+			}
+			for _, name := range r.Cleared {
+				if idx, ok := c.table.SourceIndex(name); ok {
+					inst.srcVars[idx] = nil
+				}
+			}
+			for k, v := range r.Vars {
+				inst.base[k] = v
+			}
+			inst.fireSeq = r.FireSeq
+			inst.sendSeq = r.SendSeq
+			inst.merged = nil
+			rc.msgs = append(rc.msgs, r.Msgs...)
+		case journal.KindSnapshot, journal.KindPassivate:
+			// A snapshot/passivation record carries the WHOLE state: start
+			// over from it. Accumulated sends survive a snapshot (the
+			// snapshot lands in the same critical section as its round, so
+			// that round's messages may still be unflushed) but not a
+			// passivation (an idle instance has flushed everything).
+			rc.inst = newReplayInstance(c)
+			c.restoreLocked(rc.inst, r)
+			rc.passive = r.Kind == journal.KindPassivate
+			if rc.passive {
+				rc.msgs = nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, fmt.Errorf("engine: recovery replay: %w", err)
+	}
+
+	// Prime completed invocation outcomes into the providers' idempotency
+	// caches BEFORE anything can re-fire.
+	registries := map[*service.Registry]bool{}
+	for _, h := range hosts {
+		registries[h.registry] = true
+	}
+	for _, rc := range coords {
+		for _, inv := range rc.invokes {
+			if primeInvoke(registries, inv) {
+				stats.Primed++
+			}
+		}
+	}
+
+	// Seat the rebuilt instances. No sends yet: every instance (and the
+	// wrapper of every execution) must be reachable before the first
+	// redelivered frame can land.
+	var live []*replayedCoord
+	for _, rc := range coords {
+		if rc.passive {
+			stats.Passive++
+			continue
+		}
+		if rc.c.instances.insertCounted(rc.id, rc.inst) {
+			live = append(live, rc)
+			stats.Coordinators++
+		}
+	}
+	var restored []*replayedWrap
+	for _, rw := range wraps {
+		if rw.done {
+			stats.Finished++
+			continue
+		}
+		if rw.inputs == nil {
+			// Arrival records without a start record: the start was never
+			// journaled, so the client never got past ExecuteInstance's
+			// commit point — nothing to finish.
+			stats.Skipped++
+			continue
+		}
+		if rw.w.restoreInstance(rw) {
+			restored = append(restored, rw)
+			stats.Wrappers++
+		}
+	}
+
+	// Redeliver. Every address is re-resolved through the live directory;
+	// receivers dedup by (source, sequence).
+	for _, rc := range live {
+		c := rc.c
+		for _, om := range rc.msgs {
+			addr, found := c.host.dir.RouteV(c.composite, c.version, om.To, rc.id, om.Vars[TenantVar])
+			if !found {
+				c.host.logf("recover %s/%s: no address for peer %q of instance %s", c.composite, c.table.State, om.To, rc.id)
+				continue
+			}
+			m := &message.Message{
+				Type:      message.Type(om.Type),
+				Composite: c.composite,
+				Instance:  rc.id,
+				From:      c.table.State,
+				To:        om.To,
+				Version:   c.version,
+				Seq:       int(om.Seq),
+				Vars:      om.Vars,
+			}
+			if err := c.host.sender.Send(ctx, addr, m); err != nil {
+				c.host.logf("recover %s/%s: redelivery to %s failed: %v", c.composite, c.table.State, om.To, err)
+				continue
+			}
+			stats.Redelivered++
+		}
+	}
+	for _, rw := range restored {
+		n, err := rw.w.resendStart(ctx, rw.id, rw.inputs)
+		if err != nil {
+			return stats, fmt.Errorf("engine: recovery restart of %s instance %s: %w", rw.w.plan.Composite, rw.id, err)
+		}
+		stats.Redelivered += n
+	}
+
+	// Finally, re-check every live instance's clauses: an instance whose
+	// AND-join was already satisfied at crash time (arrivals journaled,
+	// fire never finished) gets no new frame to wake it — this kick
+	// re-fires it, and the primed idempotency keys make the re-fire
+	// replay any invocation that had already completed.
+	for _, rc := range live {
+		rc.inst.mu.Lock()
+		rc.c.maybeFireLocked(ctx, rc.id, rc.inst)
+		rc.inst.mu.Unlock()
+	}
+	return stats, nil
+}
+
+// newReplayInstance builds an empty, hydrated coordInstance for replay.
+func newReplayInstance(c *coordinator) *coordInstance {
+	return &coordInstance{
+		counts:   make([]uint32, c.table.NumSources()),
+		pending:  make([]uint64, c.table.MaskWords()),
+		base:     map[string]string{},
+		srcVars:  make([]map[string]string, c.table.NumSources()),
+		srcVer:   make([]uint32, c.table.NumSources()),
+		lastSeen: make([]uint64, c.table.NumSources()),
+		hydrated: true,
+	}
+}
+
+// primeInvoke seeds one journaled invocation outcome into the
+// service.Idempotent wrapper of its provider, wherever it sits in the
+// provider's decorator chain. Reports whether a cache was found.
+func primeInvoke(registries map[*service.Registry]bool, r *journal.Record) bool {
+	primed := false
+	for reg := range registries {
+		prov, err := reg.Lookup(r.Service)
+		if err != nil {
+			continue
+		}
+		for prov != nil {
+			if idem, ok := prov.(*service.Idempotent); ok {
+				idem.Prime(r.Key, service.Response{Outputs: r.Outputs})
+				primed = true
+				break
+			}
+			u, ok := prov.(interface{ Unwrap() service.Provider })
+			if !ok {
+				break
+			}
+			prov = u.Unwrap()
+		}
+	}
+	return primed
+}
+
+// restoreInstance rebuilds one crashed execution inside the wrapper:
+// the instance is re-seated in the table and the in-flight gauge, its
+// journaled termination notices re-applied, and a finalizer goroutine
+// attached so the execution completes (journaled done record, gauge
+// release) even if nobody calls WaitRecovered. Reports false for a
+// duplicate ID.
+func (w *Wrapper) restoreInstance(rw *replayedWrap) bool {
+	inst := &wrapperInstance{
+		done:    make(chan struct{}),
+		pending: make([]uint64, w.compiled.FinishMaskWords()),
+		base:    map[string]string{},
+		srcVars: make([]map[string]string, w.compiled.NumFinishSources()),
+	}
+	for k, v := range rw.inputs {
+		inst.base[k] = v
+	}
+	for _, a := range rw.arrivals {
+		if a.Error != "" {
+			inst.err = fmt.Errorf("%w: state %s: %s", ErrInstanceFault, a.Src, a.Error)
+			inst.finished = true
+			break
+		}
+		inst.mergeFrom(w, a.Src, a.Vars)
+		inst.record(w, a.Src)
+	}
+	if !inst.finished && w.finishSatisfied(inst) {
+		inst.finished = true
+	}
+	if inst.finished {
+		close(inst.done)
+	}
+	if !w.instances.insert(rw.id, inst) {
+		return false
+	}
+	// Recovered IDs must never collide with fresh Execute IDs: push the
+	// allocator past any "i<n>" we restore, or a new execution would
+	// reuse the ID and its frames would land on the recovered twin.
+	if n, err := strconv.ParseInt(strings.TrimPrefix(rw.id, "i"), 10, 64); err == nil {
+		for {
+			cur := w.seq.Load()
+			if cur >= n || w.seq.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	if err := w.beginInstance(); err != nil {
+		// Draining: the restored instance can still complete (the endpoint
+		// is open), it just isn't tracked by the gauge.
+		go func() { <-inst.done; w.journalDone(rw.id, inst.err) }()
+		return true
+	}
+	go func() {
+		<-inst.done
+		w.journalDone(rw.id, inst.err)
+		w.endInstance()
+	}()
+	return true
+}
+
+// resendStart re-runs the start phase of a recovered execution. The
+// stamps are deterministic (startPhase), so receivers that saw the
+// first life's start frames drop the duplicates. Returns the number of
+// messages sent.
+func (w *Wrapper) resendStart(ctx context.Context, id string, inputs map[string]string) (int, error) {
+	box, err := w.startPhase(id, inputs)
+	if err != nil {
+		return 0, err
+	}
+	if err := box.flush(ctx, w.sender); err != nil {
+		return 0, err
+	}
+	return box.msgs(), nil
+}
+
+// Recovered lists the IDs of instances currently in the wrapper's table
+// — after a Recover, the rebuilt executions a caller can WaitRecovered
+// on.
+func (w *Wrapper) Recovered() []string {
+	var ids []string
+	w.instances.forEach(func(id string, _ *wrapperInstance) {
+		ids = append(ids, id)
+	})
+	return ids
+}
+
+// WaitRecovered blocks until a recovery-restored instance terminates
+// and returns its projected outputs — completing, on behalf of the new
+// process, the Execute call the crash interrupted. The instance stays
+// in the table (the attached finalizer owns the gauge), so concurrent
+// waiters all get the result.
+func (w *Wrapper) WaitRecovered(ctx context.Context, id string) (map[string]string, error) {
+	inst, ok := w.instances.get(id)
+	if !ok {
+		return nil, fmt.Errorf("engine: composite %q: no recovered instance %q", w.plan.Composite, id)
+	}
+	select {
+	case <-inst.done:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("engine: composite %q instance %s: %w", w.plan.Composite, id, ctx.Err())
+	}
+	inst.mu.Lock()
+	err := inst.err
+	final := inst.mergedVars(w)
+	inst.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return w.projectOutputs(final), nil
+}

@@ -1,0 +1,196 @@
+package engine_test
+
+// Engine-level crash recovery (docs/durability.md): a fabric whose
+// every endpoint dies mid-Chain(3) is rebuilt over the same journal
+// directory, engine.Recover replays the journal into the fresh hosts
+// and wrapper, and the interrupted instance completes with zero
+// duplicate invocations — the same contract the core-level suite pins
+// through Platform.Crash/Recover, here against the engine API directly.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"selfserv/internal/deployer"
+	"selfserv/internal/engine"
+	"selfserv/internal/journal"
+	"selfserv/internal/service"
+	"selfserv/internal/transport"
+	"selfserv/internal/workload"
+)
+
+func recIncr(_ context.Context, p map[string]string) (map[string]string, error) {
+	var x int
+	fmt.Sscanf(p["x"], "%d", &x)
+	return map[string]string{"x": fmt.Sprint(x + 1)}, nil
+}
+
+// buildDurableChain deploys Chain(n) over net with every host and the
+// wrapper journaling to j — one host per service, deterministic
+// addresses so life B's fabric is shaped exactly like life A's.
+func buildDurableChain(t *testing.T, net transport.Network, n int, reg *service.Registry, j *journal.Journal) ([]*engine.Host, *engine.Wrapper) {
+	t.Helper()
+	sc := workload.Chain(n)
+	dir := engine.NewDirectory()
+	placement := deployer.Placement{}
+	var hosts []*engine.Host
+	for i, svc := range sc.Services() {
+		h, err := engine.NewHost(net, fmt.Sprintf("rec-host-%d", i), reg, dir, engine.HostOptions{Journal: j})
+		if err != nil {
+			t.Fatalf("NewHost(%s): %v", svc, err)
+		}
+		hosts = append(hosts, h)
+		placement[svc] = []deployer.Installer{h}
+	}
+	dep, err := deployer.Deploy(sc, placement)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	w, err := engine.NewWrapper(net, "rec-wrapper", dir, dep.Plan, nil)
+	if err != nil {
+		t.Fatalf("NewWrapper: %v", err)
+	}
+	w.SetJournal(j)
+	return hosts, w
+}
+
+func TestEngineCrashRecoveryMidChain(t *testing.T) {
+	const n = 3
+	jdir := t.TempDir()
+	openJournal := func() *journal.Journal {
+		j, err := journal.Open(journal.Options{Dir: jdir, Fsync: journal.FsyncOff})
+		if err != nil {
+			t.Fatalf("journal.Open: %v", err)
+		}
+		return j
+	}
+
+	// --- life A: the kill lands while svc2's invocation is in flight ---
+	netA := transport.NewInMem(transport.InMemOptions{})
+	regA := service.NewRegistry()
+	reached := make(chan struct{})
+	gate := make(chan struct{})
+	defer close(gate) // release life A's stuck provider goroutine
+	var once sync.Once
+	aSims := map[int]*service.Simulated{}
+	for i := 1; i <= n; i++ {
+		s := service.NewSimulated(fmt.Sprintf("svc%d", i), service.SimulatedOptions{})
+		if i == 2 {
+			s.Handle("run", func(ctx context.Context, p map[string]string) (map[string]string, error) {
+				once.Do(func() { close(reached) })
+				<-gate
+				return recIncr(ctx, p)
+			})
+		} else {
+			s.Handle("run", recIncr)
+		}
+		aSims[i] = s
+		regA.Register(service.NewIdempotent(s, 0))
+	}
+	jA := openJournal()
+	hostsA, wA := buildDurableChain(t, netA, n, regA, jA)
+	if wA.Composite() != workload.Chain(n).Name {
+		t.Fatalf("wrapper composite = %q", wA.Composite())
+	}
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	execDone := make(chan struct{})
+	go func() {
+		defer close(execDone)
+		// Life A's client: its Execute dies with the process.
+		wA.ExecuteInstance(ctxA, "rec-1", map[string]string{"x": "0"})
+	}()
+	select {
+	case <-reached:
+	case <-ctxWithTimeout(t).Done():
+		t.Fatal("svc2 never reached")
+	}
+	if got := wA.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+	// The kill: every endpoint and the journal close, nothing drains, no
+	// abandonment or completion records are written.
+	wA.Kill()
+	for _, h := range hostsA {
+		h.Close()
+	}
+	jA.Close()
+	netA.Close()
+	cancelA()
+	<-execDone
+
+	// --- life B: fresh fabric, same journal directory ------------------
+	netB := transport.NewInMem(transport.InMemOptions{})
+	defer netB.Close()
+	regB := service.NewRegistry()
+	bSims := map[int]*service.Simulated{}
+	for i := 1; i <= n; i++ {
+		s := service.NewSimulated(fmt.Sprintf("svc%d", i), service.SimulatedOptions{})
+		s.Handle("run", recIncr)
+		bSims[i] = s
+		regB.Register(service.NewIdempotent(s, 0))
+	}
+	jB := openJournal()
+	defer jB.Close()
+	hostsB, wB := buildDurableChain(t, netB, n, regB, jB)
+	defer wB.Close()
+	for _, h := range hostsB {
+		defer h.Close()
+	}
+
+	ctx := ctxWithTimeout(t)
+	stats, err := engine.Recover(ctx, jB, hostsB, []*engine.Wrapper{wB})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.Wrappers != 1 {
+		t.Errorf("recovered wrappers = %d, want 1 (stats: %s)", stats.Wrappers, stats)
+	}
+	if s := stats.String(); !strings.Contains(s, "wrappers") {
+		t.Errorf("RecoveryStats.String() = %q, want the counter summary", s)
+	}
+	found := false
+	for _, id := range wB.Recovered() {
+		if id == "rec-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("instance rec-1 lost: recovered = %v", wB.Recovered())
+	}
+	if _, err := wB.WaitRecovered(ctx, "no-such-instance"); err == nil {
+		t.Error("WaitRecovered on an unknown instance succeeded")
+	}
+	out, err := wB.WaitRecovered(ctx, "rec-1")
+	if err != nil {
+		t.Fatalf("WaitRecovered: %v", err)
+	}
+	if out["x"] != fmt.Sprint(n) {
+		t.Fatalf("x = %q, want %d", out["x"], n)
+	}
+	if got := wB.Abandoned(); got != 0 {
+		t.Errorf("Abandoned = %d, want 0", got)
+	}
+
+	// Zero duplicate invocations across both lives: svc1's round was
+	// journaled in life A and must not re-run; svc2 was in doubt at the
+	// kill and legally re-executes once; svc3 runs only in life B.
+	if inv, _, _ := aSims[1].Counters(); inv != 1 {
+		t.Errorf("life A svc1 invoked %d times, want 1", inv)
+	}
+	if inv, _, _ := bSims[1].Counters(); inv != 0 {
+		t.Errorf("life B svc1 invoked %d times, want 0 (round was journaled)", inv)
+	}
+	for i := 2; i <= n; i++ {
+		if inv, _, _ := bSims[i].Counters(); inv != 1 {
+			t.Errorf("life B svc%d invoked %d times, want 1", i, inv)
+		}
+	}
+	if inv, _, _ := aSims[3].Counters(); inv != 0 {
+		t.Errorf("life A svc3 invoked %d times, want 0", inv)
+	}
+}

@@ -19,10 +19,14 @@ import (
 // the nanoseconds of a map read — the guard-eval/bag-merge critical
 // section is per-instance.
 //
-// Lock order (the only one in this package): shard mutex strictly
-// before instance mutex, and never more than one of each. No code path
-// holds two shard mutexes or two instance mutexes at once, so the
-// striping cannot deadlock.
+// Lock order: the eviction-race re-check loop (coordinator
+// onNotification) holds an instance mutex while re-reading the shard
+// map, so instance-before-shard is the one nesting that BLOCKS. The
+// only path needing the opposite nesting — getOrCreate's onEvict hook
+// inspecting an eviction candidate under the shard mutex — must
+// therefore TryLock the candidate's instance mutex and veto on failure;
+// it may never block on it. No code path holds two shard mutexes or two
+// instance mutexes at once.
 
 // instShardCount stripes every per-instance table. 32 shards keep the
 // collision probability negligible for realistic in-flight counts while
@@ -82,6 +86,27 @@ func (t *shardedTable[V]) insert(id string, v V) bool {
 	return true
 }
 
+// insertCounted is insert for capped tables: the new entry joins the
+// shard's eviction order and the global population count, exactly as if
+// getOrCreate had built it. Crash recovery uses it to re-seat restored
+// instances so they stay subject to the same cap (and passivation) as
+// instances created by live traffic.
+func (t *shardedTable[V]) insertCounted(id string, v V) bool {
+	s := &t.shards[instShardIdx(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[id]; dup {
+		return false
+	}
+	if s.m == nil {
+		s.m = map[string]V{}
+	}
+	s.m[id] = v
+	s.order = append(s.order, id)
+	t.count.Add(1)
+	return true
+}
+
 // take removes and returns the value for id in one critical section, so
 // two racing takers can never both claim it (Central's reply routing
 // relies on this: a duplicate TypeResult must find nothing).
@@ -121,17 +146,24 @@ func (t *shardedTable[V]) forEach(fn func(id string, v V)) {
 
 // getOrCreate returns the value for id, building it with mk on first
 // use. max bounds the TOTAL population across all shards (the atomic
-// count): while it is exceeded, the oldest entry of the new entry's
-// shard is evicted (FIFO). Gating eviction on the global count — not
-// the shard's — means a small cap with few live instances never evicts
-// one of them just because two IDs hashed to the same shard; only when
-// the table as a whole is over budget does the valve open, matching
-// the pre-striping single map. Eviction is a safety valve against
-// leaked bookkeeping, not a precise LRU (it takes the current shard's
-// oldest, not the global oldest); an evicted instance that is still
-// executing keeps running on its own pointer and simply loses late
-// notifications.
-func (t *shardedTable[V]) getOrCreate(id string, max int, mk func() V) V {
+// count): while it is exceeded, the oldest evictable entry of the new
+// entry's shard is evicted (FIFO). Gating eviction on the global count —
+// not the shard's — means a small cap with few live instances never
+// evicts one of them just because two IDs hashed to the same shard; only
+// when the table as a whole is over budget does the valve open, matching
+// the pre-striping single map. Eviction is a safety valve against leaked
+// bookkeeping, not a precise LRU (it scans the current shard's oldest,
+// not the global oldest).
+//
+// onEvict, when non-nil, is consulted under the shard mutex before each
+// candidate leaves the table; returning false vetoes THAT candidate and
+// the scan moves to the next-oldest (bounded by evictScanLimit, so a
+// shard full of vetoes cannot turn creation into a linear walk). The
+// hook is where the owner journals the victim (passivation) or counts
+// the loss loudly (Host.Evicted). It runs under the shard mutex, so it
+// must TryLock — never Lock — the candidate's instance mutex (see the
+// lock-order note at the top of this file) and veto when the try fails.
+func (t *shardedTable[V]) getOrCreate(id string, max int, mk func() V, onEvict func(id string, v V) bool) V {
 	s := &t.shards[instShardIdx(id)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -145,10 +177,35 @@ func (t *shardedTable[V]) getOrCreate(id string, max int, mk func() V) V {
 	s.m[id] = v
 	s.order = append(s.order, id)
 	if max > 0 && t.count.Add(1) > int64(max) && len(s.order) > 1 {
-		evict := s.order[0]
-		s.order = s.order[1:]
-		delete(s.m, evict)
-		t.count.Add(-1)
+		for scanned := 0; len(s.order) > 1 && scanned < evictScanLimit; scanned++ {
+			victim := s.order[0]
+			cand, ok := s.m[victim]
+			if !ok {
+				// Stale order entry (the id was removed, or re-created and
+				// re-appended): drop the tombstone and keep scanning without
+				// charging the scan budget — it frees nothing and vetoes
+				// nothing.
+				s.order = s.order[1:]
+				scanned--
+				continue
+			}
+			if onEvict != nil && !onEvict(victim, cand) {
+				// Vetoed (e.g. an invocation is in flight): rotate the
+				// candidate to the back so the next over-cap create doesn't
+				// re-scan it first.
+				s.order = append(s.order[1:], victim)
+				continue
+			}
+			s.order = s.order[1:]
+			delete(s.m, victim)
+			t.count.Add(-1)
+			break
+		}
 	}
 	return v
 }
+
+// evictScanLimit bounds how many veto'd candidates one over-cap create
+// will step over before giving up for this round (the table runs over
+// budget until a later create finds an evictable entry).
+const evictScanLimit = 8

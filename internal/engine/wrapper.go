@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"selfserv/internal/expr"
+	"selfserv/internal/journal"
 	"selfserv/internal/limits"
 	"selfserv/internal/message"
 	"selfserv/internal/routing"
@@ -35,6 +36,12 @@ type Wrapper struct {
 	// TenantVar input). Swappable at runtime (hostd reconfiguration);
 	// nil admits everything.
 	limiter atomic.Pointer[limits.Limiter]
+	// jnl, when set, journals the wrapper side of every execution —
+	// request inputs at start, each termination/fault notice as it
+	// arrives, and the completion — so crash recovery can rebuild
+	// in-flight instances and finish them. Atomic because the endpoint
+	// listens before the deployer installs the journal.
+	jnl atomic.Pointer[journal.Journal]
 	// recorder surfaces shed decisions in the transport's destination-
 	// keyed stats (both built-in networks implement it); nil-safe.
 	recorder transport.AvailabilityRecorder
@@ -151,8 +158,11 @@ func (w *Wrapper) Drain(ctx context.Context) int {
 // last, or complementary guards could all reject and Execute would hang
 // — the wrapper-side twin of the seed-8 AND-join liveness bug.
 type wrapperInstance struct {
+	// done is created once at construction and never reassigned; it sits
+	// above the mutex so lock-free waits (<-inst.done) stay legal.
+	done chan struct{}
+
 	mu       sync.Mutex // lockorder:instance — guards everything below; see shard.go for lock order
-	done     chan struct{}
 	pending  []uint64
 	base     map[string]string   // request inputs + non-finish-universe senders
 	srcVars  []map[string]string // per finish source, accumulated in sender FIFO order
@@ -238,6 +248,17 @@ func NewCompiledWrapper(net transport.Network, addr string, dir *Directory, comp
 // executions are in flight.
 func (w *Wrapper) SetLimiter(l *limits.Limiter) { w.limiter.Store(l) }
 
+// SetJournal installs the write-ahead journal the wrapper records its
+// executions into (nil-safe no-op). Called by the deployer right after
+// construction, before the composite is activated.
+func (w *Wrapper) SetJournal(j *journal.Journal) {
+	if j != nil {
+		w.jnl.Store(j)
+	}
+}
+
+func (w *Wrapper) journal() *journal.Journal { return w.jnl.Load() }
+
 // Addr returns the wrapper's transport address.
 func (w *Wrapper) Addr() string { return w.ep.Addr() }
 
@@ -284,6 +305,13 @@ func (w *Wrapper) Close() error {
 	}
 	return err
 }
+
+// Kill closes the wrapper's endpoint and nothing else: no drain, no
+// abandonment bookkeeping, no journal records — the state a process
+// kill leaves behind. The durability fault suite crashes platforms with
+// it; in-flight Executes stay blocked until their context expires, and
+// recovery (engine.Recover) is what completes their instances.
+func (w *Wrapper) Kill() error { return w.ep.Close() }
 
 // route resolves a peer address pinned to this wrapper's plan version;
 // unversioned wrappers resolve against the composite's current tables.
@@ -334,56 +362,25 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	}
 	defer w.instances.remove(id)
 
-	// Start phase: the wrapper is the "sender" for entry states, so it
-	// evaluates their (precompiled) guard conditions against the request's
-	// inputs. It works on a private copy of the bag: once the first start
-	// message is out, coordinators (and a concurrent RaiseEvent) may
-	// already be merging into the instance's layers under inst.mu, so the
-	// send path must never read the live bag. Start notifications for states
-	// sharing a host coalesce into one frame per destination: the outbox
-	// is built fully before anything is sent.
-	base := make(map[string]string, len(inputs))
-	for k, v := range inputs {
-		base[k] = v
+	box, err := w.startPhase(id, inputs)
+	if err != nil {
+		return nil, err
 	}
-	var box outbox
-	for _, target := range w.compiled.Start {
-		ok, err := evalGuard(target.Condition, inputs, w.funcEnv)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
-		vars := base
-		if len(target.Actions) > 0 {
-			vars, err = applyActions(target.Actions, vars, w.funcEnv)
-			if err != nil {
-				return nil, err
-			}
-		}
-		// Same deterministic (instance, tenant) replica choice the
-		// coordinators make on their send path: the start message must
-		// land on the replica every later notification converges on. The
-		// lookup and the message are pinned to this wrapper's plan
-		// version — the instance runs to completion on the version it
-		// started on, whatever deploys happen meanwhile.
-		addr, found := w.route(target.To, id, base[TenantVar])
-		if !found {
-			return nil, fmt.Errorf("engine: composite %q: state %q is not deployed", w.plan.Composite, target.To)
-		}
-		box.add(addr, &message.Message{
-			Type:      message.TypeStart,
+	// Write-ahead commit point: the request becomes durable before any
+	// start message is sent, so a crash mid-start replays the WHOLE start
+	// phase (the stamps are deterministic — see startPhase — and the
+	// receivers' dedup drops whatever the first life already delivered).
+	if j := w.journal(); j != nil {
+		rec := &journal.Record{
+			Kind:      journal.KindWStart,
 			Composite: w.plan.Composite,
 			Instance:  id,
-			From:      message.WrapperID,
-			To:        target.To,
 			Version:   w.compiled.Version,
-			Vars:      vars,
-		})
-	}
-	if box.empty() {
-		return nil, fmt.Errorf("engine: composite %q: no start condition matched the request", w.plan.Composite)
+			Vars:      inputs,
+		}
+		if jerr := j.Append(rec); jerr != nil {
+			return nil, fmt.Errorf("engine: journal start of %s: %w", w.plan.Composite, jerr)
+		}
 	}
 	if err := box.flush(ctx, w.sender); err != nil {
 		return nil, fmt.Errorf("engine: start %s: %w", w.plan.Composite, err)
@@ -394,6 +391,7 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	case <-ctx.Done():
 		return nil, fmt.Errorf("engine: composite %q instance %s: %w", w.plan.Composite, id, ctx.Err())
 	}
+	w.journalDone(id, inst.err)
 	if inst.err != nil {
 		return nil, inst.err
 	}
@@ -404,6 +402,96 @@ func (w *Wrapper) ExecuteInstance(ctx context.Context, id string, inputs map[str
 	final := inst.mergedVars(w)
 	inst.mu.Unlock()
 	return w.projectOutputs(final), nil
+}
+
+// startPhase evaluates the entry targets on the request inputs and
+// builds the outbox of start notifications. The wrapper is the "sender"
+// for entry states: it evaluates their (precompiled) guard conditions
+// against the inputs and works on a private copy of the bag — once the
+// first start message is out, coordinators (and a concurrent
+// RaiseEvent) may already be merging into the instance's layers, so the
+// send path must never read the live bag. Start notifications for
+// states sharing a host coalesce into one frame per destination: the
+// outbox is built fully before anything is sent.
+//
+// When journaling, each start message is sequence-stamped 1..k in
+// compiled-plan iteration order — deterministic, so a crash-recovery
+// re-run of the phase produces IDENTICAL stamps and the coordinators'
+// dedup marks absorb the overlap with whatever the first life already
+// delivered.
+func (w *Wrapper) startPhase(id string, inputs map[string]string) (outbox, error) {
+	base := make(map[string]string, len(inputs))
+	for k, v := range inputs {
+		base[k] = v
+	}
+	var box outbox
+	journaling := w.journal() != nil
+	var seq int
+	for _, target := range w.compiled.Start {
+		ok, err := evalGuard(target.Condition, inputs, w.funcEnv)
+		if err != nil {
+			return box, err
+		}
+		if !ok {
+			continue
+		}
+		vars := base
+		if len(target.Actions) > 0 {
+			vars, err = applyActions(target.Actions, vars, w.funcEnv)
+			if err != nil {
+				return box, err
+			}
+		}
+		// Same deterministic (instance, tenant) replica choice the
+		// coordinators make on their send path: the start message must
+		// land on the replica every later notification converges on. The
+		// lookup and the message are pinned to this wrapper's plan
+		// version — the instance runs to completion on the version it
+		// started on, whatever deploys happen meanwhile.
+		addr, found := w.route(target.To, id, base[TenantVar])
+		if !found {
+			return box, fmt.Errorf("engine: composite %q: state %q is not deployed", w.plan.Composite, target.To)
+		}
+		m := &message.Message{
+			Type:      message.TypeStart,
+			Composite: w.plan.Composite,
+			Instance:  id,
+			From:      message.WrapperID,
+			To:        target.To,
+			Version:   w.compiled.Version,
+			Vars:      vars,
+		}
+		if journaling {
+			seq++
+			m.Seq = seq
+		}
+		box.add(addr, m)
+	}
+	if box.empty() {
+		return box, fmt.Errorf("engine: composite %q: no start condition matched the request", w.plan.Composite)
+	}
+	return box, nil
+}
+
+// journalDone records an instance's completion (or fault) so recovery
+// knows not to rebuild it. Best-effort: losing it means recovery would
+// rebuild a finished instance, whose redelivered frames the
+// coordinators' dedup then absorbs.
+func (w *Wrapper) journalDone(id string, instErr error) {
+	j := w.journal()
+	if j == nil {
+		return
+	}
+	rec := &journal.Record{
+		Kind:      journal.KindWDone,
+		Composite: w.plan.Composite,
+		Instance:  id,
+		Version:   w.compiled.Version,
+	}
+	if instErr != nil {
+		rec.Error = instErr.Error()
+	}
+	_ = j.Append(rec)
 }
 
 // projectOutputs filters the final bag to declared inputs+outputs; when
@@ -513,6 +601,23 @@ func (w *Wrapper) handle(_ context.Context, m *message.Message) {
 	defer inst.mu.Unlock()
 	if inst.finished {
 		return // duplicate notice after completion: drop
+	}
+	// Write-ahead commit point: the notice is durable before it is
+	// applied. No dedup check first — the wrapper's bookkeeping (bitmask
+	// OR, map merge) is idempotent, so a redelivered duplicate is
+	// harmless both live and on replay.
+	if j := w.journal(); j != nil && (m.Type == message.TypeDone || m.Type == message.TypeFault) {
+		rec := &journal.Record{
+			Kind:      journal.KindWArrival,
+			Composite: w.plan.Composite,
+			Instance:  m.Instance,
+			Version:   w.compiled.Version,
+			Src:       m.From,
+			Seq:       uint64(m.Seq),
+			Vars:      m.Vars,
+			Error:     m.Error, // non-empty exactly for faults
+		}
+		_ = j.Append(rec)
 	}
 	switch m.Type {
 	case message.TypeDone:

@@ -19,6 +19,12 @@
 //	POST /activate?composite=C&version=N -> flips the composite's current version; 409
 //	                                     when N is older than the active version
 //	POST /retire?composite=C&version=N -> drops version N's coordinators and routes
+//	POST /recover                      -> replays the daemon's durability journal
+//	                                     (409 when the daemon runs journal-less);
+//	                                     call AFTER tables are reinstalled so the
+//	                                     replayed instances have coordinators to
+//	                                     land on (docs/durability.md)
+//	GET  /recover                      -> recovery status JSON
 //	GET  /healthz                      -> 200 ok
 //
 // Versioned pushes make a fleet rollout safe without cross-host
@@ -29,6 +35,7 @@ package hostapi
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -59,7 +66,13 @@ type Server struct {
 	services func() []string
 	mux      *http.ServeMux
 
-	mu        sync.Mutex // lockorder:hostapi — guards installed/dirVersion only; HTTP handlers run concurrently
+	// recoverFn, when set (SetRecoverFunc), replays the daemon's
+	// durability journal; nil means the daemon runs journal-less and
+	// POST /recover is a 409.
+	recoverFn func(context.Context) (engine.RecoveryStats, error)
+
+	mu        sync.Mutex // lockorder:hostapi — guards installed/dirVersion/recovery only; HTTP handlers run concurrently
+	recovery  RecoveryStatus
 	installed map[string][]string
 	// dirVersion is the newest directory version applied per composite;
 	// older pushes are rejected (409) instead of replacing a newer
@@ -85,10 +98,75 @@ func NewServer(host *engine.Host, dir *engine.Directory, services func() []strin
 	s.mux.HandleFunc("/directory", s.handleDirectory)
 	s.mux.HandleFunc("/activate", s.handleActivate)
 	s.mux.HandleFunc("/retire", s.handleRetire)
+	s.mux.HandleFunc("/recover", s.handleRecover)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return s
+}
+
+// RecoveryStatus is the /recover resource: whether this daemon journals
+// at all, whether a replay has run, and what the last replay did.
+type RecoveryStatus struct {
+	// Configured reports whether the daemon has a durability journal
+	// (a recover function was installed).
+	Configured bool `json:"configured"`
+	// Ran reports whether a replay has been triggered on this daemon.
+	Ran bool `json:"ran"`
+	// Stats is the last replay's outcome (zero until Ran).
+	Stats engine.RecoveryStats `json:"stats"`
+	// Error is the last replay's failure, "" on success.
+	Error string `json:"error,omitempty"`
+}
+
+// SetRecoverFunc installs the journal-replay hook behind POST /recover
+// (typically core.Platform.Recover). Without one the endpoint reports
+// the daemon as journal-less.
+func (s *Server) SetRecoverFunc(fn func(context.Context) (engine.RecoveryStats, error)) {
+	s.mu.Lock()
+	s.recoverFn = fn
+	s.recovery.Configured = fn != nil
+	s.mu.Unlock()
+}
+
+// handleRecover serves the recovery resource: GET reports status, POST
+// replays the journal synchronously and reports what it rebuilt. The
+// control plane calls POST after re-activating a release on a restarted
+// daemon, so replayed instances find live coordinators (recovery-aware
+// activation).
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		s.mu.Lock()
+		fn := s.recoverFn
+		s.mu.Unlock()
+		if fn == nil {
+			http.Error(w, "durability is not configured on this daemon", http.StatusConflict)
+			return
+		}
+		stats, err := fn(r.Context())
+		s.mu.Lock()
+		s.recovery.Ran = true
+		s.recovery.Stats = stats
+		if err != nil {
+			s.recovery.Error = err.Error()
+		} else {
+			s.recovery.Error = ""
+		}
+		s.mu.Unlock()
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	st := s.recovery
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if st.Error != "" {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	json.NewEncoder(w).Encode(st)
 }
 
 // ServeHTTP implements http.Handler.
@@ -367,6 +445,45 @@ func (c *Client) Activate(composite string, version uint64) error {
 // Retire drops a drained plan version from the daemon.
 func (c *Client) Retire(composite string, version uint64) error {
 	return c.post(fmt.Sprintf("/retire?composite=%s&version=%d", composite, version), "text/plain", nil)
+}
+
+// Recover replays the daemon's durability journal and returns what it
+// rebuilt. Daemons running journal-less answer 409, surfaced as an
+// error here. Call after the daemon's tables are reinstalled.
+func (c *Client) Recover() (*RecoveryStatus, error) {
+	resp, err := c.http().Post(c.BaseURL+"/recover", "text/plain", nil)
+	if err != nil {
+		return nil, fmt.Errorf("hostapi: recover: %w", err)
+	}
+	return decodeRecovery(resp)
+}
+
+// RecoveryStatus fetches the daemon's recovery status without
+// triggering a replay.
+func (c *Client) RecoveryStatus() (*RecoveryStatus, error) {
+	resp, err := c.http().Get(c.BaseURL + "/recover")
+	if err != nil {
+		return nil, fmt.Errorf("hostapi: recovery status: %w", err)
+	}
+	return decodeRecovery(resp)
+}
+
+func decodeRecovery(resp *http.Response) (*RecoveryStatus, error) {
+	defer resp.Body.Close()
+	var st RecoveryStatus
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusInternalServerError:
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return nil, fmt.Errorf("hostapi: recover: %w", err)
+		}
+		if st.Error != "" {
+			return &st, fmt.Errorf("hostapi: recover: %s", st.Error)
+		}
+		return &st, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("hostapi: recover: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
 }
 
 // PushDirectory records peer locations on the daemon (one replica per

@@ -2,6 +2,7 @@ package hostapi
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -282,4 +283,67 @@ func TestAdminErrors(t *testing.T) {
 			t.Fatal("reached a dead daemon")
 		}
 	})
+}
+
+// TestRecoverEndpoint pins the recovery resource: a journal-less daemon
+// reports Configured=false and rejects replays with 409; with a recover
+// function installed, POST replays and reports stats, GET reflects the
+// last outcome, and a failing replay surfaces its error (HTTP 500 with
+// the status body).
+func TestRecoverEndpoint(t *testing.T) {
+	reg := service.NewRegistry()
+	net := transport.NewInMem(transport.InMemOptions{})
+	defer net.Close()
+	dir := engine.NewDirectory()
+	h, err := engine.NewHost(net, "recover-host", reg, dir, engine.HostOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	srv := NewServer(h, dir, reg.Names)
+	admin := httptest.NewServer(srv)
+	defer admin.Close()
+	c := &Client{BaseURL: admin.URL}
+
+	st, err := c.RecoveryStatus()
+	if err != nil {
+		t.Fatalf("RecoveryStatus: %v", err)
+	}
+	if st.Configured || st.Ran {
+		t.Fatalf("journal-less status = %+v, want unconfigured", st)
+	}
+	if _, err := c.Recover(); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("journal-less Recover err = %v, want 409", err)
+	}
+
+	var calls int
+	srv.SetRecoverFunc(func(context.Context) (engine.RecoveryStats, error) {
+		calls++
+		return engine.RecoveryStats{Coordinators: 3, Wrappers: 1}, nil
+	})
+	st, err = c.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if !st.Configured || !st.Ran || st.Stats.Coordinators != 3 || st.Stats.Wrappers != 1 {
+		t.Fatalf("recover status = %+v", st)
+	}
+	if calls != 1 {
+		t.Fatalf("recover fn ran %d times, want 1", calls)
+	}
+	st, err = c.RecoveryStatus()
+	if err != nil || !st.Ran || st.Stats.Coordinators != 3 {
+		t.Fatalf("status after replay = %+v, %v", st, err)
+	}
+
+	srv.SetRecoverFunc(func(context.Context) (engine.RecoveryStats, error) {
+		return engine.RecoveryStats{}, fmt.Errorf("segment torn beyond repair")
+	})
+	st, err = c.Recover()
+	if err == nil || !strings.Contains(err.Error(), "segment torn") {
+		t.Fatalf("failing replay err = %v", err)
+	}
+	if st == nil || st.Error == "" {
+		t.Fatalf("failing replay status = %+v", st)
+	}
 }

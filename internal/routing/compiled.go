@@ -167,6 +167,13 @@ func (t *CompiledTable) SourceIndex(id string) (int, bool) {
 	return i, ok
 }
 
+// SourceName is the inverse of SourceIndex: the state ID behind an
+// interned index. The journal serializes per-source state (counts,
+// bags, dedup high-water marks) keyed by source NAME, not index —
+// interning order is a compile-time artifact that a recompiled plan
+// need not reproduce, while state IDs are stable across restarts.
+func (t *CompiledTable) SourceName(i int) string { return t.interner.ids[i] }
+
 // MergeOrder returns the interned source indices sorted by source ID —
 // the canonical order in which per-source variable bags must be merged
 // so that every receiver computes the same bag for the same set of

@@ -88,6 +88,32 @@ func (i *Idempotent) Hits() int64 {
 	return i.hits
 }
 
+// Prime seeds the completed-response cache with a key whose successful
+// outcome is already known — the crash-recovery path: replayed journal
+// records carry the (key, response) pairs of invocations that completed
+// before the crash, and priming them means a re-fired round replays the
+// response instead of executing the provider a second time. A key that
+// is already cached or in flight is left untouched.
+func (i *Idempotent) Prime(key string, resp Response) {
+	if key == "" {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if _, ok := i.done[key]; ok {
+		return
+	}
+	if _, ok := i.inflight[key]; ok {
+		return
+	}
+	i.done[key] = i.lru.PushFront(&entry{key: key, resp: resp})
+	for i.lru.Len() > i.capacity {
+		oldest := i.lru.Back()
+		i.lru.Remove(oldest)
+		delete(i.done, oldest.Value.(*entry).key)
+	}
+}
+
 // Invoke implements Provider with the dedup semantics documented on the
 // type.
 func (i *Idempotent) Invoke(ctx context.Context, req Request) (Response, error) {
